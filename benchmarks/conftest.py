@@ -1,0 +1,50 @@
+"""Shared helpers for the figure benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation figures (at the
+``small`` scale preset by default — set ``REPRO_BENCH_SCALE=medium|full``
+to rerun at larger sizes) and asserts the *shape* properties the paper
+reports.  Absolute magnitudes are not asserted: the substrate is a
+simulator, not the authors' testbed.
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+def by_query(result):
+    """Group a sweep's rows by query id."""
+    groups = {}
+    for row in result.rows:
+        groups.setdefault(row["query_id"], []).append(row)
+    return groups
+
+
+def assert_metric_ordering(rows):
+    """data <= processing <= routing for every row, and messages sane."""
+    for row in rows:
+        assert row["data_nodes"] <= row["processing_nodes"], row
+        assert row["processing_nodes"] <= row["routing_nodes"], row
+        assert row["messages"] >= 1, row
+
+
+def assert_small_fraction(rows, limit=0.5):
+    """Processing nodes are a small fraction of the system."""
+    for row in rows:
+        assert row["processing_nodes"] <= max(limit * row["nodes"], 8), row
+
+
+def assert_sublinear_growth(series_nodes, series_values, factor=0.9):
+    """values grow more slowly than the node count across the sweep."""
+    n_growth = series_nodes[-1] / series_nodes[0]
+    if series_values[0] <= 0:
+        return
+    v_growth = series_values[-1] / series_values[0]
+    assert v_growth <= factor * n_growth + 1.0, (series_nodes, series_values)

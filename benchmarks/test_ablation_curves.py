@@ -1,0 +1,54 @@
+"""Ablation: Hilbert vs. Z-order mapping.
+
+DESIGN.md design choice: the locality-preserving Hilbert curve is what
+keeps query regions in few clusters and hence few peers.  Replacing it with
+the Z-order (Morton) curve — which satisfies digital causality but not
+adjacency — should fragment queries into more clusters and touch more
+processing nodes for the same workload.
+"""
+
+import numpy as np
+
+from repro.sfc import HilbertCurve, MortonCurve
+from repro.sfc.analysis import average_cluster_count
+from repro.workloads.documents import DocumentWorkload
+from repro.workloads.queries import q1_queries
+from repro import SquidSystem
+
+
+def _mean_processing(curve_name, workload, queries, n_nodes, seed):
+    system = SquidSystem.create(workload.space, n_nodes=n_nodes, curve=curve_name, seed=seed)
+    system.publish_many(workload.keys)
+    vals = []
+    for q in queries:
+        vals.append(system.query(q, rng=seed).stats.processing_node_count)
+    return float(np.mean(vals))
+
+
+def test_cluster_counts_hilbert_vs_zorder(benchmark):
+    """Random box queries decompose into fewer clusters on the Hilbert curve."""
+
+    def measure():
+        h = average_cluster_count(HilbertCurve(2, 7), extent=12, samples=30, rng=0)
+        m = average_cluster_count(MortonCurve(2, 7), extent=12, samples=30, rng=0)
+        return h, m
+
+    hilbert_clusters, morton_clusters = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nmean clusters per box query: hilbert={hilbert_clusters:.1f} "
+          f"zorder={morton_clusters:.1f}")
+    assert hilbert_clusters < morton_clusters
+
+
+def test_system_cost_hilbert_vs_zorder(benchmark):
+    """End-to-end: the same Q1 workload costs more peers on Z-order."""
+    workload = DocumentWorkload.generate(2, 4000, vocabulary_size=1200, bits=16, rng=3)
+    queries = q1_queries(workload, count=6, rng=4)
+
+    def measure():
+        hilbert = _mean_processing("hilbert", workload, queries, 300, seed=5)
+        zorder = _mean_processing("zorder", workload, queries, 300, seed=5)
+        return hilbert, zorder
+
+    hilbert_cost, zorder_cost = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nmean processing nodes: hilbert={hilbert_cost:.1f} zorder={zorder_cost:.1f}")
+    assert hilbert_cost <= zorder_cost

@@ -1,0 +1,106 @@
+"""Ablation: optimized (distributed refinement) vs. naive query engine, and
+the aggregation optimization.
+
+Paper §3.4: sending one message per cluster "is not a scalable solution";
+distributed refinement with pruning restricts work to nodes that can hold
+matches, and sibling aggregation batches fine sub-queries.
+"""
+
+import numpy as np
+
+from repro import NaiveEngine, OptimizedEngine, SquidSystem
+from repro.workloads.documents import DocumentWorkload
+from repro.workloads.queries import q1_queries
+
+
+def _build(seed=0, n_nodes=300, n_keys=5000):
+    workload = DocumentWorkload.generate(2, n_keys, vocabulary_size=1500, bits=16, rng=seed)
+    system = SquidSystem.create(workload.space, n_nodes=n_nodes, seed=seed + 1)
+    system.publish_many(workload.keys)
+    queries = q1_queries(workload, count=6, rng=seed + 2)
+    return system, queries
+
+
+def test_optimized_vs_naive(benchmark):
+    system, queries = _build()
+
+    def measure():
+        opt = [system.query(q, engine=OptimizedEngine(), rng=7).stats for q in queries]
+        naive = [system.query(q, engine=NaiveEngine(), rng=7).stats for q in queries]
+        return (
+            float(np.mean([s.messages for s in opt])),
+            float(np.mean([s.messages for s in naive])),
+            float(np.mean([s.processing_node_count for s in opt])),
+            float(np.mean([s.processing_node_count for s in naive])),
+        )
+
+    opt_msgs, naive_msgs, opt_proc, naive_proc = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print(f"\nmessages: optimized={opt_msgs:.1f} naive={naive_msgs:.1f}")
+    print(f"processing nodes: optimized={opt_proc:.1f} naive={naive_proc:.1f}")
+    # The paper's motivation: one message per fully resolved cluster does
+    # not scale; distributed refinement sends far fewer.
+    assert opt_msgs < naive_msgs
+
+
+def test_aggregation_ablation(benchmark):
+    system, queries = _build(seed=3)
+
+    def measure():
+        agg = [
+            system.query(q, engine=OptimizedEngine(aggregate=True, local_depth=5), rng=9).stats
+            for q in queries
+        ]
+        noagg = [
+            system.query(q, engine=OptimizedEngine(aggregate=False, local_depth=5), rng=9).stats
+            for q in queries
+        ]
+        return (
+            float(np.mean([s.hops for s in agg])),
+            float(np.mean([s.hops for s in noagg])),
+        )
+
+    agg_hops, noagg_hops = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nwire hops with deep refinement: aggregated={agg_hops:.1f} "
+          f"unaggregated={noagg_hops:.1f}")
+    # With fine sub-queries, batching by destination saves wire traffic.
+    assert agg_hops <= noagg_hops
+
+
+def test_local_depth_sweep(benchmark):
+    """Deeper per-node refinement trades messages for pruning precision.
+
+    The sweep shows the trend the engine's local_depth knob controls:
+    processing nodes shrink (finer sub-queries prune better) while
+    unaggregated message counts grow.
+    """
+    system, queries = _build(seed=7)
+
+    def measure():
+        rows = []
+        for depth in (1, 2, 4, 6):
+            engine_stats = [
+                system.query(
+                    q,
+                    engine=OptimizedEngine(aggregate=False, local_depth=depth),
+                    rng=11,
+                ).stats
+                for q in queries
+            ]
+            rows.append(
+                (
+                    depth,
+                    float(np.mean([s.processing_node_count for s in engine_stats])),
+                    float(np.mean([s.messages for s in engine_stats])),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nlocal_depth sweep (depth, processing, messages):")
+    for depth, proc, msgs in rows:
+        print(f"  depth={depth}: processing={proc:.1f} messages={msgs:.1f}")
+    # Processing never grows with depth; message counts never shrink much.
+    procs = [r[1] for r in rows]
+    assert procs[-1] <= procs[0] + 1

@@ -1,0 +1,98 @@
+"""Ablation: load-balancing schemes off / join / join+neighbor / virtual.
+
+DESIGN.md design choice: the SFC index is skewed, so Squid needs §3.5's
+balancing.  This bench quantifies each scheme's contribution.
+"""
+
+import numpy as np
+
+from repro import KeywordSpace, SquidSystem, WordDimension
+from repro.core.loadbalance import (
+    VirtualNodeManager,
+    grow_with_join_lb,
+    run_neighbor_balancing,
+)
+from repro.util.stats import coefficient_of_variation
+from repro.workloads.documents import DocumentWorkload
+
+
+def _workload():
+    return DocumentWorkload.generate(2, 8000, vocabulary_size=1500, bits=16, rng=0)
+
+
+def _baseline(workload, n_nodes, seed):
+    system = SquidSystem.create(workload.space, n_nodes=n_nodes, seed=seed)
+    system.publish_many(workload.keys)
+    return system
+
+
+def _join_lb(workload, n_nodes, seed):
+    system = SquidSystem.create(workload.space, n_nodes=max(8, n_nodes // 20), seed=seed)
+    system.publish_many(workload.keys)
+    grow_with_join_lb(system, n_nodes, samples=6, rng=seed)
+    return system
+
+
+def test_lb_scheme_ladder(benchmark):
+    """off > join-only > join+neighbor in load imbalance (CoV)."""
+    workload = _workload()
+    n_nodes = 200
+
+    def measure():
+        off = coefficient_of_variation(
+            list(_baseline(workload, n_nodes, seed=1).node_loads().values())
+        )
+        join_sys = _join_lb(workload, n_nodes, seed=1)
+        join = coefficient_of_variation(list(join_sys.node_loads().values()))
+        run_neighbor_balancing(join_sys, rounds=8, threshold=1.3)
+        combined = coefficient_of_variation(list(join_sys.node_loads().values()))
+        return off, join, combined
+
+    off, join, combined = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nload CoV: off={off:.2f} join={join:.2f} join+neighbor={combined:.2f}")
+    assert join < off
+    assert combined < join
+
+
+def test_virtual_nodes_balance_physical_peers(benchmark):
+    """Virtual-node split + migration evens load across physical peers."""
+    workload = _workload()
+
+    def measure():
+        system = _join_lb(workload, 160, seed=2)
+        manager = VirtualNodeManager.adopt(system, virtuals_per_peer=4)
+        before = coefficient_of_variation(list(manager.physical_loads().values()))
+        peak = max(manager.virtual_loads().values())
+        manager.split_overloaded(threshold_keys=max(peak // 2, 1))
+        manager.rebalance()
+        after = coefficient_of_variation(list(manager.physical_loads().values()))
+        return before, after
+
+    before, after = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nphysical-load CoV: before={before:.2f} after={after:.2f}")
+    assert after <= before
+
+
+def test_lb_improves_query_cost(benchmark):
+    """Balanced nodes follow the data, improving pruning (fewer empty
+    processing nodes per data node)."""
+    workload = _workload()
+    from repro.workloads.queries import q1_queries
+
+    queries = q1_queries(workload, count=6, rng=5)
+
+    def ratio(system):
+        rows = [system.query(q, rng=6).stats for q in queries]
+        data = sum(s.data_node_count for s in rows)
+        proc = sum(s.processing_node_count for s in rows)
+        return data / max(proc, 1)
+
+    def measure():
+        return (
+            ratio(_baseline(workload, 200, seed=3)),
+            ratio(_join_lb(workload, 200, seed=3)),
+        )
+
+    unbalanced, balanced = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\ndata/processing ratio: unbalanced={unbalanced:.2f} balanced={balanced:.2f}")
+    assert balanced >= 0.8 * unbalanced

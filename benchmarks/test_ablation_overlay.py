@@ -1,0 +1,101 @@
+"""Ablation: Chord vs. CAN as the overlay carrying the 1-d index space.
+
+The paper uses Chord and names "other network topologies" as future work;
+its reference-[1] competitor uses CAN.  Both overlays here expose the same
+key space, so their routing economics are directly comparable: Chord
+resolves lookups in O(log N) hops with O(log N) state per node, CAN in
+O(d · N^(1/d)) hops with O(d) neighbors.
+"""
+
+import numpy as np
+
+from repro.overlay import CanOverlay, ChordRing, PastryOverlay
+
+
+def _mean_hops_chord(bits, n_nodes, n_lookups, seed):
+    ring = ChordRing.with_random_ids(bits, n_nodes, rng=seed)
+    rng = np.random.default_rng(seed + 1)
+    ids = ring.node_ids()
+    hops = []
+    for _ in range(n_lookups):
+        source = ids[rng.integers(0, len(ids))]
+        key = int(rng.integers(0, ring.space))
+        hops.append(ring.route(source, key).hops)
+    return float(np.mean(hops))
+
+
+def _mean_hops_can(bits, n_nodes, n_lookups, seed):
+    can = CanOverlay(bits, can_dims=2)
+    rng = np.random.default_rng(seed)
+    for _ in range(n_nodes):
+        can.join(rng)
+    ids = can.node_ids()
+    hops = []
+    for _ in range(n_lookups):
+        source = ids[rng.integers(0, len(ids))]
+        key = int(rng.integers(0, can.space))
+        hops.append(can.route(source, key).hops)
+    return float(np.mean(hops))
+
+
+def test_chord_vs_can_routing(benchmark):
+    bits, n_nodes, lookups = 16, 256, 150
+
+    def measure():
+        return (
+            _mean_hops_chord(bits, n_nodes, lookups, seed=0),
+            _mean_hops_can(bits, n_nodes, lookups, seed=1),
+        )
+
+    chord_hops, can_hops = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nmean lookup hops at N={n_nodes}: chord={chord_hops:.1f} can={can_hops:.1f}")
+    # Chord's O(log N) beats CAN's O(sqrt N) at this size.
+    assert chord_hops < can_hops
+    assert chord_hops <= 2 * np.log2(n_nodes)
+
+
+def test_chord_hops_scale_logarithmically(benchmark):
+    def measure():
+        return [
+            _mean_hops_chord(18, n, 100, seed=2) for n in (64, 256, 1024)
+        ]
+
+    hops = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nchord mean hops at N=64/256/1024: {[f'{h:.1f}' for h in hops]}")
+    # 16x more nodes adds only a constant number of hops.
+    assert hops[2] - hops[0] < 4
+
+
+def _mean_hops_pastry(bits, n_nodes, n_lookups, seed):
+    net = PastryOverlay.with_random_ids(bits, n_nodes, rng=seed)
+    rng = np.random.default_rng(seed + 1)
+    ids = net.node_ids()
+    hops = []
+    for _ in range(n_lookups):
+        source = ids[rng.integers(0, len(ids))]
+        key = int(rng.integers(0, net.space))
+        hops.append(net.route(source, key).hops)
+    return float(np.mean(hops))
+
+
+def test_three_way_topology_comparison(benchmark):
+    """Chord vs Pastry vs CAN carrying the same identifier space.
+
+    Pastry's base-16 prefix routing takes the fewest hops, Chord's binary
+    fingers follow, CAN's O(sqrt N) greedy walk trails both.
+    """
+    bits, n_nodes, lookups = 16, 256, 150
+
+    def measure():
+        return (
+            _mean_hops_chord(bits, n_nodes, lookups, seed=3),
+            _mean_hops_pastry(bits, n_nodes, lookups, seed=4),
+            _mean_hops_can(bits, n_nodes, lookups, seed=5),
+        )
+
+    chord_hops, pastry_hops, can_hops = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\nmean lookup hops at N={n_nodes}: chord={chord_hops:.1f} "
+        f"pastry={pastry_hops:.1f} can={can_hops:.1f}"
+    )
+    assert pastry_hops < chord_hops < can_hops

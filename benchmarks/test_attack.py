@@ -1,0 +1,38 @@
+"""Extension bench: attack resistance (extE) — the mitigation ladder."""
+
+from repro import SquidSystem
+from repro.core.adversary import run_attack_experiment
+from repro.workloads.documents import DocumentWorkload
+from repro.workloads.queries import q1_queries
+
+
+def test_attack_mitigation_ladder(benchmark):
+    workload = DocumentWorkload.generate(2, 3000, vocabulary_size=1000, rng=0)
+    queries = [str(q) for q in q1_queries(workload, count=5, rng=1)]
+
+    def measure():
+        out = {}
+        for label, retry, degree in (
+            ("none", False, 0),
+            ("retry", True, 0),
+            ("retry+repl", True, 2),
+        ):
+            system = SquidSystem.create(workload.space, n_nodes=150, seed=2)
+            system.publish_many(workload.keys)
+            out[label] = run_attack_experiment(
+                system,
+                queries,
+                dropper_fraction=0.2,
+                retry=retry,
+                replication_degree=degree,
+                rng=3,
+            )["recall"]
+        return out
+
+    recalls = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\nrecall at 20% droppers: none={recalls['none']:.2f} "
+        f"retry={recalls['retry']:.2f} retry+repl={recalls['retry+repl']:.2f}"
+    )
+    assert recalls["none"] < recalls["retry"] <= recalls["retry+repl"]
+    assert recalls["retry+repl"] > 0.9

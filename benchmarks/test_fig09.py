@@ -1,0 +1,43 @@
+"""Benchmark: Figure 9 — Q1 queries, 2-D keyword space.
+
+Regenerates the paper's series (matches / processing nodes / data nodes per
+query vs. system size) and asserts its shape claims.
+"""
+
+from benchmarks.conftest import (
+    assert_metric_ordering,
+    assert_small_fraction,
+    assert_sublinear_growth,
+    by_query,
+)
+from repro.experiments import fig09_q1_2d
+
+
+def test_fig09_q1_2d(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig09_q1_2d.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    assert_metric_ordering(result.rows)
+    assert_small_fraction(result.rows)
+
+    groups = by_query(result)
+    assert len(groups) == 6  # the paper's six Q1 queries
+    sublinear_hits = 0
+    for rows in groups.values():
+        nodes = [r["nodes"] for r in rows]
+        assert nodes == sorted(nodes)
+        # Paper: processing/data nodes "increase at a slower rate than the
+        # system size".
+        proc = [r["processing_nodes"] for r in rows]
+        if proc[0] > 0 and proc[-1] / proc[0] <= 0.9 * (nodes[-1] / nodes[0]) + 1.0:
+            sublinear_hits += 1
+    assert sublinear_hits >= 4  # holds for (nearly) all queries
+
+    # Paper: processing cost is not monotone in the number of matches.
+    final = [rows[-1] for rows in groups.values()]
+    order_by_matches = sorted(final, key=lambda r: r["matches"])
+    proc_in_match_order = [r["processing_nodes"] for r in order_by_matches]
+    assert proc_in_match_order != sorted(proc_in_match_order) or len(set(proc_in_match_order)) == 1

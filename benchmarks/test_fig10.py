@@ -1,0 +1,26 @@
+"""Benchmark: Figure 10 — all metrics, 2-D, two system snapshots."""
+
+from benchmarks.conftest import assert_metric_ordering
+from repro.experiments import fig10_metrics_2d
+
+
+def test_fig10_metrics_2d(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig10_metrics_2d.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    assert_metric_ordering(result.rows)
+    snapshots = {row["nodes"] for row in result.rows}
+    assert len(snapshots) == 2  # the paper's two bar charts
+
+    for row in result.rows:
+        # Paper: "the processing nodes are a small fraction of the routing
+        # nodes, and a very small fraction of the entire system".
+        assert row["processing_nodes"] < row["nodes"] / 2
+        assert row["routing_nodes"] < row["nodes"]
+        # Paper: "the number of messages used is almost twice the number of
+        # processing nodes" — allow generous slack around the 2x claim.
+        assert row["messages"] <= 6 * max(row["processing_nodes"], 1)
+        assert row["messages"] >= max(row["processing_nodes"] - 2, 0)

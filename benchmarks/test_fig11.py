@@ -1,0 +1,23 @@
+"""Benchmark: Figure 11 — Q2 queries, 2-D keyword space."""
+
+from benchmarks.conftest import assert_metric_ordering, by_query
+from repro.experiments import fig09_q1_2d, fig11_q2_2d
+
+
+def test_fig11_q2_2d(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig11_q2_2d.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    assert_metric_ordering(result.rows)
+    assert len(by_query(result)) == 5  # the paper's five Q2 queries
+
+    # Paper: "the results are significantly better than those for type Q1
+    # queries" — compare mean processing nodes at the largest system size.
+    q1 = fig09_q1_2d.run(scale=bench_scale)
+    largest = max(r["nodes"] for r in result.rows)
+    q2_proc = [r["processing_nodes"] for r in result.rows if r["nodes"] == largest]
+    q1_proc = [r["processing_nodes"] for r in q1.rows if r["nodes"] == largest]
+    assert sum(q2_proc) / len(q2_proc) < sum(q1_proc) / len(q1_proc)

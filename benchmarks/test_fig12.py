@@ -1,0 +1,37 @@
+"""Benchmark: Figure 12 — Q1 queries, 3-D keyword space.
+
+Also checks the paper's 2-D vs 3-D comparison: "results for the 3D case for
+all the metrics have the same pattern as the 2D case but a larger
+magnitude ... larger by two to three times".
+"""
+
+from benchmarks.conftest import (
+    assert_metric_ordering,
+    assert_small_fraction,
+    by_query,
+)
+from repro.experiments import fig09_q1_2d, fig12_q1_3d
+
+
+def test_fig12_q1_3d(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig12_q1_3d.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    assert_metric_ordering(result.rows)
+    assert_small_fraction(result.rows, limit=0.6)
+    assert len(by_query(result)) == 6
+
+    # 3-D magnitudes exceed 2-D ones for comparable workloads (more, smaller
+    # clusters on a longer curve).  Compare mean processing nodes per match
+    # at the largest size.
+    q1_2d = fig09_q1_2d.run(scale=bench_scale)
+    largest = max(r["nodes"] for r in result.rows)
+
+    def mean_processing(rows):
+        vals = [r["processing_nodes"] for r in rows if r["nodes"] == largest]
+        return sum(vals) / len(vals)
+
+    assert mean_processing(result.rows) > 0.8 * mean_processing(q1_2d.rows)

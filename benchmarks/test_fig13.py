@@ -1,0 +1,18 @@
+"""Benchmark: Figure 13 — all metrics, 3-D, two system snapshots."""
+
+from benchmarks.conftest import assert_metric_ordering
+from repro.experiments import fig13_metrics_3d
+
+
+def test_fig13_metrics_3d(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig13_metrics_3d.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    assert_metric_ordering(result.rows)
+    assert len({row["nodes"] for row in result.rows}) == 2
+    for row in result.rows:
+        assert row["routing_nodes"] < row["nodes"]
+        assert row["messages"] <= 6 * max(row["processing_nodes"], 1)

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 14 — Q2 queries, 3-D keyword space."""
+
+from benchmarks.conftest import assert_metric_ordering, by_query
+from repro.experiments import fig12_q1_3d, fig14_q2_3d
+
+
+def test_fig14_q2_3d(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig14_q2_3d.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    assert_metric_ordering(result.rows)
+    assert len(by_query(result)) == 5
+
+    # Q2 beats Q1 in 3-D as well (pruning works when more keywords are known).
+    q1 = fig12_q1_3d.run(scale=bench_scale)
+    largest = max(r["nodes"] for r in result.rows)
+    q2_proc = [r["processing_nodes"] for r in result.rows if r["nodes"] == largest]
+    q1_proc = [r["processing_nodes"] for r in q1.rows if r["nodes"] == largest]
+    assert sum(q2_proc) / len(q2_proc) < sum(q1_proc) / len(q1_proc)

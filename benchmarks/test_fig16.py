@@ -1,0 +1,18 @@
+"""Benchmark: Figure 16 — all metrics for range queries, two snapshots."""
+
+from benchmarks.conftest import assert_metric_ordering
+from repro.experiments import fig16_metrics_range
+
+
+def test_fig16_metrics_range(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig16_metrics_range.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    assert_metric_ordering(result.rows)
+    assert len({row["nodes"] for row in result.rows}) == 2
+    for row in result.rows:
+        assert row["routing_nodes"] < row["nodes"]
+        assert row["processing_nodes"] < row["nodes"] / 2

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 17 — (range, range, range) queries."""
+
+from benchmarks.conftest import assert_metric_ordering, by_query
+from repro.experiments import fig17_range_rrr
+
+
+def test_fig17_full_range(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig17_range_rrr.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    assert_metric_ordering(result.rows)
+    groups = by_query(result)
+    assert len(groups) == 5  # the paper's five queries
+    for rows in groups.values():
+        assert all(r["matches"] >= 1 for r in rows)
+        # The processing fraction stays bounded as the system grows.
+        for r in rows:
+            assert r["processing_nodes"] <= 0.6 * r["nodes"] + 8

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 18 — key distribution over the index space."""
+
+import numpy as np
+
+from repro.experiments import fig18_key_distribution
+
+
+def test_fig18_key_distribution(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig18_key_distribution.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    for note in result.notes:
+        print("fig18:", note)
+
+    counts = np.array(result.series("keys"), dtype=float)
+    assert len(counts) == 500  # the paper's 500 intervals
+
+    # The paper's point: "the original distribution is not uniform".
+    assert counts.max() > 5 * counts.mean()
+    # Dense and empty regions coexist.
+    assert np.sum(counts == 0) > 10
+    # Sanity: the histogram accounts for every key.
+    assert counts.sum() > 0

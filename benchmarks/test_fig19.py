@@ -1,0 +1,34 @@
+"""Benchmark: Figure 19 — load distribution under the balancing schemes."""
+
+import numpy as np
+
+from repro.experiments import fig19_load_balance
+from repro.util.stats import coefficient_of_variation
+
+
+def test_fig19_load_balance(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig19_load_balance.run, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    for note in result.notes:
+        print("fig19:", note)
+
+    loads = {
+        variant: [
+            row["load"] for row in result.rows if row["variant"] == variant
+        ]
+        for variant in fig19_load_balance.VARIANTS
+    }
+    cov = {v: coefficient_of_variation(l) for v, l in loads.items()}
+
+    # Total keys conserved across variants.
+    totals = {v: sum(l) for v, l in loads.items()}
+    assert len(set(totals.values())) == 1
+
+    # Paper Figure 19: join-time balancing clearly improves on the raw
+    # distribution, and adding runtime balancing improves it further,
+    # approaching an even distribution.
+    assert cov["join"] < cov["none"]
+    assert cov["join+runtime"] < cov["join"]
+    assert max(loads["join+runtime"]) < max(loads["none"])

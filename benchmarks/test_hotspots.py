@@ -1,0 +1,54 @@
+"""Extension bench: hot-spot mitigation via result caching (paper §5).
+
+Measures a Zipf-repeating query stream with and without the caching layer:
+total messages, hottest-node load, and hit rate.
+"""
+
+import numpy as np
+
+from repro.core.hotspots import CachingQueryLayer, HotspotMonitor
+from repro import SquidSystem
+from repro.workloads.documents import DocumentWorkload
+from repro.workloads.queries import q1_queries
+
+
+def test_hotspot_caching(benchmark):
+    workload = DocumentWorkload.generate(2, 5000, vocabulary_size=1200, bits=16, rng=0)
+    system = SquidSystem.create(workload.space, n_nodes=200, seed=1)
+    system.publish_many(workload.keys)
+    base_queries = [str(q) for q in q1_queries(workload, count=8, rng=2)]
+    rng = np.random.default_rng(3)
+    weights = np.array([1 / (i + 1) for i in range(len(base_queries))])
+    weights /= weights.sum()
+    stream = [base_queries[i] for i in rng.choice(len(base_queries), size=150, p=weights)]
+
+    def measure():
+        plain_monitor = HotspotMonitor()
+        plain_msgs = 0
+        for q in stream:
+            result = system.query(q, rng=4)
+            plain_monitor.record(result.stats)
+            plain_msgs += result.stats.messages
+
+        layer = CachingQueryLayer(system)
+        cached_msgs = 0
+        for q in stream:
+            cached_msgs += layer.query(q, rng=4).stats.messages
+        return (
+            plain_msgs,
+            cached_msgs,
+            plain_monitor.max_load(),
+            layer.monitor.max_load(),
+            layer.stats.hit_rate,
+        )
+
+    plain_msgs, cached_msgs, plain_hot, cached_hot, hit_rate = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print(
+        f"\n150-query Zipf stream: messages {plain_msgs} -> {cached_msgs} "
+        f"(hit rate {hit_rate:.0%}); hottest node load {plain_hot} -> {cached_hot}"
+    )
+    assert hit_rate > 0.8
+    assert cached_msgs < plain_msgs / 2
+    assert cached_hot <= plain_hot

@@ -1,0 +1,70 @@
+"""Overlay maintenance costs (paper §3.2: joins/departures are O(log N)).
+
+Measures the message cost of joins, graceful departures, and stabilization
+rounds across ring sizes, asserting the paper's logarithmic scaling claims.
+"""
+
+import numpy as np
+
+from repro.overlay.chord import ChordRing
+
+
+def _mean_join_cost(n_nodes, bits, n_joins, seed):
+    ring = ChordRing.with_random_ids(bits, n_nodes, rng=seed)
+    rng = np.random.default_rng(seed + 1)
+    costs = []
+    while len(costs) < n_joins:
+        node_id = int(rng.integers(0, ring.space))
+        if node_id in ring.nodes:
+            continue
+        costs.append(ring.join(node_id))
+    return float(np.mean(costs))
+
+
+def _mean_leave_cost(n_nodes, bits, n_leaves, seed):
+    ring = ChordRing.with_random_ids(bits, n_nodes, rng=seed)
+    rng = np.random.default_rng(seed + 1)
+    costs = []
+    for _ in range(n_leaves):
+        ids = ring.node_ids()
+        costs.append(ring.leave(ids[int(rng.integers(0, len(ids)))]))
+    return float(np.mean(costs))
+
+
+def test_join_cost_scales_logarithmically(benchmark):
+    def measure():
+        return [_mean_join_cost(n, 24, 30, seed=0) for n in (100, 400, 1600)]
+
+    costs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nmean join cost at N=100/400/1600: {[f'{c:.1f}' for c in costs]}")
+    # 16x more nodes: cost grows far slower than linearly (paper: O(log N)
+    # routing plus the affected finger entries).
+    assert costs[2] < costs[0] * 6
+
+
+def test_leave_cost_scales_logarithmically(benchmark):
+    def measure():
+        return [_mean_leave_cost(n, 24, 30, seed=1) for n in (100, 400, 1600)]
+
+    costs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nmean leave cost at N=100/400/1600: {[f'{c:.1f}' for c in costs]}")
+    assert costs[2] < costs[0] * 6
+
+
+def test_stabilization_cost_bounded(benchmark):
+    """One stabilization step per node costs O(log N) messages."""
+
+    def measure():
+        ring = ChordRing.with_random_ids(20, 500, rng=2)
+        rng = np.random.default_rng(3)
+        # Knock out some nodes to give stabilization real work.
+        for victim in rng.choice(ring.node_ids(), size=50, replace=False):
+            ring.fail(int(victim))
+        total = 0
+        for node_id in ring.node_ids():
+            total += ring.stabilize_node(node_id, rng)
+        return total / len(ring)
+
+    per_node = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nmean stabilization cost per node: {per_node:.2f} messages")
+    assert per_node < 2 * np.log2(450)

@@ -1,0 +1,44 @@
+"""Extension bench: proximity neighbor selection (geographic locality, §5).
+
+Compares lookup latency and hop counts between classic Chord fingers and
+PNS fingers over the same membership and latency model.
+"""
+
+import numpy as np
+
+from repro.overlay.chord import ChordRing
+from repro.overlay.proximity import LatencyModel, ProximityChordRing
+
+
+def test_pns_latency_saving(benchmark):
+    bits, n_nodes, lookups = 18, 500, 300
+
+    def measure():
+        plain = ChordRing.with_random_ids(bits, n_nodes, rng=0)
+        ids = plain.node_ids()
+        model = LatencyModel.random(ids, rng=1)
+        pns = ProximityChordRing.build_with_model(bits, ids, model=model, candidates=8)
+        rng = np.random.default_rng(2)
+        plain_lat = pns_lat = 0.0
+        plain_hops = pns_hops = 0
+        for _ in range(lookups):
+            source = ids[rng.integers(0, len(ids))]
+            key = int(rng.integers(0, plain.space))
+            p = plain.route(source, key)
+            q = pns.route(source, key)
+            assert p.destination == q.destination
+            plain_lat += model.path_latency(p.path)
+            pns_lat += model.path_latency(q.path)
+            plain_hops += p.hops
+            pns_hops += q.hops
+        return plain_lat / lookups, pns_lat / lookups, plain_hops / lookups, pns_hops / lookups
+
+    plain_lat, pns_lat, plain_hops, pns_hops = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print(
+        f"\nmean lookup latency: chord={plain_lat:.1f} pns={pns_lat:.1f} "
+        f"({1 - pns_lat / plain_lat:.0%} saved); hops {plain_hops:.1f} -> {pns_hops:.1f}"
+    )
+    assert pns_lat < plain_lat * 0.9  # at least 10% latency saving
+    assert pns_hops <= 2 * plain_hops + 1

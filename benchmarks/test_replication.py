@@ -1,0 +1,61 @@
+"""Extension bench: successor-list replication under crash bursts (paper §5
+fault-tolerance future work).
+
+Compares data survival with and without replication while a fraction of the
+ring crashes, and reports the replication overhead.
+"""
+
+import numpy as np
+
+from repro.core.replication import ReplicationManager
+from repro import SquidSystem
+from repro.workloads.documents import DocumentWorkload
+
+CRASH_FRACTION = 0.15
+
+
+def _crash_burst(system, manager, rng):
+    victims = rng.choice(
+        system.overlay.node_ids(),
+        size=int(CRASH_FRACTION * len(system.overlay)),
+        replace=False,
+    )
+    for victim in victims:
+        if manager is None:
+            system.overlay.fail(int(victim))
+            system.stores.pop(int(victim))
+        else:
+            successor = system.overlay.successor_id(int(victim))
+            manager.crash(int(victim))
+            manager.repair_around(successor)
+
+
+def test_replication_survives_crash_burst(benchmark):
+    workload = DocumentWorkload.generate(2, 3000, vocabulary_size=1000, bits=16, rng=0)
+
+    def measure():
+        plain = SquidSystem.create(workload.space, n_nodes=120, seed=1)
+        plain.publish_many(workload.keys)
+        total = plain.total_elements()
+        _crash_burst(plain, None, np.random.default_rng(2))
+        lost_plain = total - plain.total_elements()
+
+        replicated = SquidSystem.create(workload.space, n_nodes=120, seed=1)
+        replicated.publish_many(workload.keys)
+        manager = ReplicationManager(replicated, degree=2)
+        overhead = manager.replica_count()
+        _crash_burst(replicated, manager, np.random.default_rng(2))
+        lost_replicated = total - replicated.total_elements()
+        return total, lost_plain, lost_replicated, overhead
+
+    total, lost_plain, lost_repl, overhead = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print(
+        f"\ncrash burst ({CRASH_FRACTION:.0%} of peers): without replication "
+        f"{lost_plain}/{total} elements lost; with degree-2 replication "
+        f"{lost_repl}/{total} lost (storage overhead {overhead} replicas)"
+    )
+    assert lost_plain > 0
+    assert lost_repl == 0
+    assert overhead == 2 * total

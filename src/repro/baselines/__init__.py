@@ -1,0 +1,22 @@
+"""Comparison systems: flooding, inverted index, inverse-SFC/CAN."""
+
+from repro.baselines.flooding import FloodingNetwork, FloodingStats
+from repro.baselines.inverted import (
+    InvertedIndexStats,
+    InvertedIndexSystem,
+    UnsupportedQueryError,
+)
+from repro.baselines.isfc_can import InverseSfcCanSystem, RangeQueryStats
+from repro.baselines.kss import KeywordSetStats, KeywordSetSystem
+
+__all__ = [
+    "KeywordSetSystem",
+    "KeywordSetStats",
+    "FloodingNetwork",
+    "FloodingStats",
+    "InvertedIndexSystem",
+    "InvertedIndexStats",
+    "UnsupportedQueryError",
+    "InverseSfcCanSystem",
+    "RangeQueryStats",
+]

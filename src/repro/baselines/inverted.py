@@ -1,0 +1,152 @@
+"""Distributed inverted-index keyword search over plain Chord (paper §2).
+
+The "structured keyword search" class the paper compares against (Gnawali's
+Keyword-Set System, PeerSearch): each keyword is consistently hashed to a
+Chord node that stores the posting list of keys containing it.  Multi-keyword
+queries route to each keyword's node and intersect posting lists.
+
+What this baseline shows, relative to Squid:
+
+* exact whole-keyword search works and is cheap (O(#keywords · log N));
+* but posting lists are transferred for intersection (Squid retrieves only
+  elements matching *all* keywords, because placement uses all keywords);
+* and partial keywords, wildcards, and ranges are **unsupported** — hashing
+  destroys the locality Squid's SFC preserves.  These raise
+  :class:`UnsupportedQueryError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import EngineError
+from repro.keywords.query import Exact, Query, Wildcard
+from repro.keywords.space import KeywordSpace
+from repro.overlay.chord import ChordRing
+from repro.util.rng import RandomLike, as_generator
+
+__all__ = ["UnsupportedQueryError", "InvertedIndexStats", "InvertedIndexSystem"]
+
+
+class UnsupportedQueryError(EngineError):
+    """The inverted-index baseline cannot express this query."""
+
+
+@dataclass
+class InvertedIndexStats:
+    """Cost accounting of one inverted-index query."""
+
+    messages: int
+    hops: int
+    nodes_contacted: int
+    entries_transferred: int
+    matches: int
+
+
+def _hash_keyword(keyword: str, bits: int) -> int:
+    digest = hashlib.sha1(keyword.encode("utf-8")).digest()
+    return int.from_bytes(digest, "big") % (1 << bits)
+
+
+class InvertedIndexSystem:
+    """Keyword posting lists over a Chord ring."""
+
+    def __init__(
+        self,
+        space: KeywordSpace,
+        n_nodes: int,
+        bits: int = 32,
+        rng: RandomLike = None,
+    ) -> None:
+        self.space = space
+        self.rng = as_generator(rng)
+        self.overlay = ChordRing.with_random_ids(bits, n_nodes, rng=self.rng)
+        self.bits = bits
+        # node id -> keyword -> set of full keys containing that keyword
+        self.postings: dict[int, dict[str, set[tuple]]] = {
+            nid: {} for nid in self.overlay.node_ids()
+        }
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, key: Sequence[Any]) -> int:
+        """Insert the key into every keyword's posting list; returns messages."""
+        normalized = self.space.validate_key(key)
+        messages = 0
+        for keyword in normalized:
+            node = self.overlay.owner(_hash_keyword(str(keyword), self.bits))
+            self.postings[node].setdefault(str(keyword), set()).add(normalized)
+            messages += 1  # one insert message routed per keyword
+        return messages
+
+    def publish_many(self, keys: Sequence[Sequence[Any]]) -> int:
+        return sum(self.publish(key) for key in keys)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def query(self, query, origin: int | None = None) -> tuple[list[tuple], InvertedIndexStats]:
+        """Resolve an exact multi-keyword query by posting-list intersection.
+
+        Wildcards are allowed (they simply don't constrain), but partial
+        keywords and ranges raise :class:`UnsupportedQueryError` — the
+        baseline's fundamental limitation the paper calls out.
+        """
+        q = self.space.as_query(query)
+        keywords = []
+        for i, term in enumerate(q.terms):
+            if isinstance(term, Wildcard):
+                continue
+            if not isinstance(term, Exact):
+                raise UnsupportedQueryError(
+                    f"inverted index cannot resolve term {term} "
+                    "(partial keywords/ranges need locality, which hashing destroys)"
+                )
+            keywords.append((i, str(self.space.dimensions[i].validate(term.value))))
+        if not keywords:
+            raise UnsupportedQueryError(
+                "inverted index cannot enumerate the whole corpus "
+                "(no keyword specified)"
+            )
+        ids = self.overlay.node_ids()
+        if origin is None:
+            origin = ids[int(self.rng.integers(0, len(ids)))]
+
+        messages = 0
+        hops = 0
+        contacted = []
+        lists: list[tuple[int, set[tuple]]] = []
+        for position, keyword in keywords:
+            node = self.overlay.owner(_hash_keyword(keyword, self.bits))
+            route = self.overlay.route(origin, _hash_keyword(keyword, self.bits))
+            messages += 1
+            hops += route.hops
+            contacted.append(node)
+            posting = self.postings[node].get(keyword, set())
+            # Only keys whose *position* matches count (the posting list is
+            # per keyword; position filtering happens at the requester).
+            filtered = {key for key in posting if str(key[position]) == keyword}
+            lists.append((position, filtered))
+
+        # Intersection strategy: every contacted node ships its (filtered)
+        # posting list back to the requester; each reply is one message and
+        # transfers the list entries.
+        entries = 0
+        result: set[tuple] | None = None
+        for _, posting in sorted(lists, key=lambda item: len(item[1])):
+            messages += 1  # the posting-list reply
+            hops += 1
+            entries += len(posting)
+            result = posting if result is None else (result & posting)
+        matches = sorted(result) if result else []
+        stats = InvertedIndexStats(
+            messages=messages,
+            hops=hops,
+            nodes_contacted=len(set(contacted)),
+            entries_transferred=entries,
+            matches=len(matches),
+        )
+        return list(matches), stats

@@ -1,0 +1,159 @@
+"""Andrzejak & Xu's inverse-SFC range discovery over CAN (paper ref. [1]).
+
+The one prior SFC-based P2P discovery system the paper discusses: a *single*
+resource attribute (e.g. free memory) is mapped through the **inverse**
+Hilbert curve from its 1-d value domain into CAN's d-dimensional zone space;
+a range query becomes a connected region of that space, resolved by flooding
+among the zones it touches.
+
+Contrast with Squid (paper §2): this design indexes one attribute per
+deployment ("to map a resource to peers based on a single attribute"),
+whereas Squid encodes *all* keywords/attributes of the d-dimensional keyword
+space into one index and can search on any combination.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import KeywordError
+from repro.keywords.dimensions import NumericDimension
+from repro.overlay.can import CanOverlay, Zone
+from repro.sfc.regions import Region
+from repro.sfc.clusters import resolve_clusters
+from repro.util.rng import RandomLike, as_generator
+
+__all__ = ["RangeQueryStats", "InverseSfcCanSystem"]
+
+
+@dataclass
+class RangeQueryStats:
+    """Cost accounting of one range query."""
+
+    messages: int
+    nodes_visited: int
+    data_nodes: int
+    matches: int
+
+
+class InverseSfcCanSystem:
+    """Single-attribute range discovery via inverse Hilbert over CAN."""
+
+    def __init__(
+        self,
+        attribute: NumericDimension,
+        n_nodes: int,
+        bits: int = 16,
+        can_dims: int = 2,
+        rng: RandomLike = None,
+    ) -> None:
+        self.attribute = attribute
+        self.bits = bits
+        self.rng = as_generator(rng)
+        self.overlay = CanOverlay(bits, can_dims)
+        for _ in range(n_nodes):
+            self.overlay.join(self.rng)
+        # node id -> list of (value, payload)
+        self.stores: dict[int, list[tuple[float, Any]]] = {
+            nid: [] for nid in self.overlay.node_ids()
+        }
+        self._zone_ranges: dict[Zone, list[tuple[int, int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.overlay.node_ids())
+
+    # ------------------------------------------------------------------
+    # Value geometry
+    # ------------------------------------------------------------------
+    def index_of(self, value: float) -> int:
+        """1-d curve index of an attribute value."""
+        return self.attribute.encode(value, self.bits)
+
+    def _zone_index_ranges(self, zone: Zone) -> list[tuple[int, int]]:
+        """The curve-index intervals whose inverse image lies in the zone."""
+        cached = self._zone_ranges.get(zone)
+        if cached is None:
+            region = Region.from_bounds(list(zip(zone.lows, zone.highs)))
+            cached = resolve_clusters(self.overlay.curve, region)
+            self._zone_ranges[zone] = cached
+        return cached
+
+    def _zone_intersects(self, zone: Zone, low: int, high: int) -> bool:
+        return any(
+            not (hi < low or high < lo) for lo, hi in self._zone_index_ranges(zone)
+        )
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, value: float, payload: Any = None) -> int:
+        """Store a resource advertisement at the zone owning its image."""
+        v = self.attribute.validate(value)
+        node = self.overlay.owner(self.index_of(v))
+        self.stores[node].append((v, payload))
+        return node
+
+    def publish_many(self, values) -> None:
+        for value in values:
+            self.publish(value)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def query_range(
+        self,
+        low: float | None,
+        high: float | None,
+        origin: int | None = None,
+    ) -> tuple[list[tuple[float, Any]], RangeQueryStats]:
+        """All advertised values in ``[low, high]`` (None ends are open).
+
+        Routes to the zone owning the range's low end, then floods among
+        face-adjacent zones whose inverse-curve image intersects the range —
+        the continuity of the Hilbert curve guarantees those zones form a
+        connected patch, so local flooding reaches them all.
+        """
+        lo_v = self.attribute.minimum if low is None else self.attribute.validate(low)
+        hi_v = self.attribute.maximum if high is None else self.attribute.validate(high)
+        if lo_v > hi_v:
+            raise KeywordError(f"empty range [{lo_v}, {hi_v}]")
+        lo_idx, hi_idx = self.index_of(lo_v), self.index_of(hi_v)
+
+        ids = self.overlay.node_ids()
+        if origin is None:
+            origin = ids[int(self.rng.integers(0, len(ids)))]
+        entry_route = self.overlay.route(origin, lo_idx)
+        messages = entry_route.hops
+        entry = entry_route.destination
+
+        matches: list[tuple[float, Any]] = []
+        data_nodes = 0
+        visited = {entry}
+        frontier = deque([entry])
+        while frontier:
+            node = frontier.popleft()
+            found = [
+                (v, p) for v, p in self.stores[node] if lo_v <= v <= hi_v
+            ]
+            if found:
+                matches.extend(found)
+                data_nodes += 1
+            for neighbor in self.overlay.neighbors(node):
+                if neighbor in visited:
+                    continue
+                if any(
+                    self._zone_intersects(zone, lo_idx, hi_idx)
+                    for zone in self.overlay.zones[neighbor]
+                ):
+                    visited.add(neighbor)
+                    messages += 1
+                    frontier.append(neighbor)
+        stats = RangeQueryStats(
+            messages=messages,
+            nodes_visited=len(visited),
+            data_nodes=data_nodes,
+            matches=len(matches),
+        )
+        return matches, stats

@@ -1,0 +1,156 @@
+"""Keyword-Set System baseline (Gnawali, MIT 2002 — paper ref [7]).
+
+KSS is the paper's other structured keyword-search comparator: instead of
+one posting list per keyword (the inverted index), it builds posting lists
+for keyword *sets* up to a fixed size.  A multi-keyword query whose
+keywords fit in one set needs a **single lookup** and transfers only
+already-intersected entries — at the cost of publishing every subset
+(storage and insert traffic grow combinatorially with the set size).
+
+Relative to Squid the limitation is the same as the inverted index's:
+hashing keyword sets destroys locality, so partial keywords, wildcards and
+ranges are unsupported.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any, Sequence
+
+from repro.baselines.inverted import UnsupportedQueryError
+from repro.errors import EngineError
+from repro.keywords.query import Exact, Wildcard
+from repro.keywords.space import KeywordSpace
+from repro.overlay.chord import ChordRing
+from repro.util.rng import RandomLike, as_generator
+
+__all__ = ["KeywordSetStats", "KeywordSetSystem"]
+
+
+@dataclass
+class KeywordSetStats:
+    """Cost accounting of one KSS query."""
+
+    messages: int
+    hops: int
+    entries_transferred: int
+    matches: int
+    set_size_used: int
+
+
+def _hash_set(keywords: tuple[tuple[int, str], ...], bits: int) -> int:
+    # Position-tagged keywords so ("a", *) and (*, "a") hash apart.
+    text = "|".join(f"{pos}:{word}" for pos, word in keywords)
+    digest = hashlib.sha1(text.encode("utf-8")).digest()
+    return int.from_bytes(digest, "big") % (1 << bits)
+
+
+class KeywordSetSystem:
+    """Posting lists per keyword subset over a Chord ring."""
+
+    def __init__(
+        self,
+        space: KeywordSpace,
+        n_nodes: int,
+        set_size: int = 2,
+        bits: int = 32,
+        rng: RandomLike = None,
+    ) -> None:
+        if set_size < 1:
+            raise EngineError(f"set_size must be >= 1, got {set_size}")
+        self.space = space
+        self.set_size = set_size
+        self.bits = bits
+        self.rng = as_generator(rng)
+        self.overlay = ChordRing.with_random_ids(bits, n_nodes, rng=self.rng)
+        # node id -> frozen keyword-set -> set of full keys
+        self.postings: dict[int, dict[tuple, set[tuple]]] = {
+            nid: {} for nid in self.overlay.node_ids()
+        }
+        self.publish_messages = 0
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def _subsets(self, key: tuple) -> list[tuple[tuple[int, str], ...]]:
+        tagged = tuple((i, str(v)) for i, v in enumerate(key))
+        out = []
+        for size in range(1, min(self.set_size, len(tagged)) + 1):
+            out.extend(combinations(tagged, size))
+        return out
+
+    def publish(self, key: Sequence[Any]) -> int:
+        """Insert the key under every keyword subset; returns messages."""
+        normalized = self.space.validate_key(key)
+        messages = 0
+        for subset in self._subsets(normalized):
+            node = self.overlay.owner(_hash_set(subset, self.bits))
+            self.postings[node].setdefault(subset, set()).add(normalized)
+            messages += 1
+        self.publish_messages += messages
+        return messages
+
+    def publish_many(self, keys: Sequence[Sequence[Any]]) -> int:
+        return sum(self.publish(key) for key in keys)
+
+    def storage_entries(self) -> int:
+        """Total posting entries stored (the KSS space overhead)."""
+        return sum(
+            len(keys) for node in self.postings.values() for keys in node.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def query(
+        self, query, origin: int | None = None
+    ) -> tuple[list[tuple], KeywordSetStats]:
+        """Resolve an exact multi-keyword query with one set lookup.
+
+        The largest ``set_size`` specified keywords form the lookup set; any
+        remaining specified keywords are filtered at the requester.
+        """
+        q = self.space.as_query(query)
+        specified: list[tuple[int, str]] = []
+        for i, term in enumerate(q.terms):
+            if isinstance(term, Wildcard):
+                continue
+            if not isinstance(term, Exact):
+                raise UnsupportedQueryError(
+                    f"keyword-set system cannot resolve term {term}"
+                )
+            specified.append((i, str(self.space.dimensions[i].validate(term.value))))
+        if not specified:
+            raise UnsupportedQueryError("keyword-set system needs at least one keyword")
+
+        lookup = tuple(specified[: self.set_size])
+        rest = specified[self.set_size :]
+
+        ids = self.overlay.node_ids()
+        if origin is None:
+            origin = ids[int(self.rng.integers(0, len(ids)))]
+        target = _hash_set(lookup, self.bits)
+        route = self.overlay.route(origin, target)
+        node = route.destination
+        posting = self.postings[node].get(lookup, set())
+        # Position filter for the looked-up set happens at the posting node.
+        candidates = {
+            key
+            for key in posting
+            if all(str(key[pos]) == word for pos, word in lookup)
+        }
+        matches = sorted(
+            key
+            for key in candidates
+            if all(str(key[pos]) == word for pos, word in rest)
+        )
+        stats = KeywordSetStats(
+            messages=2,  # the lookup + the posting-list reply
+            hops=route.hops + 1,
+            entries_transferred=len(candidates),
+            matches=len(matches),
+            set_size_used=len(lookup),
+        )
+        return list(matches), stats

@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``
+    List the reproduced figures and their titles.
+``run FIGURE [--scale S] [--seed N]``
+    Run one figure and print its table.
+``report [--scale S] [--figures f1,f2] [--output PATH]``
+    Run all figures, check the paper's shape claims, emit markdown.
+``demo``
+    A 30-second end-to-end demonstration (publish + flexible queries).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to a subcommand; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Squid (HPDC'03) reproduction: flexible P2P information discovery",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="list reproduced figures")
+
+    run_p = sub.add_parser("run", help="run one figure or extension")
+    run_p.add_argument("figure", help="figure id, e.g. fig09 or extA")
+    run_p.add_argument("--scale", default="small", choices=["small", "medium", "full"])
+    run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+
+    repl_p = sub.add_parser("replicate", help="run a figure across several seeds")
+    repl_p.add_argument("figure", help="figure id, e.g. fig09")
+    repl_p.add_argument("--scale", default="small", choices=["small", "medium", "full"])
+    repl_p.add_argument("--seeds", default="1,2,3", help="comma-separated seeds")
+
+    rep_p = sub.add_parser("report", help="run all figures, emit markdown report")
+    rep_p.add_argument("--scale", default="small", choices=["small", "medium", "full"])
+    rep_p.add_argument("--figures", default=None, help="comma-separated subset")
+    rep_p.add_argument("--output", default=None, help="write report to this path")
+
+    sub.add_parser("demo", help="end-to-end demonstration")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "figures":
+        return _cmd_figures()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "replicate":
+        return _cmd_replicate(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "demo":
+        return _cmd_demo()
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_figures() -> int:
+    from repro.experiments import EXTENSIONS, FIGURES
+    from repro.experiments.report import _PAPER_CLAIMS
+
+    print("Paper figures:")
+    for name in sorted(FIGURES):
+        print(f"  {name}: {_PAPER_CLAIMS.get(name, '')}")
+    print("Extension experiments:")
+    for name in sorted(EXTENSIONS):
+        print(f"  {name}: {_PAPER_CLAIMS.get(name, '')}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments import run_figure
+
+    kwargs = {"scale": args.scale}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    result = run_figure(args.figure, **kwargs)
+    print(result.to_csv() if args.csv else result.to_text())
+    return 0
+
+
+def _cmd_replicate(args) -> int:
+    from repro.experiments.replicate import replicate_figure
+
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    result = replicate_figure(args.figure, seeds=seeds, scale=args.scale)
+    print(result.to_text())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    figures = args.figures.split(",") if args.figures else None
+    report = generate_report(scale=args.scale, figures=figures)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_demo() -> int:
+    from repro import KeywordSpace, SquidSystem, WordDimension
+
+    space = KeywordSpace([WordDimension("kw1"), WordDimension("kw2")], bits=16)
+    system = SquidSystem.create(space, n_nodes=64, seed=42)
+    docs = [
+        (("computer", "network"), "doc-net"),
+        (("computer", "netbook"), "doc-netbook"),
+        (("computation", "theory"), "doc-theory"),
+        (("database", "network"), "doc-db"),
+    ]
+    for key, payload in docs:
+        system.publish(key, payload=payload)
+    print(f"{len(docs)} documents on {len(system.overlay)} peers")
+    for query in ["(computer, network)", "(comp*, *)", "(*, net*)"]:
+        result = system.query(query, rng=0)
+        payloads = sorted(e.payload for e in result.matches)
+        print(
+            f"{query:24s} -> {payloads} "
+            f"[{result.stats.messages} msgs, "
+            f"{result.stats.processing_node_count} peers]"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The Squid core: system assembly, query engines, metrics, load balancing."""
+
+from repro.core.adversary import AdversarialEngine, run_attack_experiment
+from repro.core.engine import NaiveEngine, OptimizedEngine, QueryEngine, make_engine
+from repro.core.hotspots import CachingQueryLayer, HotspotMonitor
+from repro.core.snapshot import load_system, save_system
+from repro.core.loadbalance import (
+    VirtualNodeManager,
+    grow_with_join_lb,
+    neighbor_balance_round,
+    run_neighbor_balancing,
+    sample_join_id,
+)
+from repro.core.metrics import QueryResult, QueryStats
+from repro.core.replication import ReplicationManager
+from repro.core.system import SquidSystem
+
+__all__ = [
+    "SquidSystem",
+    "QueryEngine",
+    "OptimizedEngine",
+    "NaiveEngine",
+    "make_engine",
+    "QueryResult",
+    "QueryStats",
+    "sample_join_id",
+    "grow_with_join_lb",
+    "neighbor_balance_round",
+    "run_neighbor_balancing",
+    "VirtualNodeManager",
+    "ReplicationManager",
+    "AdversarialEngine",
+    "run_attack_experiment",
+    "CachingQueryLayer",
+    "HotspotMonitor",
+    "save_system",
+    "load_system",
+]

@@ -1,0 +1,205 @@
+"""Hot-spot mitigation via result caching — paper future work (§5).
+
+Popular queries in a discovery system follow their own Zipf law; without
+mitigation the peers owning popular index regions absorb the load of every
+repetition ("hot-spots").  The standard DHT remedy (consistent-hashing
+caching, the paper's reference [9]) caches a query's result at a well-known
+*home* node so repetitions short-circuit before fanning out.
+
+:class:`CachingQueryLayer` implements that protocol over a live system:
+
+* every query has a deterministic **home** — the successor of its covering
+  region's first curve index (the same node the first sub-query visits);
+* a cache **hit** costs one routed message to the home plus the reply;
+* a **miss** runs the full distributed engine and installs the result at
+  the home node (one extra message);
+* publishes bump a global version; stale entries miss and are refreshed —
+  results therefore stay exact under writes.
+
+:class:`HotspotMonitor` tracks per-node processing load over a query stream
+so the mitigation's effect on the maximum node load is measurable (see
+``benchmarks/test_hotspots.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.metrics import QueryResult, QueryStats
+from repro.core.system import SquidSystem
+from repro.errors import EngineError
+from repro.util.rng import RandomLike, as_generator
+
+__all__ = ["CacheStats", "HotspotMonitor", "CachingQueryLayer"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stale_refreshes: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class HotspotMonitor:
+    """Per-node processing-load accounting over a stream of queries."""
+
+    processing_load: dict[int, int] = field(default_factory=dict)
+
+    def record(self, stats: QueryStats) -> None:
+        for node_id in stats.processing_nodes:
+            self.processing_load[node_id] = self.processing_load.get(node_id, 0) + 1
+
+    def max_load(self) -> int:
+        return max(self.processing_load.values(), default=0)
+
+    def total_load(self) -> int:
+        return sum(self.processing_load.values())
+
+    def hottest(self, count: int = 5) -> list[tuple[int, int]]:
+        """The ``count`` most loaded nodes as ``(node_id, load)`` pairs."""
+        ranked = sorted(self.processing_load.items(), key=lambda kv: -kv[1])
+        return ranked[:count]
+
+
+@dataclass
+class _CacheEntry:
+    version: int
+    matches: list
+    uses: int = 0
+
+
+class CachingQueryLayer:
+    """Query-result caching at deterministic home nodes.
+
+    ``replicas > 1`` spreads each query's cache over that many consecutive
+    homes (the primary home and its ring successors): requesters pick one
+    pseudo-randomly, so even the cache of a very hot query no longer
+    concentrates on a single peer (consistent-hashing caching, the paper's
+    reference [9]).
+    """
+
+    def __init__(
+        self,
+        system: SquidSystem,
+        capacity_per_node: int = 64,
+        replicas: int = 1,
+    ) -> None:
+        if capacity_per_node < 1:
+            raise EngineError("capacity_per_node must be >= 1")
+        if replicas < 1:
+            raise EngineError("replicas must be >= 1")
+        self.system = system
+        self.capacity = capacity_per_node
+        self.replicas = replicas
+        self.stats = CacheStats()
+        self.monitor = HotspotMonitor()
+        self._caches: dict[int, dict[str, _CacheEntry]] = {}
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def publish(self, key, payload: Any = None):
+        """Publish through the system, invalidating cached results."""
+        self._version += 1
+        return self.system.publish(key, payload=payload)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def home_of(self, query) -> int:
+        """The deterministic cache home of a query.
+
+        The home is the owner of the query's first level-1 cluster — the
+        first node the distributed resolution visits anyway, so a miss adds
+        no detour and a hit stops exactly where the fan-out would begin.
+        """
+        from repro.sfc.clusters import refine_cluster, root_cluster
+
+        q = self.system.space.as_query(query)
+        region = self.system.space.region(q)
+        curve = self.system.curve
+        root = root_cluster(curve, region)
+        assert root is not None
+        first = refine_cluster(curve, root, region, min_index=0)
+        anchor = first[0] if first else root
+        return self.system.overlay.owner(anchor.min_index(curve))
+
+    def homes_of(self, query) -> list[int]:
+        """All cache homes: the primary and its ``replicas - 1`` successors."""
+        primary = self.home_of(query)
+        homes = [primary]
+        current = primary
+        for _ in range(self.replicas - 1):
+            current = self.system.overlay.successor_id(current)
+            if current == primary:
+                break
+            homes.append(current)
+        return homes
+
+    def query(
+        self, query, origin: int | None = None, rng: RandomLike = None
+    ) -> QueryResult:
+        """Resolve a query through the cache; exact results always."""
+        q = self.system.space.as_query(query)
+        canonical = str(q)
+        homes = self.homes_of(q)
+
+        gen = as_generator(rng)
+        ids = self.system.overlay.node_ids()
+        if origin is None:
+            origin = ids[int(gen.integers(0, len(ids)))]
+        # Requesters spread over the replica homes pseudo-randomly.
+        home = homes[int(gen.integers(0, len(homes)))]
+
+        cache = self._caches.setdefault(home, {})
+        entry = cache.get(canonical)
+        if entry is not None and entry.version == self._version:
+            # Hit: the query routes to the chosen home, which answers.
+            stats = QueryStats()
+            route = self.system.overlay.route(origin, home)
+            stats.record_path(route.path)
+            stats.record_direct()  # the cached-result reply
+            stats.record_processing(home, 0)
+            self.stats.hits += 1
+            entry.uses += 1
+            self.monitor.record(stats)
+            return QueryResult(q, list(entry.matches), stats)
+
+        if entry is not None:
+            self.stats.stale_refreshes += 1
+        self.stats.misses += 1
+        result = self.system.query(q, origin=origin, rng=gen)
+        # Install at every replica home (one direct message each).
+        result.stats.record_direct(len(homes))
+        for node in homes:
+            self._install(
+                self._caches.setdefault(node, {}), canonical, result.matches
+            )
+        self.monitor.record(result.stats)
+        return result
+
+    def _install(self, cache: dict[str, _CacheEntry], canonical: str, matches: list) -> None:
+        if len(cache) >= self.capacity and canonical not in cache:
+            # Evict the least-used entry (ties: arbitrary but deterministic).
+            victim = min(cache.items(), key=lambda kv: (kv[1].uses, kv[0]))[0]
+            del cache[victim]
+            self.stats.evictions += 1
+        cache[canonical] = _CacheEntry(version=self._version, matches=list(matches))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cached_queries(self) -> int:
+        return sum(len(c) for c in self._caches.values())

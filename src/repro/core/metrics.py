@@ -1,0 +1,107 @@
+"""Query cost accounting — the paper's four evaluation metrics (§4.1).
+
+* **routing nodes** — every node that handled a query message on the wire;
+* **processing nodes** — nodes that refined a (sub-)query and searched their
+  local store;
+* **data nodes** — processing nodes where at least one match was found;
+* **messages** — sub-query messages sent to resolve the query.  Following
+  the paper ("each message is a subquery that searches for a fraction of the
+  clusters"), a routed sub-query counts as *one* message regardless of how
+  many overlay hops it takes — the traversed peers appear as routing nodes
+  instead; probe replies and aggregated batches also count one each.  The
+  wire-level hop count is tracked separately as ``hops``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["QueryStats", "QueryResult"]
+
+
+@dataclass
+class QueryStats:
+    """Mutable accumulator filled in while a query executes."""
+
+    routing_nodes: set[int] = field(default_factory=set)
+    processing_nodes: set[int] = field(default_factory=set)
+    data_nodes: set[int] = field(default_factory=set)
+    messages: int = 0
+    hops: int = 0
+    clusters_processed: int = 0
+    max_refinement_level: int = 0
+    #: Simulated time until the last sub-query finished and its results
+    #: returned to the origin (0.0 when no latency model is in use).
+    completion_time: float = 0.0
+    #: Simulated time at which the first match reached the origin (None when
+    #: there were no matches or no latency model).
+    time_to_first_match: float | None = None
+
+    def record_completion(self, time: float) -> None:
+        if time > self.completion_time:
+            self.completion_time = time
+
+    def record_match_time(self, time: float) -> None:
+        if self.time_to_first_match is None or time < self.time_to_first_match:
+            self.time_to_first_match = time
+
+    def record_path(self, path: tuple[int, ...]) -> None:
+        """Charge one routed sub-query: one logical message, per-hop wire cost."""
+        self.routing_nodes.update(path)
+        self.messages += 1
+        self.hops += len(path) - 1
+
+    def record_direct(self, count: int = 1) -> None:
+        """Charge direct point-to-point messages (replies, batches)."""
+        self.messages += count
+        self.hops += count
+
+    def record_processing(self, node_id: int, level: int) -> None:
+        self.processing_nodes.add(node_id)
+        self.routing_nodes.add(node_id)
+        self.clusters_processed += 1
+        if level > self.max_refinement_level:
+            self.max_refinement_level = level
+
+    def record_data_node(self, node_id: int) -> None:
+        self.data_nodes.add(node_id)
+
+    @property
+    def routing_node_count(self) -> int:
+        return len(self.routing_nodes)
+
+    @property
+    def processing_node_count(self) -> int:
+        return len(self.processing_nodes)
+
+    @property
+    def data_node_count(self) -> int:
+        return len(self.data_nodes)
+
+    def as_row(self) -> dict[str, int]:
+        """The paper's bar-chart row for one query."""
+        return {
+            "routing_nodes": self.routing_node_count,
+            "processing_nodes": self.processing_node_count,
+            "data_nodes": self.data_node_count,
+            "messages": self.messages,
+            "hops": self.hops,
+        }
+
+
+@dataclass
+class QueryResult:
+    """Matches plus the cost statistics of resolving one query."""
+
+    query: Any
+    matches: list
+    stats: QueryStats
+
+    @property
+    def match_count(self) -> int:
+        return len(self.matches)
+
+    def match_keys(self) -> set:
+        """Distinct keyword combinations among the matches."""
+        return {element.key for element in self.matches}

@@ -1,0 +1,125 @@
+"""Snapshot persistence: save/load a whole deployment as JSON.
+
+A snapshot captures everything needed to reconstruct a system bit-for-bit:
+the keyword-space schema, curve family, ring membership, and every stored
+element.  Reloading rebuilds identical placement (the mapping is
+deterministic), so experiments can be checkpointed and workloads shared.
+
+Payloads must be JSON-serializable; keys are re-validated on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.system import SquidSystem
+from repro.errors import ReproError
+from repro.keywords.dimensions import (
+    CategoricalDimension,
+    Dimension,
+    NumericDimension,
+    WordDimension,
+)
+from repro.keywords.space import KeywordSpace
+from repro.overlay.chord import ChordRing
+from repro.sfc import make_curve
+
+__all__ = ["SnapshotError", "system_to_dict", "system_from_dict", "save_system", "load_system"]
+
+FORMAT_VERSION = 1
+
+
+class SnapshotError(ReproError):
+    """Snapshot serialization/deserialization errors."""
+
+
+# ----------------------------------------------------------------------
+# Dimension schema
+# ----------------------------------------------------------------------
+def _dimension_to_dict(dim: Dimension) -> dict[str, Any]:
+    if isinstance(dim, WordDimension):
+        return {"type": "word", "name": dim.name}
+    if isinstance(dim, NumericDimension):
+        return {
+            "type": "numeric",
+            "name": dim.name,
+            "minimum": dim.minimum,
+            "maximum": dim.maximum,
+            "log_scale": dim.log_scale,
+        }
+    if isinstance(dim, CategoricalDimension):
+        return {"type": "categorical", "name": dim.name, "categories": list(dim.categories)}
+    raise SnapshotError(f"cannot serialize dimension type {type(dim).__name__}")
+
+
+def _dimension_from_dict(data: dict[str, Any]) -> Dimension:
+    kind = data.get("type")
+    if kind == "word":
+        return WordDimension(data["name"])
+    if kind == "numeric":
+        return NumericDimension(
+            data["name"], data["minimum"], data["maximum"], log_scale=data["log_scale"]
+        )
+    if kind == "categorical":
+        return CategoricalDimension(data["name"], list(data["categories"]))
+    raise SnapshotError(f"unknown dimension type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# System round-trip
+# ----------------------------------------------------------------------
+def system_to_dict(system: SquidSystem) -> dict[str, Any]:
+    """Serialize a system (schema + membership + elements) to plain data."""
+    elements = []
+    for store in system.stores.values():
+        for element in store.all_elements():
+            elements.append({"key": list(element.key), "payload": element.payload})
+    return {
+        "format": FORMAT_VERSION,
+        "space": {
+            "bits": system.space.bits,
+            "dimensions": [_dimension_to_dict(d) for d in system.space.dimensions],
+        },
+        "curve": system.curve.name,
+        "node_ids": system.overlay.node_ids(),
+        "elements": elements,
+    }
+
+
+def system_from_dict(data: dict[str, Any]) -> SquidSystem:
+    """Rebuild a system from :func:`system_to_dict` output."""
+    if data.get("format") != FORMAT_VERSION:
+        raise SnapshotError(f"unsupported snapshot format {data.get('format')!r}")
+    space = KeywordSpace(
+        [_dimension_from_dict(d) for d in data["space"]["dimensions"]],
+        bits=int(data["space"]["bits"]),
+    )
+    curve = make_curve(data["curve"], space.dims, space.bits)
+    ring = ChordRing.build(curve.index_bits, [int(i) for i in data["node_ids"]])
+    system = SquidSystem(space, ring, curve=curve)
+    system.publish_many(
+        [tuple(e["key"]) for e in data["elements"]],
+        payloads=[e["payload"] for e in data["elements"]],
+    )
+    return system
+
+
+def save_system(system: SquidSystem, path: str | Path) -> None:
+    """Write a snapshot as JSON."""
+    payload = system_to_dict(system)
+    try:
+        text = json.dumps(payload)
+    except TypeError as exc:
+        raise SnapshotError(f"payloads must be JSON-serializable: {exc}") from None
+    Path(path).write_text(text, encoding="utf-8")
+
+
+def load_system(path: str | Path) -> SquidSystem:
+    """Load a snapshot written by :func:`save_system`."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from None
+    return system_from_dict(data)

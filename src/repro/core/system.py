@@ -1,0 +1,339 @@
+"""The assembled Squid system: keyword space + SFC + overlay + stores.
+
+:class:`SquidSystem` is the library's main entry point.  It owns
+
+* the :class:`~repro.keywords.space.KeywordSpace` describing data elements,
+* the :class:`~repro.sfc.base.SpaceFillingCurve` (Hilbert by default) whose
+  index space doubles as the overlay identifier space,
+* a :class:`~repro.overlay.chord.ChordRing` of peers,
+* one :class:`~repro.store.local.LocalStore` per peer,
+
+and exposes ``publish`` / ``query`` plus the membership operations
+(`add_node`, `remove_node`) that move keys the way the protocol would.
+
+Example
+-------
+>>> from repro import SquidSystem, KeywordSpace, WordDimension
+>>> space = KeywordSpace([WordDimension("kw1"), WordDimension("kw2")], bits=8)
+>>> system = SquidSystem.create(space, n_nodes=16, seed=7)
+>>> _ = system.publish(("computer", "network"), payload="doc-1")
+>>> result = system.query("(comp*, *)")
+>>> [e.payload for e in result.matches]
+['doc-1']
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.engine import OptimizedEngine, QueryEngine, make_engine
+from repro.core.metrics import QueryResult
+from repro.errors import DuplicateNodeError, OverlayError
+from repro.keywords.space import KeywordSpace
+from repro.overlay.base import ring_contains_open_closed
+from repro.overlay.chord import ChordRing
+from repro.sfc import make_curve
+from repro.sfc.base import SpaceFillingCurve
+from repro.store.local import LocalStore, StoredElement
+from repro.util.rng import RandomLike, as_generator
+
+__all__ = ["SquidSystem"]
+
+
+class SquidSystem:
+    """A complete simulated Squid deployment."""
+
+    def __init__(
+        self,
+        space: KeywordSpace,
+        overlay: ChordRing,
+        curve: SpaceFillingCurve | None = None,
+        default_engine: QueryEngine | None = None,
+        rng: RandomLike = None,
+    ) -> None:
+        self.space = space
+        self.curve = curve if curve is not None else make_curve(
+            "hilbert", space.dims, space.bits
+        )
+        if self.curve.dims != space.dims or self.curve.order != space.bits:
+            raise OverlayError(
+                "curve geometry must match the keyword space "
+                f"(curve {self.curve.dims}D/{self.curve.order} bits vs "
+                f"space {space.dims}D/{space.bits} bits)"
+            )
+        if overlay.bits != self.curve.index_bits:
+            raise OverlayError(
+                f"overlay identifier width ({overlay.bits}) must equal the "
+                f"curve index width ({self.curve.index_bits})"
+            )
+        self.overlay = overlay
+        self.stores: dict[int, LocalStore] = {
+            node_id: LocalStore() for node_id in overlay.node_ids()
+        }
+        self.default_engine = default_engine or OptimizedEngine()
+        self._rng = as_generator(rng)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        space: KeywordSpace,
+        n_nodes: int,
+        curve: str = "hilbert",
+        seed: RandomLike = None,
+    ) -> "SquidSystem":
+        """Build a system of ``n_nodes`` peers with random identifiers."""
+        gen = as_generator(seed)
+        sfc = make_curve(curve, space.dims, space.bits)
+        ring = ChordRing.with_random_ids(sfc.index_bits, n_nodes, rng=gen)
+        return cls(space, ring, curve=sfc, rng=gen)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def index_of(self, key: Sequence[Any]) -> int:
+        """Curve index of a keyword tuple."""
+        return self.curve.encode(self.space.coordinates(key))
+
+    def publish(
+        self, key: Sequence[Any], payload: Any = None, pad: bool = False
+    ) -> StoredElement:
+        """Insert one data element at the node owning its index.
+
+        With ``pad=True``, a key shorter than the space's dimensionality is
+        extended by cyclic repetition (the paper's "one or more keywords,
+        up to d" convention), so e.g. a single-keyword document is
+        discoverable by that keyword on any dimension.
+        """
+        normalized = self.space.pad_key(key) if pad else self.space.validate_key(key)
+        index = self.index_of(normalized)
+        element = StoredElement(index=index, key=normalized, payload=payload)
+        self.stores[self.overlay.owner(index)].add(element)
+        return element
+
+    def publish_many(
+        self, keys: Iterable[Sequence[Any]], payloads: Iterable[Any] | None = None
+    ) -> int:
+        """Bulk publish (vectorized indexing); returns elements inserted."""
+        key_list = [self.space.validate_key(k) for k in keys]
+        if not key_list:
+            return 0
+        payload_list = list(payloads) if payloads is not None else [None] * len(key_list)
+        if len(payload_list) != len(key_list):
+            raise ValueError("payloads length must match keys length")
+        coords = self.space.coordinates_many(key_list)
+        indices = self.curve.encode_many(coords)
+        node_ids = np.asarray(self.overlay.node_ids(), dtype=np.int64)
+        positions = np.searchsorted(node_ids, np.asarray(indices, dtype=np.int64))
+        owners = node_ids[positions % len(node_ids)]
+        per_node: dict[int, list[StoredElement]] = {}
+        for key, payload, index, owner in zip(key_list, payload_list, indices, owners):
+            per_node.setdefault(int(owner), []).append(
+                StoredElement(index=int(index), key=key, payload=payload)
+            )
+        for owner, elements in per_node.items():
+            self.stores[owner].add_sorted_bulk(elements)
+        return len(key_list)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query,
+        engine: QueryEngine | str | None = None,
+        origin: int | None = None,
+        rng: RandomLike = None,
+        limit: int | None = None,
+    ) -> QueryResult:
+        """Resolve a flexible query (AST, text, or term sequence).
+
+        ``limit`` enables discovery mode: stop once at least ``limit``
+        matches are found (useful when any match will do, e.g. finding *a*
+        machine with 512MB rather than all of them).
+        """
+        eng = self._coerce_engine(engine)
+        return eng.execute(
+            self,
+            query,
+            origin=origin,
+            rng=rng if rng is not None else self._rng,
+            limit=limit,
+        )
+
+    def _coerce_engine(self, engine: QueryEngine | str | None) -> QueryEngine:
+        if engine is None:
+            return self.default_engine
+        if isinstance(engine, str):
+            return make_engine(engine)
+        return engine
+
+    def explain(self, query) -> dict[str, Any]:
+        """Describe how a query would resolve, without contacting any peer.
+
+        Returns the covering region's bounds, the cluster counts at each
+        refinement level (the paper's query-tree width), the exact cluster
+        count, and an estimate of the peers the optimized engine would touch
+        — a developer tool for understanding query cost before running it.
+        """
+        from repro.sfc.clusters import count_clusters_per_level, resolve_clusters
+
+        q = self.space.as_query(query)
+        region = self.space.region(q)
+        # Cap the per-level expansion at the depth where node arcs dominate:
+        # beyond ~log2(N) index bits, clusters fit within single peers.
+        n = max(len(self.overlay), 2)
+        useful_level = min(
+            self.curve.order,
+            max(1, (n.bit_length() + self.curve.dims - 1) // self.curve.dims + 1),
+        )
+        level_counts = count_clusters_per_level(
+            self.curve, region, max_level=useful_level
+        )
+        ranges = resolve_clusters(self.curve, region, max_level=useful_level)
+        touched = set()
+        for low, high in ranges:
+            touched.add(self.overlay.owner(low))
+            touched.add(self.overlay.owner(high))
+        return {
+            "query": str(q),
+            "region_bounds": [
+                (iv.low, iv.high) for iv in region.boxes[0].intervals
+            ],
+            "clusters_per_level": level_counts,
+            "clusters_at_node_granularity": len(ranges),
+            "estimated_peers_lower_bound": len(touched),
+            "index_bits": self.curve.index_bits,
+        }
+
+    def brute_force_matches(self, query) -> list[StoredElement]:
+        """Oracle: scan every store (used by tests and guarantees checks)."""
+        q = self.space.as_query(query)
+        out = []
+        for store in self.stores.values():
+            for element in store.all_elements():
+                if self.space.matches(element.key, q):
+                    out.append(element)
+        return out
+
+    # ------------------------------------------------------------------
+    # Membership with key movement
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int) -> int:
+        """Join a node and hand it the keys it now owns; returns message cost."""
+        if node_id in self.stores:
+            raise DuplicateNodeError(f"node {node_id} already present")
+        cost = self.overlay.join(node_id)
+        store = LocalStore()
+        self.stores[node_id] = store
+        successor = self.overlay.successor_id(node_id)
+        if successor != node_id:
+            moved = self._transfer_range_from(successor, node_id)
+            cost += 1 if moved else 0
+        return cost
+
+    def remove_node(self, node_id: int) -> int:
+        """Gracefully remove a node, handing its keys to its successor."""
+        successor = self.overlay.successor_id(node_id)
+        cost = self.overlay.leave(node_id)
+        departing = self.stores.pop(node_id)
+        if self.overlay.node_ids():
+            target = self.stores[successor if successor != node_id else self.overlay.node_ids()[0]]
+            for element in departing.all_elements():
+                target.add(element)
+            cost += 1 if departing.element_count else 0
+        return cost
+
+    def change_node_id(self, old_id: int, new_id: int) -> tuple[int, int]:
+        """Shift a node's identifier (runtime load balancing, paper §3.5).
+
+        Moving the identifier moves the ``(predecessor, id]`` boundary: keys
+        between the old and new identifier change hands with the successor.
+        Returns ``(keys_moved, message_cost)``.
+        """
+        succ = self.overlay.successor_id(old_id)
+        cost = self.overlay.rename_node(old_id, new_id)
+        store = self.stores.pop(old_id)
+        self.stores[new_id] = store
+        moved = 0
+        if succ == old_id:
+            return 0, cost
+        if new_id < old_id:
+            # Shrunk: hand (new_id, old_id] to the successor.
+            for element in store.pop_range(new_id + 1, old_id):
+                self.stores[succ].add(element)
+                moved += 1
+        else:
+            # Grew: absorb (old_id, new_id] from the successor.
+            for element in self.stores[succ].pop_range(old_id + 1, new_id):
+                store.add(element)
+                moved += 1
+        return moved, cost + (1 if moved else 0)
+
+    def _transfer_range_from(self, source_id: int, new_node_id: int) -> int:
+        """Move the keys that ``new_node_id`` now owns out of ``source_id``."""
+        pred = self.overlay.predecessor_id(new_node_id)
+        source = self.stores[source_id]
+        moved = 0
+        if pred == new_node_id:  # single node: nothing to move
+            return 0
+        # The new node owns (pred, new_node]; that range may wrap.
+        segments: list[tuple[int, int]]
+        if pred < new_node_id:
+            segments = [(pred + 1, new_node_id)]
+        else:
+            segments = [(pred + 1, self.overlay.space - 1), (0, new_node_id)]
+        target = self.stores[new_node_id]
+        for low, high in segments:
+            if low > high:
+                continue
+            for element in source.pop_range(low, high):
+                target.add(element)
+                moved += 1
+        return moved
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def node_loads(self) -> dict[int, int]:
+        """Keys per node (the paper's load measure, Figure 19)."""
+        return {node_id: store.key_count for node_id, store in self.stores.items()}
+
+    def total_keys(self) -> int:
+        """Distinct keyword combinations stored across all peers."""
+        return sum(store.key_count for store in self.stores.values())
+
+    def total_elements(self) -> int:
+        """Data elements stored across all peers."""
+        return sum(store.element_count for store in self.stores.values())
+
+    def key_index_distribution(self, intervals: int = 500) -> np.ndarray:
+        """Keys per equal-width index-space interval (paper Figure 18)."""
+        counts = np.zeros(intervals, dtype=np.int64)
+        width = self.curve.size / intervals
+        for store in self.stores.values():
+            for index in store.indices():
+                bucket = min(int(index / width), intervals - 1)
+                counts[bucket] += store.key_count_at(index)
+        return counts
+
+    def check_placement_invariant(self) -> bool:
+        """Every stored element lives at the owner of its index."""
+        for node_id, store in self.stores.items():
+            node = self.overlay.nodes[node_id]
+            for element in store.all_elements():
+                if not ring_contains_open_closed(
+                    element.index, node.predecessor, node_id, self.overlay.space
+                ):
+                    return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SquidSystem(nodes={len(self.overlay)}, keys={self.total_keys()}, "
+            f"space={self.space!r}, curve={self.curve!r})"
+        )

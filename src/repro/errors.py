@@ -1,0 +1,97 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to discriminate the failure domain (SFC math, keyword
+encoding, overlay routing, query processing, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SFCError",
+    "DimensionMismatchError",
+    "CoordinateRangeError",
+    "IndexRangeError",
+    "KeywordError",
+    "QueryParseError",
+    "OverlayError",
+    "EmptyOverlayError",
+    "NodeNotFoundError",
+    "DuplicateNodeError",
+    "StoreError",
+    "EngineError",
+    "LoadBalanceError",
+    "WorkloadError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SFCError(ReproError):
+    """Base class for space-filling-curve related errors."""
+
+
+class DimensionMismatchError(SFCError):
+    """A point/region has the wrong number of dimensions for the curve."""
+
+    def __init__(self, expected: int, got: int) -> None:
+        super().__init__(f"expected {expected} dimensions, got {got}")
+        self.expected = expected
+        self.got = got
+
+
+class CoordinateRangeError(SFCError):
+    """A coordinate lies outside ``[0, 2**order)``."""
+
+
+class IndexRangeError(SFCError):
+    """A 1-d curve index lies outside ``[0, 2**(dims*order))``."""
+
+
+class KeywordError(ReproError):
+    """Base class for keyword-space encoding errors."""
+
+
+class QueryParseError(KeywordError):
+    """A textual query could not be parsed into a query plan."""
+
+
+class OverlayError(ReproError):
+    """Base class for overlay-network errors."""
+
+
+class EmptyOverlayError(OverlayError):
+    """An operation that needs at least one node was run on an empty overlay."""
+
+
+class NodeNotFoundError(OverlayError):
+    """Referenced node identifier is not part of the overlay."""
+
+
+class DuplicateNodeError(OverlayError):
+    """A node with the given identifier already exists in the overlay."""
+
+
+class StoreError(ReproError):
+    """Local data store errors."""
+
+
+class EngineError(ReproError):
+    """Query engine processing errors."""
+
+
+class LoadBalanceError(ReproError):
+    """Load balancing errors."""
+
+
+class WorkloadError(ReproError):
+    """Workload generation errors."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation errors."""

@@ -1,0 +1,121 @@
+"""Shared system builders and query sweeps for the experiment modules.
+
+The paper's evaluation systems are built the way a deployment would grow: a
+small bootstrap ring, the workload published, then nodes joining with the
+join-time load-balancing step so peers follow the data distribution (§3.5
+is in effect during the §4.1 query-engine experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.loadbalance import grow_with_join_lb, run_neighbor_balancing
+from repro.core.system import SquidSystem
+from repro.keywords.query import Query
+from repro.util.rng import RandomLike, as_generator
+from repro.workloads.documents import DocumentWorkload
+from repro.workloads.resources import ResourceWorkload
+
+__all__ = [
+    "BuiltSystem",
+    "build_document_system",
+    "build_resource_system",
+    "sweep_queries",
+    "METRIC_COLUMNS",
+]
+
+METRIC_COLUMNS = [
+    "query",
+    "matches",
+    "routing_nodes",
+    "processing_nodes",
+    "data_nodes",
+    "messages",
+    "hops",
+]
+
+#: Join-time load-balancing samples used throughout the evaluation.
+JOIN_SAMPLES = 6
+
+
+@dataclass
+class BuiltSystem:
+    system: SquidSystem
+    workload: DocumentWorkload | ResourceWorkload
+
+
+def build_document_system(
+    dims: int,
+    n_nodes: int,
+    n_keys: int,
+    vocabulary_size: int,
+    bits: int = 20,
+    seed: RandomLike = 0,
+    join_lb: bool = True,
+    runtime_lb: bool = False,
+    workload: DocumentWorkload | None = None,
+) -> BuiltSystem:
+    """A populated storage system grown with (optional) load balancing."""
+    gen = as_generator(seed)
+    if workload is None:
+        workload = DocumentWorkload.generate(
+            dims, n_keys, vocabulary_size=vocabulary_size, bits=bits, rng=gen
+        )
+    keys = workload.keys[:n_keys]
+    if join_lb:
+        bootstrap = max(8, n_nodes // 20)
+        system = SquidSystem.create(workload.space, n_nodes=bootstrap, seed=gen)
+        system.publish_many(keys)
+        grow_with_join_lb(system, n_nodes, samples=JOIN_SAMPLES, rng=gen)
+    else:
+        system = SquidSystem.create(workload.space, n_nodes=n_nodes, seed=gen)
+        system.publish_many(keys)
+    if runtime_lb:
+        run_neighbor_balancing(system, rounds=6, threshold=1.5)
+        system.overlay.rebuild_all_fingers()
+    return BuiltSystem(system=system, workload=workload)
+
+
+def build_resource_system(
+    n_resources: int,
+    n_nodes: int,
+    bits: int = 16,
+    seed: RandomLike = 0,
+    join_lb: bool = True,
+    workload: ResourceWorkload | None = None,
+) -> BuiltSystem:
+    """A populated grid-resource system (3-D numeric attributes)."""
+    gen = as_generator(seed)
+    if workload is None:
+        workload = ResourceWorkload.generate(n_resources, bits=bits, rng=gen)
+    keys = workload.keys[:n_resources]
+    if join_lb:
+        bootstrap = max(8, n_nodes // 20)
+        system = SquidSystem.create(workload.space, n_nodes=bootstrap, seed=gen)
+        system.publish_many(keys)
+        grow_with_join_lb(system, n_nodes, samples=JOIN_SAMPLES, rng=gen)
+    else:
+        system = SquidSystem.create(workload.space, n_nodes=n_nodes, seed=gen)
+        system.publish_many(keys)
+    return BuiltSystem(system=system, workload=workload)
+
+
+def sweep_queries(
+    system: SquidSystem,
+    queries: Sequence[Query],
+    seed: RandomLike = 0,
+    extra: dict | None = None,
+) -> list[dict]:
+    """Run each query once from a random origin; one metrics row per query."""
+    gen = as_generator(seed)
+    rows = []
+    for i, query in enumerate(queries):
+        result = system.query(query, rng=gen)
+        row = {"query": str(query), "query_id": f"query{i + 1}", "matches": result.match_count}
+        row.update(result.stats.as_row())
+        if extra:
+            row.update(extra)
+        rows.append(row)
+    return rows

@@ -1,0 +1,292 @@
+"""Extension experiments — quantifying the paper's §5 future-work features.
+
+These go beyond the paper's Figures 9-19; each produces a
+:class:`~repro.experiments.runner.FigureResult` like the paper figures and
+is runnable via ``python -m repro run extA|extB|extC``.
+
+* ``extA`` — replication: elements lost in a crash burst vs replication
+  degree (fault tolerance).
+* ``extB`` — hot-spots: hottest-node load and total messages for a Zipf
+  query stream, with and without result caching.
+* ``extC`` — geographic locality: query completion time on a classic vs
+  proximity-selected (PNS) ring across system sizes.
+* ``extD`` — dynamism: query cost and routing-state staleness under node
+  churn, with and without the paper's periodic stabilization.
+* ``extE`` — attack resistance: recall under query-dropping adversaries,
+  plain vs retry vs retry+replication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hotspots import CachingQueryLayer, HotspotMonitor
+from repro.core.replication import ReplicationManager
+from repro.core.engine import OptimizedEngine
+from repro.core.system import SquidSystem
+from repro.experiments.runner import SCALES, FigureResult
+from repro.overlay.proximity import LatencyModel, ProximityChordRing
+from repro.util.rng import as_generator
+from repro.workloads.documents import DocumentWorkload
+from repro.workloads.queries import q1_queries
+
+__all__ = ["run_replication", "run_hotspots", "run_response_time", "EXTENSIONS"]
+
+
+def run_replication(scale: str = "small", seed: int = 30) -> FigureResult:
+    """Elements lost in a 15% crash burst, by replication degree."""
+    preset = SCALES[scale]
+    n_nodes = preset.node_counts[1]
+    n_keys = preset.key_counts[1]
+    gen = as_generator(seed)
+    workload = DocumentWorkload.generate(
+        2, n_keys, vocabulary_size=preset.vocabulary_size, rng=gen
+    )
+    result = FigureResult(
+        figure="extA",
+        title="Crash-burst data loss vs replication degree (15% of peers crash)",
+        columns=["degree", "elements", "lost", "recovered", "replica_overhead"],
+    )
+    for degree in (0, 1, 2, 3):
+        system = SquidSystem.create(workload.space, n_nodes=n_nodes, seed=seed + 1)
+        system.publish_many(workload.keys)
+        total = system.total_elements()
+        manager = ReplicationManager(system, degree=degree) if degree else None
+        rng = np.random.default_rng(seed + 2)
+        victims = rng.choice(
+            system.overlay.node_ids(), size=max(1, int(0.15 * n_nodes)), replace=False
+        )
+        recovered = 0
+        for victim in victims:
+            if manager is None:
+                system.overlay.fail(int(victim))
+                system.stores.pop(int(victim))
+            else:
+                successor = system.overlay.successor_id(int(victim))
+                recovered += manager.crash(int(victim))
+                manager.repair_around(successor)
+        result.add_row(
+            degree=degree,
+            elements=total,
+            lost=total - system.total_elements(),
+            recovered=recovered,
+            replica_overhead=manager.replica_count() if manager else 0,
+        )
+    result.notes.append("degree 0 = the paper's base system (crashes lose keys)")
+    return result
+
+
+def run_hotspots(scale: str = "small", seed: int = 31) -> FigureResult:
+    """Zipf query stream: load and messages with/without result caching."""
+    preset = SCALES[scale]
+    n_nodes = preset.node_counts[1]
+    n_keys = preset.key_counts[1]
+    gen = as_generator(seed)
+    workload = DocumentWorkload.generate(
+        2, n_keys, vocabulary_size=preset.vocabulary_size, rng=gen
+    )
+    system = SquidSystem.create(workload.space, n_nodes=n_nodes, seed=seed + 1)
+    system.publish_many(workload.keys)
+    base_queries = [str(q) for q in q1_queries(workload, count=8, rng=seed + 2)]
+    rng = np.random.default_rng(seed + 3)
+    weights = np.array([1 / (i + 1) for i in range(len(base_queries))])
+    weights /= weights.sum()
+    stream = [
+        base_queries[i] for i in rng.choice(len(base_queries), size=120, p=weights)
+    ]
+
+    plain_monitor = HotspotMonitor()
+    plain_msgs = 0
+    for q in stream:
+        res = system.query(q, rng=seed + 4)
+        plain_monitor.record(res.stats)
+        plain_msgs += res.stats.messages
+
+    layer = CachingQueryLayer(system)
+    cached_msgs = 0
+    for q in stream:
+        cached_msgs += layer.query(q, rng=seed + 4).stats.messages
+
+    result = FigureResult(
+        figure="extB",
+        title="Hot-spot mitigation: Zipf query stream with result caching",
+        columns=["variant", "messages", "hottest_node_load", "hit_rate"],
+    )
+    result.add_row(
+        variant="plain",
+        messages=plain_msgs,
+        hottest_node_load=plain_monitor.max_load(),
+        hit_rate=0.0,
+    )
+    result.add_row(
+        variant="cached",
+        messages=cached_msgs,
+        hottest_node_load=layer.monitor.max_load(),
+        hit_rate=round(layer.stats.hit_rate, 3),
+    )
+    result.notes.append(f"{len(stream)}-query stream over {len(base_queries)} Zipf-ranked queries")
+    return result
+
+
+def run_response_time(scale: str = "small", seed: int = 32) -> FigureResult:
+    """Query completion time: classic Chord fingers vs PNS, across sizes."""
+    preset = SCALES[scale]
+    gen = as_generator(seed)
+    workload = DocumentWorkload.generate(
+        2,
+        preset.key_counts[1],
+        vocabulary_size=preset.vocabulary_size,
+        rng=gen,
+    )
+    queries = q1_queries(workload, count=4, rng=seed + 1)
+    result = FigureResult(
+        figure="extC",
+        title="Query completion time (latency units): classic vs PNS fingers",
+        columns=["nodes", "variant", "mean_completion", "mean_first_match"],
+    )
+    for n_nodes in preset.node_counts[:3]:
+        base = SquidSystem.create(workload.space, n_nodes=n_nodes, seed=seed + 2)
+        ids = base.overlay.node_ids()
+        model = LatencyModel.random(ids, rng=seed + 3)
+        pns_ring = ProximityChordRing.build_with_model(
+            base.overlay.bits, ids, model=model, candidates=8
+        )
+        pns = SquidSystem(workload.space, pns_ring, curve=base.curve)
+        base.publish_many(workload.keys)
+        pns.publish_many(workload.keys)
+        for variant, system in (("classic", base), ("pns", pns)):
+            engine = OptimizedEngine(latency_model=model)
+            completions, firsts = [], []
+            for q in queries:
+                stats = system.query(q, engine=engine, origin=ids[0], rng=0).stats
+                completions.append(stats.completion_time)
+                if stats.time_to_first_match is not None:
+                    firsts.append(stats.time_to_first_match)
+            result.add_row(
+                nodes=n_nodes,
+                variant=variant,
+                mean_completion=round(float(np.mean(completions)), 1),
+                mean_first_match=round(float(np.mean(firsts)), 1) if firsts else None,
+            )
+    result.notes.append("latency model: uniform-random peer coordinates on a 100x100 plane")
+    return result
+
+
+def run_churn(scale: str = "small", seed: int = 33) -> FigureResult:
+    """Query exactness and routing staleness under churn (paper §3.2).
+
+    Runs Poisson join/leave/crash churn on the discrete-event simulator at
+    increasing rates, with and without periodic stabilization, measuring
+    stale-finger fraction and live query behaviour over surviving data.
+    """
+    from repro.sim import ChurnConfig, ChurnProcess, Simulator, StabilizationProcess
+
+    preset = SCALES[scale]
+    n_nodes = preset.node_counts[0]
+    n_keys = preset.key_counts[0]
+    gen = as_generator(seed)
+    workload = DocumentWorkload.generate(
+        2, n_keys, vocabulary_size=preset.vocabulary_size, rng=gen
+    )
+    query = f"({workload.keys[0][0][:3]}*, *)"
+
+    result = FigureResult(
+        figure="extD",
+        title="Churn: stale routing state and query exactness over survivors",
+        columns=[
+            "churn_rate",
+            "stabilized",
+            "stale_fingers",
+            "query_exact",
+            "query_messages",
+            "peers",
+        ],
+    )
+    for churn_rate in (0.5, 2.0, 5.0):
+        for stabilized in (False, True):
+            system = SquidSystem.create(workload.space, n_nodes=n_nodes, seed=seed + 1)
+            system.publish_many(workload.keys)
+            sim = Simulator()
+            ChurnProcess(
+                sim,
+                system,
+                ChurnConfig(
+                    join_rate=churn_rate,
+                    leave_rate=churn_rate / 2,
+                    crash_rate=churn_rate / 2,
+                    min_nodes=max(8, n_nodes // 3),
+                ),
+                rng=seed + 2,
+            )
+            if stabilized:
+                StabilizationProcess(sim, system, interval=1.0, rng=seed + 3)
+            sim.run_until(20.0)
+            res = system.query(query, rng=seed + 4)
+            want = len(system.brute_force_matches(query))
+            result.add_row(
+                churn_rate=churn_rate,
+                stabilized=stabilized,
+                stale_fingers=round(system.overlay.stale_finger_fraction(), 4),
+                query_exact=res.match_count == want,
+                query_messages=res.stats.messages,
+                peers=len(system.overlay),
+            )
+    result.notes.append(
+        "churn = Poisson joins at rate r, leaves and crashes at r/2, for 20 time units"
+    )
+    return result
+
+
+def run_attack(scale: str = "small", seed: int = 34) -> FigureResult:
+    """Recall under query-dropping adversaries (paper §5, attacks)."""
+    from repro.core.adversary import run_attack_experiment
+    from repro.workloads.queries import q1_queries as make_q1
+
+    preset = SCALES[scale]
+    n_nodes = preset.node_counts[0]
+    n_keys = preset.key_counts[0]
+    gen = as_generator(seed)
+    workload = DocumentWorkload.generate(
+        2, n_keys, vocabulary_size=preset.vocabulary_size, rng=gen
+    )
+    queries = [str(q) for q in make_q1(workload, count=4, rng=seed + 1)]
+    result = FigureResult(
+        figure="extE",
+        title="Recall under query-dropping adversaries",
+        columns=["dropper_fraction", "mitigation", "recall", "messages"],
+    )
+    for fraction in (0.0, 0.1, 0.2, 0.3):
+        for label, retry, degree in (
+            ("none", False, 0),
+            ("retry", True, 0),
+            ("retry+replication", True, 2),
+        ):
+            system = SquidSystem.create(workload.space, n_nodes=n_nodes, seed=seed + 2)
+            system.publish_many(workload.keys)
+            measured = run_attack_experiment(
+                system,
+                queries,
+                dropper_fraction=fraction,
+                retry=retry,
+                replication_degree=degree,
+                rng=seed + 3,
+            )
+            result.add_row(
+                dropper_fraction=fraction,
+                mitigation=label,
+                recall=round(measured["recall"], 3),
+                messages=round(measured["messages"], 1),
+            )
+    result.notes.append(
+        "droppers accept sub-queries and discard them; origins are honest"
+    )
+    return result
+
+
+EXTENSIONS = {
+    "extA": run_replication,
+    "extB": run_hotspots,
+    "extC": run_response_time,
+    "extD": run_churn,
+    "extE": run_attack,
+}

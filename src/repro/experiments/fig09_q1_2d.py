@@ -1,0 +1,32 @@
+"""Figure 9 — query type Q1, 2-D keyword space.
+
+Paper: "Results for query type Q1, 2D: (a) the number of matches for the
+queries, (b) the number of nodes that process the query, (c) the number of
+nodes that found matches for the query", for six single-(partial-)keyword
+queries as the system grows from 1000 to 5400 nodes (2·10^4 → 10^5 keys).
+
+Expected shape: processing and data nodes are a small fraction of the
+system and grow sublinearly; data nodes track processing nodes closely;
+processing cost is not monotone in match count.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SCALES, FigureResult
+from repro.experiments.sweeps import document_growth_sweep
+from repro.workloads.queries import q1_queries
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 9) -> FigureResult:
+    """Regenerate fig09 at the given scale preset (see module docstring)."""
+    preset = SCALES[scale]
+    return document_growth_sweep(
+        figure="fig09",
+        title="Q1 queries, 2-D keyword space (matches / processing / data nodes)",
+        dims=2,
+        scale=preset,
+        make_queries=lambda wl: q1_queries(wl, count=6, rng=seed + 1),
+        seed=seed,
+    )

@@ -1,0 +1,30 @@
+"""Figure 10 — all metrics, 2-D keyword space, two system snapshots.
+
+Paper: "Results for all the metrics, 2D: (a) for a 3200 node system and
+6·10^4 keys, (b) for a 5400 node system and 10^5 keys" — one bar group per
+query showing routing nodes, messages, processing nodes and data nodes.
+
+Expected shape: routing ≫ processing ≈ data, messages ≈ 2× processing
+nodes, everything far below the system size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig09_q1_2d
+from repro.experiments.runner import SCALES, FigureResult
+from repro.experiments.sweeps import snapshot_runs
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 9) -> FigureResult:
+    """Regenerate fig10 at the given scale preset (see module docstring)."""
+    preset = SCALES[scale]
+    sweep = fig09_q1_2d.run(scale=scale, seed=seed)
+    pairs = preset.paired()
+    return snapshot_runs(
+        figure="fig10",
+        title="All metrics, 2-D keyword space (two system snapshots)",
+        sweep=sweep,
+        snapshots=[pairs[2], pairs[4]],
+    )

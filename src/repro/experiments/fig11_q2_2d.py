@@ -1,0 +1,31 @@
+"""Figure 11 — query type Q2, 2-D keyword space.
+
+Paper: "Results for query type Q2, 2D: (a) the number of matches for the
+queries, (b) the number of data nodes", for five queries specifying both
+keywords (at least one partial).
+
+Expected shape: significantly cheaper than Q1 (Figure 9) — "query
+optimization and pruning are effective when both keywords are at least
+partially known".
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SCALES, FigureResult
+from repro.experiments.sweeps import document_growth_sweep
+from repro.workloads.queries import q2_queries
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 11) -> FigureResult:
+    """Regenerate fig11 at the given scale preset (see module docstring)."""
+    preset = SCALES[scale]
+    return document_growth_sweep(
+        figure="fig11",
+        title="Q2 queries, 2-D keyword space (matches / data nodes)",
+        dims=2,
+        scale=preset,
+        make_queries=lambda wl: q2_queries(wl, count=5, rng=seed + 1),
+        seed=seed,
+    )

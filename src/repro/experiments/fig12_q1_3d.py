@@ -1,0 +1,28 @@
+"""Figure 12 — query type Q1, 3-D keyword space.
+
+Same experiment as Figure 9 with a 3-D keyword space.  Expected shape: the
+same pattern as 2-D with magnitudes 2–3× larger — "for the same types of
+queries there are more clusters in the 3D case than in the 2D case" (a
+longer curve fragments a fixed-keyword query into more segments).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SCALES, FigureResult
+from repro.experiments.sweeps import document_growth_sweep
+from repro.workloads.queries import q1_queries
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 12) -> FigureResult:
+    """Regenerate fig12 at the given scale preset (see module docstring)."""
+    preset = SCALES[scale]
+    return document_growth_sweep(
+        figure="fig12",
+        title="Q1 queries, 3-D keyword space (matches / processing / data nodes)",
+        dims=3,
+        scale=preset,
+        make_queries=lambda wl: q1_queries(wl, count=6, rng=seed + 1),
+        seed=seed,
+    )

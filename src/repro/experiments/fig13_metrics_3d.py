@@ -1,0 +1,26 @@
+"""Figure 13 — all metrics, 3-D keyword space, two system snapshots.
+
+Paper: "(a) for 3000 node system and 6·10^4 keys, (b) for 5300 node system
+and 10^5 keys."  Same shape expectations as Figure 10, larger magnitudes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_q1_3d
+from repro.experiments.runner import SCALES, FigureResult
+from repro.experiments.sweeps import snapshot_runs
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 12) -> FigureResult:
+    """Regenerate fig13 at the given scale preset (see module docstring)."""
+    preset = SCALES[scale]
+    sweep = fig12_q1_3d.run(scale=scale, seed=seed)
+    pairs = preset.paired()
+    return snapshot_runs(
+        figure="fig13",
+        title="All metrics, 3-D keyword space (two system snapshots)",
+        sweep=sweep,
+        snapshots=[pairs[2], pairs[4]],
+    )

@@ -1,0 +1,26 @@
+"""Figure 14 — query type Q2, 3-D keyword space.
+
+Paper: matches, processing nodes, and data nodes for five multi-keyword
+queries.  Expected: the Q2-beats-Q1 pruning effect of Figure 11, in 3-D.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SCALES, FigureResult
+from repro.experiments.sweeps import document_growth_sweep
+from repro.workloads.queries import q2_queries
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 14) -> FigureResult:
+    """Regenerate fig14 at the given scale preset (see module docstring)."""
+    preset = SCALES[scale]
+    return document_growth_sweep(
+        figure="fig14",
+        title="Q2 queries, 3-D keyword space (matches / processing / data nodes)",
+        dims=3,
+        scale=preset,
+        make_queries=lambda wl: q2_queries(wl, count=5, rng=seed + 1),
+        seed=seed,
+    )

@@ -1,0 +1,30 @@
+"""Figure 15 — range queries of the form (keyword, range, *), 3-D.
+
+Paper: "Results for query type Q3 (range query), of the form: (keyword,
+range, *): the number of matches, processing nodes, data nodes" for four
+queries over the grid-resource attribute space.
+
+Expected shape: "the results do not depend on the size of the range
+(because the index space is not uniformly populated), but more on the
+number of matches found and the distribution of the data."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SCALES, FigureResult
+from repro.experiments.sweeps import resource_growth_sweep
+from repro.workloads.queries import q3_keyword_range_queries
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 15) -> FigureResult:
+    """Regenerate fig15 at the given scale preset (see module docstring)."""
+    preset = SCALES[scale]
+    return resource_growth_sweep(
+        figure="fig15",
+        title="Q3 (keyword, range, *) queries over grid resources",
+        scale=preset,
+        make_queries=lambda wl: q3_keyword_range_queries(wl, count=4, rng=seed + 1),
+        seed=seed,
+    )

@@ -1,0 +1,26 @@
+"""Figure 16 — all metrics for range queries, two system snapshots.
+
+Paper: "(a) for 2750 node system and 6·10^4 keys, (b) for 4700 node system
+and 10^5 keys."  Same routing ≫ processing ≈ data shape as Figures 10/13.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig15_range_kr
+from repro.experiments.runner import SCALES, FigureResult
+from repro.experiments.sweeps import snapshot_runs
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 15) -> FigureResult:
+    """Regenerate fig16 at the given scale preset (see module docstring)."""
+    preset = SCALES[scale]
+    sweep = fig15_range_kr.run(scale=scale, seed=seed)
+    pairs = preset.paired()
+    return snapshot_runs(
+        figure="fig16",
+        title="All metrics, range queries (two system snapshots)",
+        sweep=sweep,
+        snapshots=[pairs[2], pairs[4]],
+    )

@@ -1,0 +1,26 @@
+"""Figure 17 — range queries of the form (range, range, range), 3-D.
+
+Paper: matches, processing nodes, and data nodes for five all-range
+queries.  Expected: cost tracks the number of matches and the data
+distribution rather than the range widths.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SCALES, FigureResult
+from repro.experiments.sweeps import resource_growth_sweep
+from repro.workloads.queries import q3_full_range_queries
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 17) -> FigureResult:
+    """Regenerate fig17 at the given scale preset (see module docstring)."""
+    preset = SCALES[scale]
+    return resource_growth_sweep(
+        figure="fig17",
+        title="Q3 (range, range, range) queries over grid resources",
+        scale=preset,
+        make_queries=lambda wl: q3_full_range_queries(wl, count=5, rng=seed + 1),
+        seed=seed,
+    )

@@ -1,0 +1,69 @@
+"""Figure 19 — load distribution at nodes under the balancing schemes.
+
+Paper: "The distribution of the keys at nodes (a) when using only the load
+balancing at node join technique, (b) when using both the load balancing at
+node join technique, and the local load balancing."
+
+Expected shape: the raw (no-LB) distribution is very uneven (Figure 18's
+skew lands on uniformly-placed nodes); join-time balancing clearly improves
+it; join + runtime balancing is close to even ("the load is almost evenly
+distributed in this case").
+"""
+
+from __future__ import annotations
+
+from repro.core.loadbalance import grow_with_join_lb, run_neighbor_balancing
+from repro.core.system import SquidSystem
+from repro.experiments.runner import SCALES, FigureResult
+from repro.util.rng import as_generator
+from repro.util.stats import coefficient_of_variation, gini_coefficient
+from repro.workloads.documents import DocumentWorkload
+
+__all__ = ["run", "VARIANTS"]
+
+VARIANTS = ("none", "join", "join+runtime")
+
+
+def run(scale: str = "small", seed: int = 19) -> FigureResult:
+    """Regenerate fig19 at the given scale preset (see module docstring)."""
+    preset = SCALES[scale]
+    n_nodes = preset.node_counts[2]
+    n_keys = max(preset.key_counts)
+    gen = as_generator(seed)
+    workload = DocumentWorkload.generate(
+        3, n_keys, vocabulary_size=preset.vocabulary_size, rng=gen
+    )
+
+    result = FigureResult(
+        figure="fig19",
+        title="Per-node key load under the load-balancing schemes",
+        columns=["variant", "node_rank", "load"],
+    )
+    for variant in VARIANTS:
+        system = _build(variant, workload, n_nodes, seed)
+        loads = sorted(system.node_loads().values(), reverse=True)
+        for rank, load in enumerate(loads):
+            result.add_row(variant=variant, node_rank=rank, load=load)
+        result.notes.append(
+            f"{variant}: nodes {len(loads)}, max {max(loads)}, "
+            f"cov {coefficient_of_variation(loads):.3f}, "
+            f"gini {gini_coefficient(loads):.3f}"
+        )
+    return result
+
+
+def _build(
+    variant: str, workload: DocumentWorkload, n_nodes: int, seed: int
+) -> SquidSystem:
+    gen = as_generator(seed + VARIANTS.index(variant))
+    if variant == "none":
+        system = SquidSystem.create(workload.space, n_nodes=n_nodes, seed=gen)
+        system.publish_many(workload.keys)
+        return system
+    bootstrap = max(8, n_nodes // 20)
+    system = SquidSystem.create(workload.space, n_nodes=bootstrap, seed=gen)
+    system.publish_many(workload.keys)
+    grow_with_join_lb(system, n_nodes, samples=6, rng=gen)
+    if variant == "join+runtime":
+        run_neighbor_balancing(system, rounds=8, threshold=1.3)
+    return system

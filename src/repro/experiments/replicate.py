@@ -1,0 +1,107 @@
+"""Multi-seed replication of experiments with summary statistics.
+
+A single seeded run regenerates each figure deterministically, but the
+paper's claims are about *typical* behaviour.  This module reruns a figure
+across independent seeds and aggregates every numeric column into
+mean/std/min/max — the error bars a careful reproduction reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments import run_figure
+from repro.experiments.runner import FigureResult
+
+__all__ = ["ReplicatedResult", "replicate_figure"]
+
+
+@dataclass
+class ReplicatedResult:
+    """Aggregated statistics of one figure across seeds."""
+
+    figure: str
+    title: str
+    seeds: list[int]
+    #: column -> dict(mean/std/min/max) over all rows of all runs
+    aggregates: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: per-seed totals of each numeric column (for stability checks)
+    per_seed_totals: dict[str, list[float]] = field(default_factory=dict)
+
+    def mean(self, column: str) -> float:
+        return self.aggregates[column]["mean"]
+
+    def relative_spread(self, column: str) -> float:
+        """Std/mean of the per-seed column totals (0 = perfectly stable)."""
+        totals = np.asarray(self.per_seed_totals[column], dtype=float)
+        m = totals.mean()
+        return float(totals.std() / m) if m else 0.0
+
+    def to_text(self) -> str:
+        lines = [
+            f"{self.figure} over seeds {self.seeds}: {self.title}",
+            f"{'column':20s} {'mean':>10s} {'std':>10s} {'min':>10s} {'max':>10s} {'seed-spread':>12s}",
+        ]
+        for column, agg in self.aggregates.items():
+            lines.append(
+                f"{column:20s} {agg['mean']:10.2f} {agg['std']:10.2f} "
+                f"{agg['min']:10.2f} {agg['max']:10.2f} "
+                f"{self.relative_spread(column):12.3f}"
+            )
+        return "\n".join(lines)
+
+
+def replicate_figure(
+    figure: str,
+    seeds: list[int],
+    scale: str = "small",
+    columns: list[str] | None = None,
+) -> ReplicatedResult:
+    """Run ``figure`` once per seed and aggregate its numeric columns."""
+    if not seeds:
+        raise ValueError("at least one seed required")
+    runs: list[FigureResult] = [
+        run_figure(figure, scale=scale, seed=seed) for seed in seeds
+    ]
+    numeric = columns if columns is not None else _numeric_columns(runs[0])
+    aggregates: dict[str, dict[str, float]] = {}
+    per_seed_totals: dict[str, list[float]] = {c: [] for c in numeric}
+    values: dict[str, list[float]] = {c: [] for c in numeric}
+    for run in runs:
+        for column in numeric:
+            series = [
+                float(v) for v in run.series(column) if isinstance(v, (int, float))
+            ]
+            values[column].extend(series)
+            per_seed_totals[column].append(float(np.sum(series)) if series else 0.0)
+    for column in numeric:
+        arr = np.asarray(values[column], dtype=float)
+        if arr.size == 0:
+            continue
+        aggregates[column] = {
+            "mean": float(arr.mean()),
+            "std": float(arr.std()),
+            "min": float(arr.min()),
+            "max": float(arr.max()),
+        }
+    return ReplicatedResult(
+        figure=figure,
+        title=runs[0].title,
+        seeds=list(seeds),
+        aggregates=aggregates,
+        per_seed_totals=per_seed_totals,
+    )
+
+
+def _numeric_columns(result: FigureResult) -> list[str]:
+    numeric = []
+    for column in result.columns:
+        sample = next(
+            (row.get(column) for row in result.rows if row.get(column) is not None),
+            None,
+        )
+        if isinstance(sample, (int, float)) and not isinstance(sample, bool):
+            numeric.append(column)
+    return numeric

@@ -1,0 +1,71 @@
+"""Keyword extraction: from document text to a Squid keyword tuple.
+
+The paper's storage use case describes documents by "common words"; this
+module provides the missing glue for real content — tokenize, drop
+stopwords, rank by frequency (ties broken by first appearance), and emit
+the top-``count`` keywords ready for :meth:`SquidSystem.publish`.
+
+Deliberately simple and dependency-free: lowercasing, alphabetic tokens
+only (matching :class:`~repro.keywords.dimensions.WordDimension`'s
+alphabet), a compact English stopword list.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import KeywordError
+
+__all__ = ["STOPWORDS", "tokenize", "extract_keywords"]
+
+STOPWORDS = frozenset(
+    """
+    a about above after again all also am an and any are as at be because
+    been before being below between both but by can could did do does doing
+    down during each few for from further had has have having he her here
+    hers him his how i if in into is it its itself just me more most my no
+    nor not now of off on once only or other our ours out over own same she
+    should so some such than that the their theirs them then there these
+    they this those through to too under until up very was we were what
+    when where which while who whom why will with would you your yours
+    """.split()
+)
+
+_TOKEN_RE = re.compile(r"[A-Za-z]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase alphabetic tokens of ``text``, in order of appearance."""
+    return [match.group(0).lower() for match in _TOKEN_RE.finditer(text)]
+
+
+def extract_keywords(
+    text: str,
+    count: int,
+    min_length: int = 2,
+    stopwords: frozenset[str] = STOPWORDS,
+) -> tuple[str, ...]:
+    """The ``count`` most frequent content words of ``text``.
+
+    Ranking is by descending frequency, ties by first appearance (so the
+    result is deterministic and reflects the document's own emphasis).
+    Raises :class:`KeywordError` when the text yields fewer than ``count``
+    distinct content words — the caller decides whether to pad
+    (:meth:`KeywordSpace.pad_key`) or reject.
+    """
+    if count < 1:
+        raise KeywordError(f"count must be >= 1, got {count}")
+    frequency: dict[str, int] = {}
+    first_seen: dict[str, int] = {}
+    for position, token in enumerate(tokenize(text)):
+        if len(token) < min_length or token in stopwords:
+            continue
+        frequency[token] = frequency.get(token, 0) + 1
+        first_seen.setdefault(token, position)
+    if len(frequency) < count:
+        raise KeywordError(
+            f"text yields only {len(frequency)} content words; {count} needed "
+            "(consider KeywordSpace.pad_key for short documents)"
+        )
+    ranked = sorted(frequency, key=lambda w: (-frequency[w], first_seen[w]))
+    return tuple(ranked[:count])

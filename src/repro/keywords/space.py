@@ -1,0 +1,190 @@
+"""The multidimensional keyword space (paper §3.1).
+
+A :class:`KeywordSpace` binds a tuple of typed dimensions to a common
+coordinate resolution (``bits`` per dimension, the curve order) and provides
+the two translations the rest of the system is built on:
+
+* **publish path** — ``coordinates(key)``: a data element's keyword tuple →
+  a point of the discrete cube (then Hilbert-encoded to its index);
+* **query path** — ``region(query)``: a flexible query → the axis-aligned
+  coordinate region whose curve clusters drive distributed resolution, plus
+  ``matches(key, query)``: the exactness post-filter applied at data nodes.
+
+Exactness invariant (property-tested): for every key and query,
+``matches(key, query)`` implies ``region(query).contains_point(coordinates(key))``
+— covering regions never lose true matches; quantization only ever adds
+candidates that the post-filter removes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, KeywordError
+from repro.keywords.dimensions import Dimension, NumericDimension, WordDimension
+from repro.keywords.query import Exact, NumericRange, Prefix, Query, Term, Wildcard, parse_terms
+from repro.sfc.regions import Region
+
+__all__ = ["KeywordSpace", "Key"]
+
+Key = tuple[Any, ...]
+
+
+class KeywordSpace:
+    """A typed d-dimensional keyword space at ``bits`` bits per dimension."""
+
+    def __init__(self, dimensions: Sequence[Dimension], bits: int) -> None:
+        if not dimensions:
+            raise KeywordError("a keyword space needs at least one dimension")
+        if bits < 1:
+            raise KeywordError(f"bits must be >= 1, got {bits}")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise KeywordError(f"duplicate dimension names: {names}")
+        self.dimensions = tuple(dimensions)
+        self.bits = bits
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def side(self) -> int:
+        return 1 << self.bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(d.name for d in self.dimensions)
+        return f"KeywordSpace([{names}], bits={self.bits})"
+
+    # ------------------------------------------------------------------
+    # Publish path
+    # ------------------------------------------------------------------
+    def validate_key(self, key: Sequence[Any]) -> Key:
+        """Normalize a keyword tuple (lowercase words, float numerics)."""
+        if len(key) != self.dims:
+            raise DimensionMismatchError(self.dims, len(key))
+        return tuple(dim.validate(v) for dim, v in zip(self.dimensions, key))
+
+    def pad_key(self, key: Sequence[Any]) -> Key:
+        """Extend a partial keyword sequence to full dimensionality.
+
+        The paper associates each data element with "a sequence of one or
+        more keywords (up to d keywords)"; an element described by fewer
+        keywords than dimensions has them repeated cyclically (the Squid
+        convention), so a one-keyword document matches that keyword queried
+        on *any* dimension.  Only meaningful when all dimensions share a
+        type (e.g. an all-words storage space); validation still applies
+        per dimension.
+        """
+        if not key:
+            raise KeywordError("a key needs at least one value")
+        if len(key) > self.dims:
+            raise DimensionMismatchError(self.dims, len(key))
+        values = list(key)
+        padded = [values[i % len(values)] for i in range(self.dims)]
+        return self.validate_key(padded)
+
+    def coordinates(self, key: Sequence[Any]) -> tuple[int, ...]:
+        """Coordinate point of a keyword tuple."""
+        if len(key) != self.dims:
+            raise DimensionMismatchError(self.dims, len(key))
+        return tuple(dim.encode(v, self.bits) for dim, v in zip(self.dimensions, key))
+
+    def coordinates_many(self, keys: Iterable[Sequence[Any]]) -> np.ndarray:
+        """Bulk :meth:`coordinates`: returns an ``(N, dims)`` int64 array."""
+        rows = [self.coordinates(key) for key in keys]
+        if not rows:
+            return np.empty((0, self.dims), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def as_query(self, query: "Query | str | Sequence[Term]") -> Query:
+        """Coerce a query given as AST, text, or term sequence; type-check it."""
+        if isinstance(query, str):
+            q = parse_terms(query)
+        elif isinstance(query, Query):
+            q = query
+        else:
+            q = Query(tuple(query))
+        if q.dims != self.dims:
+            raise DimensionMismatchError(self.dims, q.dims)
+        for dim, term in zip(self.dimensions, q.terms):
+            self._check_term(dim, term)
+        return q
+
+    def _check_term(self, dim: Dimension, term: Term) -> None:
+        if isinstance(term, Wildcard):
+            return
+        if isinstance(term, Prefix):
+            if not isinstance(dim, WordDimension):
+                raise KeywordError(
+                    f"{dim.name}: prefix term {term} requires a word dimension"
+                )
+            dim.validate(term.prefix)
+        elif isinstance(term, NumericRange):
+            if not isinstance(dim, NumericDimension):
+                raise KeywordError(
+                    f"{dim.name}: range term {term} requires a numeric dimension"
+                )
+        elif isinstance(term, Exact):
+            dim.validate(term.value)
+        else:  # pragma: no cover - defensive
+            raise KeywordError(f"unknown term type {term!r}")
+
+    def region(self, query: "Query | str | Sequence[Term]") -> Region:
+        """Covering coordinate region of a flexible query."""
+        q = self.as_query(query)
+        bounds: list[tuple[int, int]] = []
+        for dim, term in zip(self.dimensions, q.terms):
+            bounds.append(self._interval(dim, term))
+        return Region.from_bounds(bounds)
+
+    def _interval(self, dim: Dimension, term: Term) -> tuple[int, int]:
+        if isinstance(term, Wildcard):
+            return 0, self.side - 1
+        if isinstance(term, Prefix):
+            assert isinstance(dim, WordDimension)
+            return dim.interval_for_prefix(term.prefix, self.bits)
+        if isinstance(term, NumericRange):
+            assert isinstance(dim, NumericDimension)
+            low, high = term.low, term.high
+            if low is not None and low < dim.minimum:
+                low = dim.minimum
+            if high is not None and high > dim.maximum:
+                high = dim.maximum
+            return dim.interval_for_range(low, high, self.bits)
+        assert isinstance(term, Exact)
+        return dim.interval_for_exact(term.value, self.bits)
+
+    # ------------------------------------------------------------------
+    # Exactness post-filter
+    # ------------------------------------------------------------------
+    def matches(self, key: Sequence[Any], query: "Query | str | Sequence[Term]") -> bool:
+        """Does a stored keyword tuple satisfy the query exactly?"""
+        q = self.as_query(query)
+        if len(key) != self.dims:
+            raise DimensionMismatchError(self.dims, len(key))
+        for dim, value, term in zip(self.dimensions, key, q.terms):
+            if not self._term_matches(dim, value, term):
+                return False
+        return True
+
+    @staticmethod
+    def _term_matches(dim: Dimension, value: Any, term: Term) -> bool:
+        if isinstance(term, Wildcard):
+            return True
+        if isinstance(term, Prefix):
+            assert isinstance(dim, WordDimension)
+            return dim.matches_prefix(value, term.prefix)
+        if isinstance(term, NumericRange):
+            assert isinstance(dim, NumericDimension)
+            return dim.matches_range(value, term.low, term.high)
+        assert isinstance(term, Exact)
+        return dim.matches_exact(value, term.value)

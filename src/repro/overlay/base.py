@@ -1,0 +1,94 @@
+"""Overlay-network interface shared by Chord and CAN.
+
+The query engine needs exactly three things from an overlay: the identifier
+space width, an *ownership* oracle (which node stores a key) and a *routing*
+primitive that reports the path a message would take hop by hop — the paper's
+metrics (routing nodes, messages) are derived from those paths.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+__all__ = ["RouteResult", "Overlay", "ring_contains_open_closed", "ring_contains_open_open"]
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing a message from ``source`` toward ``key``.
+
+    ``path`` lists the node identifiers traversed, starting with the source
+    and ending with the destination (the key's owner).  ``hops`` is
+    ``len(path) - 1``: the number of messages sent on the wire.
+    """
+
+    key: int
+    path: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def source(self) -> int:
+        return self.path[0]
+
+    @property
+    def destination(self) -> int:
+        return self.path[-1]
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+class Overlay(ABC):
+    """A structured overlay over the identifier space ``[0, 2**bits)``."""
+
+    def __init__(self, bits: int) -> None:
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.bits = bits
+        self.space = 1 << bits
+
+    @abstractmethod
+    def node_ids(self) -> list[int]:
+        """Sorted identifiers of all live nodes."""
+
+    @abstractmethod
+    def owner(self, key: int) -> int:
+        """Identifier of the node responsible for ``key`` (oracle, no messages)."""
+
+    @abstractmethod
+    def route(self, source: int, key: int) -> RouteResult:
+        """Route from node ``source`` to the owner of ``key`` using only the
+        overlay's local state (finger tables / neighbor zones)."""
+
+    def __len__(self) -> int:
+        return len(self.node_ids())
+
+
+def ring_contains_open_closed(value: int, low: int, high: int, space: int) -> bool:
+    """True if ``value`` lies in the ring interval ``(low, high]`` modulo ``space``.
+
+    When ``low == high`` the interval is the whole ring (a single node owns
+    everything), matching Chord conventions.
+    """
+    value %= space
+    low %= space
+    high %= space
+    if low < high:
+        return low < value <= high
+    if low > high:
+        return value > low or value <= high
+    return True
+
+
+def ring_contains_open_open(value: int, low: int, high: int, space: int) -> bool:
+    """True if ``value`` lies in the ring interval ``(low, high)`` modulo ``space``."""
+    value %= space
+    low %= space
+    high %= space
+    if low < high:
+        return low < value < high
+    if low > high:
+        return value > low or value < high
+    # (x, x) covers the whole ring except x itself.
+    return value != low

@@ -1,0 +1,237 @@
+"""Pastry overlay network (Rowstron & Druschel, Middleware'01 — paper ref [15]).
+
+The third overlay family the paper cites.  Pastry interprets node
+identifiers as digit strings base ``2^b`` and routes by *prefix matching*:
+each hop forwards to a node sharing at least one more identifier digit with
+the key, falling back to numeric closeness near the destination.
+
+Per-node state:
+
+* a **routing table** with one row per digit position — entry ``(i, d)``
+  points to some node sharing the first ``i`` digits with this node and
+  having digit ``d`` at position ``i``;
+* a **leaf set** of the ``l/2`` numerically closest nodes on either side.
+
+A key is owned by the **numerically closest** node (circular distance, ties
+to the lower identifier) — a different ownership rule than Chord's
+successor, which is why Pastry is provided as a routing substrate for the
+topology ablation rather than plugged under the Squid engine (the engine's
+window-scan logic assumes successor ownership; see DESIGN.md).
+
+Routing is O(log_{2^b} N) hops with O(2^b · log_{2^b} N + l) state.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.errors import (
+    DuplicateNodeError,
+    EmptyOverlayError,
+    NodeNotFoundError,
+    OverlayError,
+)
+from repro.overlay.base import Overlay, RouteResult
+from repro.util.rng import RandomLike, as_generator
+
+__all__ = ["PastryNode", "PastryOverlay"]
+
+
+class PastryNode:
+    """Local routing state of one Pastry peer."""
+
+    __slots__ = ("id", "routing_table", "leaf_set")
+
+    def __init__(self, node_id: int, rows: int, cols: int) -> None:
+        self.id = node_id
+        #: routing_table[i][d] = a node id or None
+        self.routing_table: list[list[int | None]] = [
+            [None] * cols for _ in range(rows)
+        ]
+        #: numerically closest neighbors (both sides), sorted
+        self.leaf_set: list[int] = []
+
+
+class PastryOverlay(Overlay):
+    """A simulated Pastry network over ``[0, 2**bits)``."""
+
+    def __init__(self, bits: int, digit_bits: int = 4, leaf_size: int = 8) -> None:
+        super().__init__(bits)
+        if digit_bits < 1 or bits % digit_bits != 0:
+            raise OverlayError(
+                f"bits ({bits}) must be a positive multiple of digit_bits ({digit_bits})"
+            )
+        if leaf_size < 2 or leaf_size % 2 != 0:
+            raise OverlayError(f"leaf_size must be even and >= 2, got {leaf_size}")
+        self.digit_bits = digit_bits
+        self.rows = bits // digit_bits
+        self.cols = 1 << digit_bits
+        self.leaf_size = leaf_size
+        self.nodes: dict[int, PastryNode] = {}
+        self._sorted_ids: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Identifier arithmetic
+    # ------------------------------------------------------------------
+    def digit(self, value: int, position: int) -> int:
+        """The ``position``-th digit (0 = most significant) of an id."""
+        shift = self.bits - (position + 1) * self.digit_bits
+        return (value >> shift) & (self.cols - 1)
+
+    def shared_prefix_len(self, a: int, b: int) -> int:
+        """Number of leading digits ``a`` and ``b`` share."""
+        length = 0
+        for position in range(self.rows):
+            if self.digit(a, position) != self.digit(b, position):
+                break
+            length += 1
+        return length
+
+    def circular_distance(self, a: int, b: int) -> int:
+        diff = abs(a - b)
+        return min(diff, self.space - diff)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        bits: int,
+        ids: list[int],
+        digit_bits: int = 4,
+        leaf_size: int = 8,
+    ) -> "PastryOverlay":
+        """Bulk-construct a converged Pastry network."""
+        overlay = cls(bits, digit_bits=digit_bits, leaf_size=leaf_size)
+        unique = sorted({int(i) for i in ids})
+        if len(unique) != len(ids):
+            raise DuplicateNodeError("duplicate identifiers in bulk build")
+        for node_id in unique:
+            if not 0 <= node_id < overlay.space:
+                raise OverlayError(f"identifier {node_id} outside [0, {overlay.space})")
+            overlay.nodes[node_id] = PastryNode(node_id, overlay.rows, overlay.cols)
+        overlay._sorted_ids = unique
+        for node in overlay.nodes.values():
+            overlay._fill_state(node)
+        return overlay
+
+    @classmethod
+    def with_random_ids(
+        cls,
+        bits: int,
+        count: int,
+        digit_bits: int = 4,
+        leaf_size: int = 8,
+        rng: RandomLike = None,
+    ) -> "PastryOverlay":
+        gen = as_generator(rng)
+        ids: set[int] = set()
+        space = 1 << bits
+        while len(ids) < count:
+            ids.add(int(gen.integers(0, space)))
+        return cls.build(bits, sorted(ids), digit_bits=digit_bits, leaf_size=leaf_size)
+
+    def _fill_state(self, node: PastryNode) -> None:
+        # Leaf set: the leaf_size/2 nearest ids on each ring side.
+        pos = bisect_left(self._sorted_ids, node.id)
+        n = len(self._sorted_ids)
+        half = self.leaf_size // 2
+        leaves: set[int] = set()
+        for offset in range(1, min(half, n - 1) + 1):
+            leaves.add(self._sorted_ids[(pos + offset) % n])
+            leaves.add(self._sorted_ids[(pos - offset) % n])
+        leaves.discard(node.id)
+        node.leaf_set = sorted(leaves)
+        # Routing table: for each (row, digit), a node sharing `row` digits
+        # with us and having `digit` next; choose the numerically closest
+        # qualifying node (a deterministic stand-in for proximity choice).
+        buckets: dict[tuple[int, int], int] = {}
+        for other in self._sorted_ids:
+            if other == node.id:
+                continue
+            row = self.shared_prefix_len(node.id, other)
+            if row >= self.rows:
+                continue
+            col = self.digit(other, row)
+            key = (row, col)
+            best = buckets.get(key)
+            if best is None or self.circular_distance(node.id, other) < self.circular_distance(
+                node.id, best
+            ):
+                buckets[key] = other
+        for (row, col), other in buckets.items():
+            node.routing_table[row][col] = other
+
+    # ------------------------------------------------------------------
+    # Overlay interface
+    # ------------------------------------------------------------------
+    def node_ids(self) -> list[int]:
+        return list(self._sorted_ids)
+
+    def owner(self, key: int) -> int:
+        """Numerically closest node (circular; ties to the lower id)."""
+        if not self._sorted_ids:
+            raise EmptyOverlayError("pastry overlay has no nodes")
+        key %= self.space
+        pos = bisect_left(self._sorted_ids, key)
+        candidates = {
+            self._sorted_ids[(pos - 1) % len(self._sorted_ids)],
+            self._sorted_ids[pos % len(self._sorted_ids)],
+        }
+        return min(
+            candidates, key=lambda nid: (self.circular_distance(key, nid), nid)
+        )
+
+    def route(self, source: int, key: int) -> RouteResult:
+        """Prefix routing with leaf-set delivery (local state only)."""
+        if source not in self.nodes:
+            raise NodeNotFoundError(f"node {source} not in overlay")
+        key %= self.space
+        path = [source]
+        current = self.nodes[source]
+        max_hops = 4 * (self.rows + self.leaf_size) + len(self._sorted_ids).bit_length()
+        while True:
+            # Delivery test: am I the numerically closest among myself and
+            # my leaf set?  (With a converged leaf set this equals owner().)
+            closest = min(
+                [current.id, *current.leaf_set],
+                key=lambda nid: (self.circular_distance(key, nid), nid),
+            )
+            if closest == current.id:
+                return RouteResult(key=key, path=tuple(path))
+            nxt = self._next_hop(current, key, closest)
+            path.append(nxt)
+            current = self.nodes[nxt]
+            if len(path) > max_hops:  # pragma: no cover - defensive
+                raise OverlayError(f"routing loop from {source} toward {key}")
+
+    def _next_hop(self, node: PastryNode, key: int, closest_leaf: int) -> int:
+        shared = self.shared_prefix_len(node.id, key)
+        if shared < self.rows:
+            candidate = node.routing_table[shared][self.digit(key, shared)]
+            if candidate is not None:
+                return candidate
+        # Rare case / leaf range: go to the best-known numerically closer
+        # node with at least as long a shared prefix.
+        best = closest_leaf
+        for row in range(self.rows):
+            for entry in node.routing_table[row]:
+                if entry is None:
+                    continue
+                if self.shared_prefix_len(entry, key) >= shared and self.circular_distance(
+                    entry, key
+                ) < self.circular_distance(best, key):
+                    best = entry
+        return best
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state_size(self, node_id: int) -> int:
+        """Populated routing entries + leaf set size (per-node state)."""
+        if node_id not in self.nodes:
+            raise NodeNotFoundError(f"node {node_id} not in overlay")
+        node = self.nodes[node_id]
+        table = sum(1 for row in node.routing_table for e in row if e is not None)
+        return table + len(node.leaf_set)

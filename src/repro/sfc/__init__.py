@@ -1,0 +1,65 @@
+"""Space-filling curves: the paper's dimension-reducing index machinery.
+
+Public surface:
+
+* :class:`~repro.sfc.base.SpaceFillingCurve` — curve interface (encode,
+  decode, recursive child enumeration).
+* :class:`~repro.sfc.hilbert.HilbertCurve` — the locality-preserving Hilbert
+  curve used by Squid.
+* :class:`~repro.sfc.zorder.MortonCurve` — Z-order comparison mapping.
+* :mod:`~repro.sfc.regions` — query regions (boxes / unions of boxes).
+* :mod:`~repro.sfc.clusters` — cluster generation and recursive refinement.
+* :mod:`~repro.sfc.analysis` — clustering/locality analytics.
+"""
+
+from repro.sfc.analysis import ClusterStats, cluster_stats, locality_ratio
+from repro.sfc.base import SpaceFillingCurve
+from repro.sfc.clusters import (
+    Cell,
+    Cluster,
+    FullRange,
+    clusters_at_level,
+    count_clusters_per_level,
+    refine_cluster,
+    resolve_clusters,
+    root_cluster,
+)
+from repro.sfc.graycurve import GrayCurve
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.regions import Box, Containment, Interval, Region, full_region
+from repro.sfc.zorder import MortonCurve
+
+__all__ = [
+    "SpaceFillingCurve",
+    "HilbertCurve",
+    "MortonCurve",
+    "GrayCurve",
+    "Box",
+    "Containment",
+    "Interval",
+    "Region",
+    "full_region",
+    "Cell",
+    "Cluster",
+    "FullRange",
+    "root_cluster",
+    "refine_cluster",
+    "clusters_at_level",
+    "resolve_clusters",
+    "count_clusters_per_level",
+    "ClusterStats",
+    "cluster_stats",
+    "locality_ratio",
+]
+
+CURVES = {"hilbert": HilbertCurve, "zorder": MortonCurve, "gray": GrayCurve}
+"""Registry of curve families by name (used by config-driven experiments)."""
+
+
+def make_curve(name: str, dims: int, order: int) -> SpaceFillingCurve:
+    """Instantiate a registered curve family by name."""
+    try:
+        cls = CURVES[name]
+    except KeyError:
+        raise ValueError(f"unknown curve {name!r}; choose from {sorted(CURVES)}") from None
+    return cls(dims, order)

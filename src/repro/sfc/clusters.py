@@ -1,0 +1,335 @@
+"""Curve clusters and their recursive refinement (the paper's §3.3–3.4).
+
+A *cluster* is a maximal run of consecutive curve cells that intersect a
+query region — the curve "enters and exits the region" once per cluster
+(paper Figure 5).  Clusters are generated recursively: refining every cell of
+a level-ℓ cluster into its ``2**d`` children (in curve order) and keeping the
+children that still intersect the region yields the level-(ℓ+1) clusters; the
+paper visualises this process as a tree (Figures 6–7) whose nodes carry the
+digital-causality *prefix* used as the routing identifier.
+
+Representation
+--------------
+Naively a cluster is a list of cells, but that explodes for broad queries
+(a wildcard-everything query is one cluster with ``2**(ℓ d)`` cells at level
+ℓ).  We exploit the containment trichotomy instead: a cluster is an ordered,
+index-contiguous sequence of *pieces*,
+
+* :class:`FullRange` — an index interval fully inside the region.  Fully
+  covered subtrees need no further geometry: refining them is the identity.
+* :class:`Cell` — one subcube that only *partially* intersects the region;
+  it carries its curve state so it can be refined exactly.
+
+Only partial cells are ever expanded, so the work per refinement level is
+proportional to the region's boundary rather than its volume, while the
+cluster semantics (maximal contiguous intersecting runs) are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Union
+
+from repro.errors import SFCError
+from repro.sfc.base import CurveState, SpaceFillingCurve
+from repro.sfc.regions import Containment, Region
+
+__all__ = [
+    "Cell",
+    "FullRange",
+    "Piece",
+    "Cluster",
+    "root_cluster",
+    "refine_cluster",
+    "clusters_at_level",
+    "resolve_clusters",
+    "count_clusters_per_level",
+]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A level-``level`` subcube that partially intersects the query region.
+
+    ``prefix`` holds the cell's ``level * dims`` leading index bits (the
+    digital-causality prefix); ``coords`` the ``level`` leading bits of each
+    coordinate; ``state`` the curve frame used to enumerate children.
+    """
+
+    level: int
+    prefix: int
+    coords: tuple[int, ...]
+    state: CurveState
+
+    def index_range(self, curve: SpaceFillingCurve) -> tuple[int, int]:
+        return curve.index_range_of_cell(self.level, self.prefix)
+
+    def bounds(self, curve: SpaceFillingCurve) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Per-dimension inclusive coordinate bounds of the subcube."""
+        span = 1 << (curve.order - self.level)
+        lows = tuple(c * span for c in self.coords)
+        highs = tuple(c * span + span - 1 for c in self.coords)
+        return lows, highs
+
+
+@dataclass(frozen=True)
+class FullRange:
+    """An inclusive index interval fully contained in the query region."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"empty range [{self.low}, {self.high}]")
+
+
+Piece = Union[Cell, FullRange]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A maximal contiguous curve segment intersecting the query region.
+
+    ``pieces`` are ordered by curve index and gap-free: each piece starts at
+    the previous piece's end + 1.  ``level`` is the refinement depth of the
+    Cell pieces (FullRange pieces may originate from shallower levels).
+    """
+
+    level: int
+    pieces: tuple[Piece, ...]
+
+    @property
+    def is_resolved(self) -> bool:
+        """True when no partial cells remain (pure index intervals)."""
+        return all(isinstance(p, FullRange) for p in self.pieces)
+
+    def min_index(self, curve: SpaceFillingCurve) -> int:
+        first = self.pieces[0]
+        if isinstance(first, FullRange):
+            return first.low
+        return first.index_range(curve)[0]
+
+    def max_index(self, curve: SpaceFillingCurve) -> int:
+        last = self.pieces[-1]
+        if isinstance(last, FullRange):
+            return last.high
+        return last.index_range(curve)[1]
+
+    def identifier(self, curve: SpaceFillingCurve) -> int:
+        """Routing identifier: the digital-causality prefix padded with zeros.
+
+        All indices of the cluster share their leading bits down to the
+        cluster's minimum index, so the padded prefix *is* the minimum index
+        (paper §3.4.1).
+        """
+        return self.min_index(curve)
+
+    def prefix(self, curve: SpaceFillingCurve) -> tuple[int, int]:
+        """Common leading bits of all indices: returns ``(bits, value)``.
+
+        ``bits`` is the length of the shared prefix; ``value`` its contents.
+        This is the identifier the paper labels tree nodes with (Figure 7).
+        """
+        low = self.min_index(curve)
+        high = self.max_index(curve)
+        bits = curve.index_bits
+        while bits > 0 and (low >> (curve.index_bits - bits)) != (
+            high >> (curve.index_bits - bits)
+        ):
+            bits -= 1
+        return bits, low >> (curve.index_bits - bits) if bits else 0
+
+    def iter_index_ranges(self, curve: SpaceFillingCurve) -> Iterator[tuple[int, int]]:
+        """Yield the inclusive index range of each piece, in order."""
+        for piece in self.pieces:
+            if isinstance(piece, FullRange):
+                yield piece.low, piece.high
+            else:
+                yield piece.index_range(curve)
+
+    def cell_count(self) -> int:
+        """Number of partial cells still unresolved in this cluster."""
+        return sum(1 for p in self.pieces if isinstance(p, Cell))
+
+
+def root_cluster(curve: SpaceFillingCurve, region: Region) -> Cluster | None:
+    """Level-0 cluster covering the whole curve, clipped to ``region``.
+
+    Returns ``None`` when the region is empty with respect to the cube
+    (cannot normally happen since regions are non-empty boxes in range).
+    """
+    lows = (0,) * curve.dims
+    highs = (curve.side - 1,) * curve.dims
+    relation = region.classify_cell(lows, highs)
+    if relation is Containment.DISJOINT:  # pragma: no cover - defensive
+        return None
+    if relation is Containment.FULL:
+        return Cluster(level=0, pieces=(FullRange(0, curve.size - 1),))
+    cell = Cell(level=0, prefix=0, coords=(0,) * curve.dims, state=curve.root_state())
+    return Cluster(level=0, pieces=(cell,))
+
+
+def refine_cluster(
+    curve: SpaceFillingCurve,
+    cluster: Cluster,
+    region: Region,
+    min_index: int = 0,
+) -> list[Cluster]:
+    """One refinement step: expand partial cells, split runs on gaps.
+
+    ``min_index`` restricts the result to curve indices ``>= min_index``
+    (used by the distributed engine: a node refines only the part of a
+    cluster beyond its own identifier).  FullRange pieces are passed through
+    (clipped); Cell pieces are expanded into their children in curve order
+    and classified against the region.  Maximal contiguous runs of surviving
+    pieces form the output clusters.
+    """
+    runs: list[Cluster] = []
+    current: list[Piece] = []
+    next_level = cluster.level + 1
+
+    def append_piece(piece: Piece) -> None:
+        # Coalesce adjacent FullRanges to keep piece lists short.
+        if current and isinstance(piece, FullRange) and isinstance(current[-1], FullRange):
+            last = current[-1]
+            if last.high + 1 == piece.low:
+                current[-1] = FullRange(last.low, piece.high)
+                return
+        current.append(piece)
+
+    def flush() -> None:
+        if current:
+            runs.append(Cluster(level=next_level, pieces=tuple(current)))
+            current.clear()
+
+    for piece in cluster.pieces:
+        if isinstance(piece, FullRange):
+            if piece.high < min_index:
+                flush()
+                continue
+            low = max(piece.low, min_index)
+            append_piece(FullRange(low, piece.high))
+            continue
+        # Partial cell: expand children in curve order.
+        if piece.level >= curve.order:
+            raise SFCError("cannot refine a cell at maximum order")
+        cell_range_span = curve.order - next_level
+        for rank, (label, child_state) in enumerate(curve.children(piece.state)):
+            child_coords = tuple(
+                (piece.coords[j] << 1) | ((label >> j) & 1) for j in range(curve.dims)
+            )
+            child_prefix = (piece.prefix << curve.dims) | rank
+            child_low, child_high = curve.index_range_of_cell(next_level, child_prefix)
+            if child_high < min_index:
+                flush()
+                continue
+            span = 1 << cell_range_span
+            lows = tuple(c * span for c in child_coords)
+            highs = tuple(c * span + span - 1 for c in child_coords)
+            relation = region.classify_cell(lows, highs)
+            if relation is Containment.DISJOINT:
+                flush()
+            elif relation is Containment.FULL:
+                append_piece(FullRange(max(child_low, min_index), child_high))
+            else:
+                child = Cell(
+                    level=next_level,
+                    prefix=child_prefix,
+                    coords=child_coords,
+                    state=child_state,
+                )
+                append_piece(child)
+    flush()
+    return runs
+
+
+def clusters_at_level(
+    curve: SpaceFillingCurve, region: Region, level: int
+) -> list[Cluster]:
+    """All clusters of ``region`` at refinement level ``level``.
+
+    FullRange pieces created at shallower levels are carried through, so the
+    result's clusters are exactly the maximal contiguous intersecting runs of
+    level-``level`` cells (what the paper counts as clusters at the k-th
+    curve approximation).
+    """
+    if not 0 <= level <= curve.order:
+        raise ValueError(f"level must be in [0, {curve.order}], got {level}")
+    root = root_cluster(curve, region)
+    if root is None:  # pragma: no cover - defensive
+        return []
+    clusters = [root]
+    for _ in range(level):
+        nxt: list[Cluster] = []
+        for cluster in clusters:
+            if cluster.is_resolved:
+                # No geometry left: refinement is the identity (level bump).
+                nxt.append(Cluster(level=cluster.level + 1, pieces=cluster.pieces))
+            else:
+                nxt.extend(refine_cluster(curve, cluster, region))
+        clusters = nxt
+    return clusters
+
+
+def resolve_clusters(
+    curve: SpaceFillingCurve, region: Region, max_level: int | None = None
+) -> list[tuple[int, int]]:
+    """Exact inclusive index intervals of the region's clusters.
+
+    Refines until every cluster is resolved (at worst at ``curve.order``,
+    where a cell is a single point).  Returns the sorted list of disjoint
+    index ranges whose union is precisely the set of curve indices of points
+    inside the region.  ``max_level`` caps refinement for approximate use.
+    """
+    limit = curve.order if max_level is None else min(max_level, curve.order)
+    root = root_cluster(curve, region)
+    if root is None:  # pragma: no cover - defensive
+        return []
+    clusters = [root]
+    for _ in range(limit):
+        if all(c.is_resolved for c in clusters):
+            break
+        nxt: list[Cluster] = []
+        for cluster in clusters:
+            if cluster.is_resolved:
+                nxt.append(Cluster(level=cluster.level + 1, pieces=cluster.pieces))
+            else:
+                nxt.extend(refine_cluster(curve, cluster, region))
+        clusters = nxt
+    ranges: list[tuple[int, int]] = []
+    for cluster in clusters:
+        low = cluster.min_index(curve)
+        high = cluster.max_index(curve)
+        if ranges and ranges[-1][1] + 1 >= low:
+            # Defensive merge; refinement should already keep runs maximal.
+            ranges[-1] = (ranges[-1][0], max(ranges[-1][1], high))
+        else:
+            ranges.append((low, high))
+    return ranges
+
+
+def count_clusters_per_level(
+    curve: SpaceFillingCurve, region: Region, max_level: int | None = None
+) -> list[int]:
+    """Number of clusters at each refinement level (paper Figure 6 counts).
+
+    Entry ``i`` is the cluster count at level ``i``; refinement stops early
+    once all clusters are resolved (counts stay constant afterwards).
+    """
+    limit = curve.order if max_level is None else min(max_level, curve.order)
+    root = root_cluster(curve, region)
+    if root is None:  # pragma: no cover - defensive
+        return [0]
+    clusters = [root]
+    counts = [len(clusters)]
+    for _ in range(limit):
+        nxt: list[Cluster] = []
+        for cluster in clusters:
+            if cluster.is_resolved:
+                nxt.append(Cluster(level=cluster.level + 1, pieces=cluster.pieces))
+            else:
+                nxt.extend(refine_cluster(curve, cluster, region))
+        clusters = nxt
+        counts.append(len(clusters))
+    return counts

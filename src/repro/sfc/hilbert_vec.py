@@ -1,0 +1,147 @@
+"""Vectorized Hilbert encode/decode for curves whose index fits in 63 bits.
+
+Bulk-indexing the paper's workloads (10^5 keys) with the scalar encoder costs
+seconds; this NumPy formulation processes all points level-by-level with the
+same entry/direction state machine as :mod:`repro.sfc.hilbert`, carrying one
+``(entry, direction)`` pair per point in integer arrays.  Correctness is
+cross-checked against the scalar implementation in ``tests/sfc``.
+
+The per-level primitives (Gray code, masked rotations) mirror
+:mod:`repro.util.bits` but operate elementwise on ``int64`` arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CoordinateRangeError, DimensionMismatchError, IndexRangeError
+
+__all__ = ["hilbert_encode_vec", "hilbert_decode_vec"]
+
+
+def _gray_encode(values: np.ndarray) -> np.ndarray:
+    return values ^ (values >> 1)
+
+
+def _gray_decode(codes: np.ndarray, width: int) -> np.ndarray:
+    # Prefix XOR over at most `width` bits: out_i = xor of codes bits >= i.
+    out = codes.copy()
+    acc = codes.copy()
+    for _ in range(width - 1):
+        acc = acc >> 1
+        out ^= acc
+    return out
+
+
+def _rotate_left(values: np.ndarray, counts: np.ndarray, width: int) -> np.ndarray:
+    counts = counts % width
+    mask = (1 << width) - 1
+    return ((values << counts) | (values >> (width - counts))) & mask
+
+
+def _rotate_right(values: np.ndarray, counts: np.ndarray, width: int) -> np.ndarray:
+    return _rotate_left(values, width - (counts % width), width)
+
+
+def _trailing_set_bits_table(width: int) -> np.ndarray:
+    """Lookup table of trailing-set-bit counts for values in [0, 2**width)."""
+    size = 1 << width
+    table = np.zeros(size, dtype=np.int64)
+    for value in range(size):
+        count = 0
+        v = value
+        while v & 1:
+            count += 1
+            v >>= 1
+        table[value] = count
+    return table
+
+
+def _entry_point_table(width: int) -> np.ndarray:
+    """Lookup table of subcube entry vertices e(rank) for rank in [0, 2**width)."""
+    size = 1 << width
+    table = np.zeros(size, dtype=np.int64)
+    for rank in range(1, size):
+        base = 2 * ((rank - 1) // 2)
+        table[rank] = base ^ (base >> 1)
+    return table
+
+
+def _intra_direction_table(width: int) -> np.ndarray:
+    """Lookup table of intra-subcube directions d(rank)."""
+    size = 1 << width
+    table = np.zeros(size, dtype=np.int64)
+    for rank in range(1, size):
+        if rank % 2 == 0:
+            table[rank] = _tsb_int(rank - 1) % width
+        else:
+            table[rank] = _tsb_int(rank) % width
+    return table
+
+
+def _tsb_int(value: int) -> int:
+    count = 0
+    while value & 1:
+        count += 1
+        value >>= 1
+    return count
+
+
+def hilbert_encode_vec(points: np.ndarray, dims: int, order: int) -> np.ndarray:
+    """Encode an ``(N, dims)`` array of coordinates to Hilbert indices.
+
+    Requires ``dims * order <= 63`` so indices fit into ``int64``.
+    """
+    if dims * order > 63:
+        raise IndexRangeError("vectorized path requires dims*order <= 63")
+    pts = np.ascontiguousarray(points, dtype=np.int64)
+    if pts.ndim != 2 or pts.shape[1] != dims:
+        raise DimensionMismatchError(dims, pts.shape[-1] if pts.ndim else 0)
+    side = 1 << order
+    if pts.size and (int(pts.min()) < 0 or int(pts.max()) >= side):
+        raise CoordinateRangeError(f"coordinates outside [0, {side})")
+
+    n = pts.shape[0]
+    entry = np.zeros(n, dtype=np.int64)
+    direction = np.zeros(n, dtype=np.int64)
+    index = np.zeros(n, dtype=np.int64)
+    e_table = _entry_point_table(dims)
+    d_table = _intra_direction_table(dims)
+
+    for level in range(order - 1, -1, -1):
+        label = np.zeros(n, dtype=np.int64)
+        for j in range(dims):
+            label |= ((pts[:, j] >> level) & 1) << j
+        transformed = _rotate_right(label ^ entry, direction + 1, dims)
+        rank = _gray_decode(transformed, dims)
+        index = (index << dims) | rank
+        entry = entry ^ _rotate_left(e_table[rank], direction + 1, dims)
+        direction = (direction + d_table[rank] + 1) % dims
+    return index
+
+
+def hilbert_decode_vec(indices: np.ndarray, dims: int, order: int) -> np.ndarray:
+    """Decode an array of Hilbert indices to an ``(N, dims)`` coordinate array."""
+    if dims * order > 63:
+        raise IndexRangeError("vectorized path requires dims*order <= 63")
+    idx = np.ascontiguousarray(np.asarray(indices).ravel(), dtype=np.int64)
+    size = 1 << (dims * order)  # Python int: 2**63 would overflow int64.
+    if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= size):
+        raise IndexRangeError(f"indices outside [0, {size})")
+
+    n = idx.shape[0]
+    entry = np.zeros(n, dtype=np.int64)
+    direction = np.zeros(n, dtype=np.int64)
+    coords = np.zeros((n, dims), dtype=np.int64)
+    e_table = _entry_point_table(dims)
+    d_table = _intra_direction_table(dims)
+    dim_mask = (1 << dims) - 1
+
+    for level in range(order - 1, -1, -1):
+        rank = (idx >> (level * dims)) & dim_mask
+        label = _rotate_left(_gray_encode(rank), direction + 1, dims) ^ entry
+        for j in range(dims):
+            coords[:, j] |= ((label >> j) & 1) << level
+        entry = entry ^ _rotate_left(e_table[rank], direction + 1, dims)
+        direction = (direction + d_table[rank] + 1) % dims
+    return coords

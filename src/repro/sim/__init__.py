@@ -1,0 +1,18 @@
+"""Discrete-event simulation: event core and churn/maintenance processes."""
+
+from repro.sim.churn import (
+    ChurnConfig,
+    ChurnProcess,
+    LoadBalanceProcess,
+    StabilizationProcess,
+)
+from repro.sim.events import Event, Simulator
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "ChurnConfig",
+    "ChurnProcess",
+    "StabilizationProcess",
+    "LoadBalanceProcess",
+]

@@ -1,0 +1,161 @@
+"""Churn and maintenance processes over a live Squid system.
+
+Drives membership dynamics on the discrete-event core: Poisson node
+arrivals/departures/crashes and the paper's periodic stabilization ("each
+node periodically runs a stabilization algorithm where it chooses a random
+entry in its finger table, checks for its state, and updates it if
+required", §3.2).  Used by the fault-tolerance tests and the churn example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.system import SquidSystem
+from repro.sim.events import Simulator
+from repro.util.rng import RandomLike, as_generator
+
+__all__ = ["ChurnConfig", "ChurnProcess", "StabilizationProcess", "LoadBalanceProcess"]
+
+
+@dataclass
+class ChurnConfig:
+    """Rates are events per time unit across the whole system."""
+
+    join_rate: float = 0.0
+    leave_rate: float = 0.0
+    crash_rate: float = 0.0
+    min_nodes: int = 2
+
+
+@dataclass
+class ChurnStats:
+    joins: int = 0
+    leaves: int = 0
+    crashes: int = 0
+    messages: int = 0
+
+
+class ChurnProcess:
+    """Poisson membership churn driving a SquidSystem on a Simulator.
+
+    Graceful leaves move keys to the successor; crashes *lose* the crashed
+    node's keys (as in a real deployment without replication) and leave
+    stale routing state behind for stabilization to repair.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system: SquidSystem,
+        config: ChurnConfig,
+        rng: RandomLike = None,
+    ) -> None:
+        self.sim = sim
+        self.system = system
+        self.config = config
+        self.rng = as_generator(rng)
+        self.stats = ChurnStats()
+        self._arm("join", config.join_rate)
+        self._arm("leave", config.leave_rate)
+        self._arm("crash", config.crash_rate)
+
+    def _arm(self, kind: str, rate: float) -> None:
+        if rate <= 0:
+            return
+        delay = float(self.rng.exponential(1.0 / rate))
+
+        def fire() -> None:
+            self._do(kind)
+            self._arm(kind, rate)
+
+        self.sim.schedule(delay, fire)
+
+    def _do(self, kind: str) -> None:
+        overlay = self.system.overlay
+        ids = overlay.node_ids()
+        if kind == "join":
+            node_id = int(self.rng.integers(0, overlay.space))
+            if node_id in overlay.nodes:
+                return
+            self.stats.messages += self.system.add_node(node_id)
+            self.stats.joins += 1
+        elif len(ids) > self.config.min_nodes:
+            victim = ids[int(self.rng.integers(0, len(ids)))]
+            if kind == "leave":
+                self.stats.messages += self.system.remove_node(victim)
+                self.stats.leaves += 1
+            else:
+                # Crash: keys on the victim are lost; no notifications.
+                overlay.fail(victim)
+                self.system.stores.pop(victim)
+                self.stats.crashes += 1
+
+
+class LoadBalanceProcess:
+    """Periodic runtime load balancing (paper §3.5).
+
+    "The runtime load-balancing step consists of periodically running a
+    local load-balancing algorithm between few neighboring nodes" — and,
+    because each round costs O(log N) per node, "this load-balancing
+    algorithm cannot be run very often": the interval should be long
+    relative to stabilization.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system: SquidSystem,
+        interval: float,
+        threshold: float = 1.5,
+        rng: RandomLike = None,
+    ) -> None:
+        from repro.core.loadbalance import neighbor_balance_round
+
+        self.sim = sim
+        self.system = system
+        self.threshold = threshold
+        self.rng = as_generator(rng)
+        self.rounds = 0
+        self.shifts = 0
+        self.messages = 0
+        self._balance = neighbor_balance_round
+        jitter = lambda: float(self.rng.uniform(0, interval * 0.1))
+        self._stop = sim.schedule_periodic(interval, self._round, jitter=jitter)
+
+    def _round(self) -> None:
+        shifts, cost = self._balance(self.system, threshold=self.threshold)
+        self.rounds += 1
+        self.shifts += shifts
+        self.messages += cost
+
+    def stop(self) -> None:
+        self._stop()
+
+
+class StabilizationProcess:
+    """Periodic per-node stabilization (successor/predecessor/finger repair)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system: SquidSystem,
+        interval: float,
+        rng: RandomLike = None,
+    ) -> None:
+        self.sim = sim
+        self.system = system
+        self.rng = as_generator(rng)
+        self.messages = 0
+        jitter = lambda: float(self.rng.uniform(0, interval * 0.1))
+        self._stop = sim.schedule_periodic(interval, self._round, jitter=jitter)
+
+    def _round(self) -> None:
+        overlay = self.system.overlay
+        for node_id in overlay.node_ids():
+            self.messages += overlay.stabilize_node(node_id, self.rng)
+
+    def stop(self) -> None:
+        self._stop()

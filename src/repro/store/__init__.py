@@ -1,0 +1,5 @@
+"""Per-node storage for the distributed index."""
+
+from repro.store.local import LocalStore, StoredElement
+
+__all__ = ["LocalStore", "StoredElement"]

@@ -1,0 +1,5 @@
+"""Shared utilities: bit manipulation, statistics, seeded randomness."""
+
+from repro.util import bits, rng, stats
+
+__all__ = ["bits", "rng", "stats"]

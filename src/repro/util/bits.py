@@ -1,0 +1,199 @@
+"""Bit-manipulation primitives used by the space-filling-curve machinery.
+
+These helpers operate on arbitrary-precision Python integers so curves of any
+dimensionality/order are supported; the vectorized NumPy fast path lives in
+:mod:`repro.sfc.hilbert_vec` and mirrors the same definitions.
+
+Conventions
+-----------
+* ``width``-bit values are unsigned and live in ``[0, 2**width)``.
+* Rotations are *cyclic within the low ``width`` bits*; bits above ``width``
+  must be zero on input and are zero on output.
+* Bit ``i`` of a coordinate label refers to dimension ``i`` (LSB = dim 0),
+  matching the Hamilton compact-Hilbert formulation used in
+  :mod:`repro.sfc.hilbert`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = [
+    "bit_mask",
+    "gray_encode",
+    "gray_decode",
+    "rotate_left",
+    "rotate_right",
+    "trailing_set_bits",
+    "trailing_zero_bits",
+    "bit_at",
+    "set_bit",
+    "popcount",
+    "bit_length_ceil",
+    "extract_dim_bits",
+    "interleave_bits",
+    "deinterleave_bits",
+    "iter_bits_msb",
+    "reverse_bits",
+]
+
+
+def bit_mask(width: int) -> int:
+    """Return a mask with the low ``width`` bits set.
+
+    >>> bin(bit_mask(4))
+    '0b1111'
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def gray_encode(value: int) -> int:
+    """Binary-reflected Gray code of ``value``.
+
+    >>> [gray_encode(i) for i in range(4)]
+    [0, 1, 3, 2]
+    """
+    if value < 0:
+        raise ValueError("gray_encode requires a non-negative integer")
+    return value ^ (value >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Inverse of :func:`gray_encode`.
+
+    Implemented as a prefix-XOR with logarithmic number of shifts.
+    """
+    if code < 0:
+        raise ValueError("gray_decode requires a non-negative integer")
+    value = code
+    shift = 1
+    # Prefix XOR of the *accumulated* value: doubling shift converges in
+    # O(log bits) steps because each pass folds in twice as many bits.
+    while (value >> shift) > 0:
+        value ^= value >> shift
+        shift <<= 1
+    return value
+
+
+def rotate_left(value: int, count: int, width: int) -> int:
+    """Cyclically rotate the low ``width`` bits of ``value`` left by ``count``."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if value >> width:
+        raise ValueError(f"value {value:#x} does not fit in {width} bits")
+    count %= width
+    if count == 0:
+        return value
+    mask = bit_mask(width)
+    return ((value << count) | (value >> (width - count))) & mask
+
+
+def rotate_right(value: int, count: int, width: int) -> int:
+    """Cyclically rotate the low ``width`` bits of ``value`` right by ``count``."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return rotate_left(value, width - (count % width), width)
+
+
+def trailing_set_bits(value: int) -> int:
+    """Number of consecutive 1-bits at the least-significant end.
+
+    >>> trailing_set_bits(0b0111)
+    3
+    >>> trailing_set_bits(0b0100)
+    0
+    """
+    if value < 0:
+        raise ValueError("trailing_set_bits requires a non-negative integer")
+    count = 0
+    while value & 1:
+        count += 1
+        value >>= 1
+    return count
+
+
+def trailing_zero_bits(value: int) -> int:
+    """Number of consecutive 0-bits at the least-significant end.
+
+    ``value`` must be positive (the count is unbounded for zero).
+    """
+    if value <= 0:
+        raise ValueError("trailing_zero_bits requires a positive integer")
+    return (value & -value).bit_length() - 1
+
+
+def bit_at(value: int, position: int) -> int:
+    """Return bit ``position`` (LSB = 0) of ``value`` as 0 or 1."""
+    return (value >> position) & 1
+
+
+def set_bit(value: int, position: int, bit: int) -> int:
+    """Return ``value`` with bit ``position`` forced to ``bit`` (0 or 1)."""
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit}")
+    mask = 1 << position
+    return (value | mask) if bit else (value & ~mask)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value``."""
+    if value < 0:
+        raise ValueError("popcount requires a non-negative integer")
+    return bin(value).count("1")
+
+
+def bit_length_ceil(value: int) -> int:
+    """Smallest ``k`` such that ``value < 2**k`` (0 for value == 0)."""
+    if value < 0:
+        raise ValueError("bit_length_ceil requires a non-negative integer")
+    return value.bit_length()
+
+
+def extract_dim_bits(index: int, dim: int, dims: int, order: int) -> int:
+    """Extract the ``order`` bits of dimension ``dim`` from a Morton index.
+
+    The Morton (Z-order) index interleaves coordinate bits MSB-first with
+    dimension 0 occupying the most significant bit of each ``dims``-bit group.
+    """
+    coord = 0
+    for level in range(order):
+        group_shift = (order - 1 - level) * dims
+        bit = (index >> (group_shift + dims - 1 - dim)) & 1
+        coord = (coord << 1) | bit
+    return coord
+
+
+def interleave_bits(coords: tuple[int, ...], order: int) -> int:
+    """Morton-interleave ``coords`` (each ``order`` bits) into one integer.
+
+    Dimension 0 contributes the most significant bit of each level group,
+    i.e. ``interleave_bits((x, y), k)`` produces ``x_k y_k x_{k-1} y_{k-1} ...``.
+    """
+    dims = len(coords)
+    index = 0
+    for level in range(order - 1, -1, -1):
+        for dim, coord in enumerate(coords):
+            index = (index << 1) | ((coord >> level) & 1)
+    return index
+
+
+def deinterleave_bits(index: int, dims: int, order: int) -> tuple[int, ...]:
+    """Inverse of :func:`interleave_bits`."""
+    return tuple(extract_dim_bits(index, dim, dims, order) for dim in range(dims))
+
+
+def iter_bits_msb(value: int, width: int) -> Iterator[int]:
+    """Yield the low ``width`` bits of ``value`` from most significant down."""
+    for position in range(width - 1, -1, -1):
+        yield (value >> position) & 1
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``."""
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result

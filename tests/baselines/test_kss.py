@@ -1,0 +1,95 @@
+"""Tests for the Keyword-Set System baseline (paper ref [7])."""
+
+import pytest
+
+from repro.baselines.inverted import InvertedIndexSystem, UnsupportedQueryError
+from repro.baselines.kss import KeywordSetSystem
+from repro.errors import EngineError
+from repro.workloads.documents import DocumentWorkload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    wl = DocumentWorkload.generate(2, 300, rng=0)
+    kss = KeywordSetSystem(wl.space, n_nodes=40, set_size=2, rng=1)
+    kss.publish_many(wl.keys)
+    inverted = InvertedIndexSystem(wl.space, n_nodes=40, rng=1)
+    inverted.publish_many(wl.keys)
+    return kss, inverted, wl
+
+
+class TestConstruction:
+    def test_set_size_validation(self):
+        wl = DocumentWorkload.generate(2, 10, rng=2)
+        with pytest.raises(EngineError):
+            KeywordSetSystem(wl.space, n_nodes=10, set_size=0)
+
+
+class TestPublish:
+    def test_publish_cost_counts_subsets(self, setup):
+        kss, _, _ = setup
+        # For a 2-keyword key with set_size 2: 2 singletons + 1 pair = 3.
+        assert kss.publish(("alpha", "beta")) == 3
+
+    def test_storage_overhead_exceeds_inverted_index(self, setup):
+        kss, inverted, wl = setup
+        inverted_entries = sum(
+            len(keys)
+            for node in inverted.postings.values()
+            for keys in node.values()
+        )
+        assert kss.storage_entries() > inverted_entries
+
+
+class TestQueries:
+    def test_two_keyword_query_exact(self, setup):
+        kss, _, wl = setup
+        key = wl.keys[0]
+        matches, stats = kss.query(f"({key[0]}, {key[1]})")
+        want = sorted(k for k in set(wl.keys) if k == key)
+        assert matches == want
+        assert stats.set_size_used == 2
+
+    def test_single_keyword_query(self, setup):
+        kss, _, wl = setup
+        word = wl.keys[0][0]
+        matches, stats = kss.query(f"({word}, *)")
+        want = sorted(set(k for k in wl.keys if k[0] == word))
+        assert matches == want
+        assert stats.set_size_used == 1
+
+    def test_two_keyword_query_transfers_fewer_entries_than_inverted(self, setup):
+        """KSS's point: the pair posting list is pre-intersected."""
+        kss, inverted, wl = setup
+        totals = {"kss": 0, "inv": 0}
+        for key in wl.keys[:20]:
+            q = f"({key[0]}, {key[1]})"
+            _, kss_stats = kss.query(q)
+            _, inv_stats = inverted.query(q)
+            totals["kss"] += kss_stats.entries_transferred
+            totals["inv"] += inv_stats.entries_transferred
+        assert totals["kss"] < totals["inv"]
+
+    def test_constant_message_count(self, setup):
+        kss, _, wl = setup
+        key = wl.keys[5]
+        _, stats = kss.query(f"({key[0]}, {key[1]})")
+        assert stats.messages == 2
+
+    def test_partial_keywords_unsupported(self, setup):
+        kss, _, _ = setup
+        with pytest.raises(UnsupportedQueryError):
+            kss.query("(comp*, *)")
+
+    def test_all_wildcards_unsupported(self, setup):
+        kss, _, _ = setup
+        with pytest.raises(UnsupportedQueryError):
+            kss.query("(*, *)")
+
+    def test_position_respected(self):
+        wl = DocumentWorkload.generate(2, 10, rng=3)
+        kss = KeywordSetSystem(wl.space, n_nodes=10, rng=4)
+        kss.publish(("alpha", "beta"))
+        kss.publish(("beta", "alpha"))
+        matches, _ = kss.query("(alpha, *)")
+        assert matches == [("alpha", "beta")]

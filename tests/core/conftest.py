@@ -1,0 +1,57 @@
+"""Shared fixtures for core tests: small populated systems."""
+
+import numpy as np
+import pytest
+
+from repro import KeywordSpace, NumericDimension, SquidSystem, WordDimension
+
+WORDS = [
+    "computer", "computation", "company", "compute", "network", "net",
+    "storage", "store", "system", "data", "database", "grid", "peer",
+    "node", "cloud", "cluster", "memory", "cpu", "disk", "search",
+]
+
+
+@pytest.fixture(scope="module")
+def storage_system():
+    """2-D word system with a reproducible workload (module-scoped: read-only)."""
+    space = KeywordSpace([WordDimension("kw1"), WordDimension("kw2")], bits=10)
+    system = SquidSystem.create(space, n_nodes=48, seed=42)
+    rng = np.random.default_rng(7)
+    keys = [
+        (WORDS[rng.integers(len(WORDS))], WORDS[rng.integers(len(WORDS))])
+        for _ in range(400)
+    ]
+    system.publish_many(keys, payloads=list(range(len(keys))))
+    return system
+
+
+@pytest.fixture(scope="module")
+def grid_system():
+    """3-D numeric (grid resource) system."""
+    space = KeywordSpace(
+        [
+            NumericDimension("memory", 0, 1024),
+            NumericDimension("bandwidth", 0, 1000),
+            NumericDimension("cost", 0, 100),
+        ],
+        bits=8,
+    )
+    system = SquidSystem.create(space, n_nodes=64, seed=13)
+    rng = np.random.default_rng(5)
+    vals = rng.uniform(size=(600, 3)) * np.array([1024, 1000, 100])
+    system.publish_many([tuple(v) for v in vals])
+    return system
+
+
+def fresh_storage_system(n_nodes=32, n_keys=300, seed=0, bits=10):
+    """A mutable system for tests that change membership or move keys."""
+    space = KeywordSpace([WordDimension("kw1"), WordDimension("kw2")], bits=bits)
+    system = SquidSystem.create(space, n_nodes=n_nodes, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    keys = [
+        (WORDS[rng.integers(len(WORDS))], WORDS[rng.integers(len(WORDS))])
+        for _ in range(n_keys)
+    ]
+    system.publish_many(keys)
+    return system

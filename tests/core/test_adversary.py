@@ -1,0 +1,109 @@
+"""Tests for the query-drop adversary and its mitigations."""
+
+import numpy as np
+import pytest
+
+from repro.core.adversary import AdversarialEngine, run_attack_experiment
+from repro.errors import EngineError
+from tests.core.conftest import fresh_storage_system
+
+QUERY = "(comp*, *)"
+
+
+def attacked_setup(seed=0, n_nodes=40, n_keys=300):
+    system = fresh_storage_system(n_nodes=n_nodes, n_keys=n_keys, seed=seed)
+    want = {id(e) for e in system.brute_force_matches(QUERY)}
+    return system, want
+
+
+class TestNoAdversary:
+    def test_empty_dropper_set_is_exact(self):
+        system, want = attacked_setup()
+        engine = AdversarialEngine(droppers=set())
+        result = engine.execute(system, QUERY, rng=1)
+        assert {id(e) for e in result.matches} == want
+
+
+class TestDropAttack:
+    def test_droppers_reduce_recall(self):
+        system, want = attacked_setup(seed=1)
+        rng = np.random.default_rng(2)
+        droppers = {int(x) for x in rng.choice(system.overlay.node_ids(), 12, replace=False)}
+        honest = [n for n in system.overlay.node_ids() if n not in droppers]
+        engine = AdversarialEngine(droppers=droppers)
+        got = {
+            id(e)
+            for e in engine.execute(system, QUERY, origin=honest[0], rng=3).matches
+        }
+        assert got <= want
+        assert len(got) < len(want)  # at 30% droppers, something is lost
+
+    def test_malicious_origin_returns_nothing(self):
+        system, _ = attacked_setup(seed=2)
+        victim = system.overlay.node_ids()[0]
+        engine = AdversarialEngine(droppers={victim})
+        result = engine.execute(system, QUERY, origin=victim, rng=4)
+        assert result.matches == []
+
+    def test_never_false_positives(self):
+        system, want = attacked_setup(seed=3)
+        rng = np.random.default_rng(5)
+        droppers = {int(x) for x in rng.choice(system.overlay.node_ids(), 10, replace=False)}
+        honest = [n for n in system.overlay.node_ids() if n not in droppers]
+        for retry in (False, True):
+            engine = AdversarialEngine(droppers=droppers, retry=retry)
+            got = {
+                id(e)
+                for e in engine.execute(system, QUERY, origin=honest[0], rng=6).matches
+            }
+            assert got <= want
+
+
+class TestMitigations:
+    def test_retry_improves_recall(self):
+        results = run_attack(seed=4)
+        assert results["retry"]["recall"] >= results["plain"]["recall"]
+
+    def test_retry_plus_replication_best(self):
+        results = run_attack(seed=5)
+        assert results["retry+repl"]["recall"] >= results["retry"]["recall"]
+        assert results["retry+repl"]["recall"] > results["plain"]["recall"]
+
+    def test_replication_recall_near_one(self):
+        results = run_attack(seed=6)
+        assert results["retry+repl"]["recall"] > 0.9
+
+
+def run_attack(seed):
+    out = {}
+    queries = [QUERY, "(*, net*)", "(s*, *)"]
+    for label, retry, degree in (
+        ("plain", False, 0),
+        ("retry", True, 0),
+        ("retry+repl", True, 2),
+    ):
+        system, _ = attacked_setup(seed=seed)
+        out[label] = run_attack_experiment(
+            system,
+            queries,
+            dropper_fraction=0.2,
+            retry=retry,
+            replication_degree=degree,
+            rng=seed + 10,
+        )
+    return out
+
+
+class TestRunAttackExperiment:
+    def test_zero_fraction_full_recall(self):
+        system, _ = attacked_setup(seed=7)
+        result = run_attack_experiment(
+            system, [QUERY], dropper_fraction=0.0, retry=False, rng=8
+        )
+        assert result["recall"] == 1.0
+        assert result["droppers"] == 0
+
+    def test_bad_fraction(self):
+        system, _ = attacked_setup(seed=8)
+        with pytest.raises(EngineError):
+            run_attack_experiment(system, [QUERY], dropper_fraction=1.0, retry=False)

@@ -1,0 +1,66 @@
+"""Differential testing across curve families.
+
+The curve is an implementation detail of placement: any registered curve
+must yield exactly the same query results on the same workload.  Costs may
+differ — that is the ablation — but correctness may not.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SquidSystem
+from repro.sfc import CURVES
+from repro.workloads.documents import DocumentWorkload
+
+QUERIES = ["(comp*, *)", "(*, net*)", "(c*, s*)", "(*, *)", "(zzz*, *)"]
+
+
+@pytest.fixture(scope="module")
+def systems():
+    workload = DocumentWorkload.generate(2, 600, vocabulary_size=800, bits=12, rng=0)
+    built = {}
+    for name in CURVES:
+        system = SquidSystem.create(workload.space, n_nodes=48, curve=name, seed=1)
+        system.publish_many(workload.keys, payloads=list(range(len(workload.keys))))
+        built[name] = system
+    return built
+
+
+class TestResultEquivalence:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_all_curves_same_matches(self, systems, query):
+        payload_sets = {
+            name: sorted(e.payload for e in system.query(query, rng=2).matches)
+            for name, system in systems.items()
+        }
+        reference = payload_sets["hilbert"]
+        for name, payloads in payload_sets.items():
+            assert payloads == reference, f"{name} disagrees on {query}"
+
+    def test_all_curves_match_oracle(self, systems):
+        for name, system in systems.items():
+            got = sorted(e.payload for e in system.query("(comp*, *)", rng=3).matches)
+            want = sorted(e.payload for e in system.brute_force_matches("(comp*, *)"))
+            assert got == want, name
+
+
+class TestCostOrdering:
+    def test_hilbert_cheapest_on_average(self, systems):
+        """The ablation claim, end-to-end: hilbert <= gray <= zorder in mean
+        processing nodes over a mixed query set."""
+        costs = {}
+        for name, system in systems.items():
+            total = 0
+            for query in QUERIES[:4]:
+                total += system.query(query, rng=4).stats.processing_node_count
+            costs[name] = total
+        assert costs["hilbert"] <= costs["gray"] * 1.1
+        assert costs["hilbert"] <= costs["zorder"]
+
+    def test_placement_differs_between_curves(self, systems):
+        """Sanity: the curves genuinely place keys differently."""
+        loads = {
+            name: tuple(sorted(system.node_loads().items()))
+            for name, system in systems.items()
+        }
+        assert loads["hilbert"] != loads["zorder"]

@@ -1,0 +1,134 @@
+"""Property-based tests of the end-to-end query guarantee.
+
+Hypothesis generates random workloads, topologies and queries; the
+distributed engines must always return exactly the brute-force match set
+(the paper's central guarantee), and the cost metrics must satisfy their
+structural invariants.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    KeywordSpace,
+    NaiveEngine,
+    NumericDimension,
+    OptimizedEngine,
+    SquidSystem,
+    WordDimension,
+)
+
+words = st.text(alphabet="abcdef", min_size=1, max_size=6)
+small_words = st.text(alphabet="abc", min_size=1, max_size=4)
+
+
+def _build_word_system(keys, n_nodes, seed, bits=8):
+    space = KeywordSpace([WordDimension("k1"), WordDimension("k2")], bits=bits)
+    system = SquidSystem.create(space, n_nodes=n_nodes, seed=seed)
+    for i, key in enumerate(keys):
+        system.publish(key, payload=i)
+    return system
+
+
+@st.composite
+def word_scenario(draw):
+    keys = draw(
+        st.lists(st.tuples(small_words, small_words), min_size=1, max_size=30)
+    )
+    n_nodes = draw(st.integers(min_value=2, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    prefix = draw(small_words)
+    return keys, n_nodes, seed, prefix
+
+
+class TestGuaranteeProperty:
+    @given(word_scenario())
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_prefix_query_exact(self, scenario):
+        keys, n_nodes, seed, prefix = scenario
+        system = _build_word_system(keys, n_nodes, seed)
+        query = f"({prefix}*, *)"
+        got = sorted(e.payload for e in system.query(query, rng=seed).matches)
+        want = sorted(e.payload for e in system.brute_force_matches(query))
+        assert got == want
+
+    @given(word_scenario())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_exact_query_finds_published_key(self, scenario):
+        keys, n_nodes, seed, _ = scenario
+        system = _build_word_system(keys, n_nodes, seed)
+        target = keys[0]
+        query = f"({target[0]}, {target[1]})"
+        got = {e.key for e in system.query(query, rng=seed).matches}
+        assert target in got
+
+    @given(word_scenario())
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_engines_agree(self, scenario):
+        keys, n_nodes, seed, prefix = scenario
+        system = _build_word_system(keys, n_nodes, seed)
+        query = f"({prefix}*, *)"
+        opt = sorted(e.payload for e in system.query(query, engine=OptimizedEngine(), rng=0).matches)
+        naive = sorted(e.payload for e in system.query(query, engine=NaiveEngine(), rng=0).matches)
+        assert opt == naive
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.integers(min_value=2, max_value=30),
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_numeric_range_exact(self, values, n_nodes, a, b, seed):
+        low, high = sorted((a, b))
+        space = KeywordSpace(
+            [NumericDimension("x", 0, 100), NumericDimension("y", 0, 100)], bits=7
+        )
+        system = SquidSystem.create(space, n_nodes=n_nodes, seed=seed)
+        for i, pair in enumerate(values):
+            system.publish(pair, payload=i)
+        query = f"({low}-{high}, *)"
+        got = sorted(e.payload for e in system.query(query, rng=seed).matches)
+        want = sorted(i for i, (x, _) in enumerate(values) if low <= x <= high)
+        assert got == want
+
+
+class TestCostInvariants:
+    @given(word_scenario())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_metric_ordering(self, scenario):
+        keys, n_nodes, seed, prefix = scenario
+        system = _build_word_system(keys, n_nodes, seed)
+        stats = system.query(f"({prefix}*, *)", rng=seed).stats
+        assert stats.data_nodes <= stats.processing_nodes
+        assert stats.processing_nodes <= stats.routing_nodes
+        assert stats.processing_node_count <= n_nodes
+        assert stats.hops >= 0
+        assert stats.messages >= 0
+
+    @given(word_scenario())
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_wildcard_all_visits_everyone(self, scenario):
+        keys, n_nodes, seed, _ = scenario
+        system = _build_word_system(keys, n_nodes, seed)
+        stats = system.query("(*, *)", rng=seed).stats
+        assert stats.processing_node_count == n_nodes
+
+    @given(word_scenario())
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_repeatable_from_same_origin(self, scenario):
+        keys, n_nodes, seed, prefix = scenario
+        system = _build_word_system(keys, n_nodes, seed)
+        origin = system.overlay.node_ids()[0]
+        a = system.query(f"({prefix}*, *)", origin=origin, rng=0).stats
+        b = system.query(f"({prefix}*, *)", origin=origin, rng=0).stats
+        assert a.as_row() == b.as_row()

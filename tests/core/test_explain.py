@@ -1,0 +1,58 @@
+"""Tests for the query EXPLAIN API."""
+
+import pytest
+
+from tests.core.conftest import fresh_storage_system
+
+
+class TestExplain:
+    def test_keys_present(self, storage_system):
+        plan = storage_system.explain("(comp*, *)")
+        assert set(plan) == {
+            "query",
+            "region_bounds",
+            "clusters_per_level",
+            "clusters_at_node_granularity",
+            "estimated_peers_lower_bound",
+            "index_bits",
+        }
+
+    def test_region_bounds_shape(self, storage_system):
+        plan = storage_system.explain("(comp*, *)")
+        assert len(plan["region_bounds"]) == 2
+        lo, hi = plan["region_bounds"][1]
+        assert lo == 0 and hi == storage_system.space.side - 1  # wildcard dim
+
+    def test_cluster_counts_monotone(self, storage_system):
+        plan = storage_system.explain("(comp*, net*)")
+        counts = plan["clusters_per_level"]
+        assert counts == sorted(counts)
+        assert counts[0] == 1
+
+    def test_exact_query_is_one_cluster(self, storage_system):
+        plan = storage_system.explain("(computer, network)")
+        assert plan["clusters_at_node_granularity"] == 1
+        assert plan["estimated_peers_lower_bound"] == 1
+
+    def test_broader_query_estimates_more_peers(self, storage_system):
+        narrow = storage_system.explain("(computer, network)")
+        broad = storage_system.explain("(*, net*)")
+        assert (
+            broad["estimated_peers_lower_bound"]
+            >= narrow["estimated_peers_lower_bound"]
+        )
+
+    def test_explain_touches_no_store(self, storage_system):
+        """Explain is an estimate: no messages, no store access needed."""
+        before = storage_system.total_elements()
+        storage_system.explain("(*, *)")
+        assert storage_system.total_elements() == before
+
+    def test_estimate_correlates_with_actual_cost(self, storage_system):
+        plan = storage_system.explain("(comp*, *)")
+        actual = storage_system.query("(comp*, *)", rng=0).stats
+        # The lower bound must not exceed the actual processing population
+        # by more than the snapshot granularity allows.
+        assert plan["estimated_peers_lower_bound"] <= 3 * max(
+            actual.processing_node_count, 1
+        )

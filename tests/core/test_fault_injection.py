@@ -1,0 +1,120 @@
+"""Fault-injection and operation-sequence stress tests.
+
+Random interleavings of membership operations, load-balancing moves, and
+crashes, with invariants checked after every step:
+
+* conservation — graceful operations never lose elements;
+* placement — every element sits at the owner of its index;
+* exactness — queries equal the brute-force oracle over surviving data.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.loadbalance import neighbor_balance_round
+from tests.core.conftest import fresh_storage_system
+
+
+OPS = ("add", "remove", "balance", "rename")
+
+
+@st.composite
+def op_sequence(draw):
+    seed = draw(st.integers(0, 1000))
+    ops = draw(st.lists(st.sampled_from(OPS), min_size=1, max_size=12))
+    return seed, ops
+
+
+def apply_op(system, op, rng):
+    """Apply one operation; returns False if it was skipped (not applicable)."""
+    overlay = system.overlay
+    ids = overlay.node_ids()
+    if op == "add":
+        node_id = int(rng.integers(0, overlay.space))
+        if node_id in overlay.nodes:
+            return False
+        system.add_node(node_id)
+        return True
+    if op == "remove":
+        if len(ids) <= 3:
+            return False
+        system.remove_node(ids[int(rng.integers(0, len(ids)))])
+        return True
+    if op == "balance":
+        neighbor_balance_round(system, threshold=1.5)
+        return True
+    if op == "rename":
+        if len(ids) < 4:
+            return False
+        idx = int(rng.integers(1, len(ids) - 1))
+        node, succ = ids[idx], ids[idx + 1]
+        target = (node + succ) // 2
+        if target == node or target in overlay.nodes:
+            return False
+        system.change_node_id(node, target)
+        return True
+    raise AssertionError(op)
+
+
+class TestOperationSequences:
+    @given(op_sequence())
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_invariants_after_every_operation(self, scenario):
+        seed, ops = scenario
+        system = fresh_storage_system(n_nodes=14, n_keys=120, seed=seed, bits=12)
+        rng = np.random.default_rng(seed + 1)
+        total = system.total_elements()
+        for op in ops:
+            apply_op(system, op, rng)
+            assert system.total_elements() == total
+            assert system.check_placement_invariant()
+        system.overlay.rebuild_all_fingers()
+        want = len(system.brute_force_matches("(c*, *)"))
+        assert system.query("(c*, *)", rng=0).match_count == want
+
+
+class TestCrashScenarios:
+    def test_surviving_data_remains_queryable(self):
+        system = fresh_storage_system(n_nodes=30, n_keys=250, seed=3)
+        rng = np.random.default_rng(4)
+        for _ in range(8):
+            ids = system.overlay.node_ids()
+            victim = ids[int(rng.integers(0, len(ids)))]
+            system.overlay.fail(victim)
+            system.stores.pop(victim)
+            # Queries over the survivors stay exact even before repair.
+            want = len(system.brute_force_matches("(comp*, *)"))
+            got = system.query("(comp*, *)", rng=5).match_count
+            assert got == want
+
+    def test_crash_then_rejoin_cycle(self):
+        system = fresh_storage_system(n_nodes=20, n_keys=150, seed=6)
+        rng = np.random.default_rng(7)
+        for round_idx in range(5):
+            ids = system.overlay.node_ids()
+            victim = ids[int(rng.integers(0, len(ids)))]
+            system.overlay.fail(victim)
+            system.stores.pop(victim)
+            newcomer = int(rng.integers(0, system.overlay.space))
+            if newcomer not in system.overlay.nodes:
+                system.add_node(newcomer)
+            assert system.check_placement_invariant()
+            want = len(system.brute_force_matches("(*, s*)"))
+            assert system.query("(*, s*)", rng=8).match_count == want
+
+    def test_half_the_ring_crashes(self):
+        system = fresh_storage_system(n_nodes=24, n_keys=200, seed=9)
+        rng = np.random.default_rng(10)
+        victims = rng.choice(system.overlay.node_ids(), size=12, replace=False)
+        for victim in victims:
+            system.overlay.fail(int(victim))
+            system.stores.pop(int(victim))
+        # Stabilize to repair routing state, then verify full exactness.
+        for _ in range(20):
+            for nid in system.overlay.node_ids():
+                system.overlay.stabilize_node(nid, rng)
+        for q in ["(comp*, *)", "(*, *)"]:
+            want = len(system.brute_force_matches(q))
+            assert system.query(q, rng=11).match_count == want

@@ -1,0 +1,175 @@
+"""Tests for the hot-spot mitigation (query-result caching) extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.hotspots import CachingQueryLayer, HotspotMonitor
+from repro.core.metrics import QueryStats
+from repro.errors import EngineError
+from tests.core.conftest import fresh_storage_system
+
+
+def layered_system(seed=0, **kwargs):
+    system = fresh_storage_system(n_nodes=24, n_keys=200, seed=seed)
+    return system, CachingQueryLayer(system, **kwargs)
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        system = fresh_storage_system(n_nodes=8, n_keys=10)
+        with pytest.raises(EngineError):
+            CachingQueryLayer(system, capacity_per_node=0)
+
+    def test_first_query_misses_second_hits(self):
+        _, layer = layered_system()
+        layer.query("(comp*, *)", rng=0)
+        assert layer.stats.misses == 1
+        layer.query("(comp*, *)", rng=1)
+        assert layer.stats.hits == 1
+
+    def test_hit_returns_same_matches(self):
+        _, layer = layered_system(seed=1)
+        first = layer.query("(comp*, *)", rng=0)
+        second = layer.query("(comp*, *)", rng=1)
+        assert sorted(map(id, first.matches)) == sorted(map(id, second.matches))
+
+    def test_hit_is_cheaper(self):
+        _, layer = layered_system(seed=2)
+        miss = layer.query("(comp*, *)", rng=0)
+        hit = layer.query("(comp*, *)", rng=1)
+        assert hit.stats.messages < miss.stats.messages
+        assert hit.stats.processing_node_count == 1
+
+    def test_home_is_deterministic(self):
+        _, layer = layered_system(seed=3)
+        assert layer.home_of("(comp*, *)") == layer.home_of("(comp*, *)")
+        # Different queries may share a home but usually differ.
+        homes = {layer.home_of(f"({w}*, *)") for w in ["a", "f", "m", "s", "w"]}
+        assert len(homes) > 1
+
+    def test_results_remain_exact(self):
+        system, layer = layered_system(seed=4)
+        for q in ["(comp*, *)", "(*, net*)", "(data, grid)"]:
+            for _ in range(2):  # miss then hit
+                got = sorted(map(id, layer.query(q, rng=0).matches))
+                want = sorted(map(id, system.brute_force_matches(q)))
+                assert got == want
+
+
+class TestInvalidation:
+    def test_publish_invalidates(self):
+        system, layer = layered_system(seed=5)
+        before = layer.query("(zzz*, *)", rng=0)
+        assert before.match_count == 0
+        layer.publish(("zzzebra", "anything"), payload="new")
+        after = layer.query("(zzz*, *)", rng=1)
+        assert after.match_count == 1
+        assert layer.stats.stale_refreshes >= 0  # entry was stale or evicted
+
+    def test_stale_entry_counts_refresh(self):
+        _, layer = layered_system(seed=6)
+        layer.query("(comp*, *)", rng=0)
+        layer.publish(("computer", "extra"))
+        layer.query("(comp*, *)", rng=1)
+        assert layer.stats.stale_refreshes == 1
+
+
+class TestEviction:
+    def test_capacity_enforced(self):
+        system, layer = layered_system(seed=7, capacity_per_node=2)
+        # Many distinct queries with the same first letter share a home.
+        for w in ["aa", "ab", "ac", "ad", "ae"]:
+            layer.query(f"({w}*, *)", rng=0)
+        for cache in layer._caches.values():
+            assert len(cache) <= 2
+        assert layer.stats.evictions > 0
+
+    def test_popular_entries_survive_eviction(self):
+        _, layer = layered_system(seed=8, capacity_per_node=2)
+        for _ in range(3):
+            layer.query("(aa*, *)", rng=0)  # popular
+        layer.query("(ab*, *)", rng=0)
+        layer.query("(ac*, *)", rng=0)  # forces an eviction at that home
+        hits_before = layer.stats.hits
+        layer.query("(aa*, *)", rng=0)
+        assert layer.stats.hits == hits_before + 1  # popular entry survived
+
+
+class TestMonitor:
+    def test_records_processing_load(self):
+        stats = QueryStats()
+        stats.record_processing(1, 0)
+        stats.record_processing(2, 0)
+        monitor = HotspotMonitor()
+        monitor.record(stats)
+        monitor.record(stats)
+        assert monitor.max_load() == 2
+        assert monitor.total_load() == 4
+        assert monitor.hottest(1)[0][1] == 2
+
+    def test_empty_monitor(self):
+        monitor = HotspotMonitor()
+        assert monitor.max_load() == 0
+        assert monitor.hottest() == []
+
+
+class TestHotspotMitigation:
+    def test_caching_flattens_zipf_query_load(self):
+        """A Zipf-repeating query stream: caching reduces the hottest node's
+        load and the total messages."""
+        system = fresh_storage_system(n_nodes=32, n_keys=300, seed=9)
+        queries = ["(comp*, *)", "(net*, *)", "(data*, *)", "(s*, *)", "(gr*, *)"]
+        rng = np.random.default_rng(10)
+        weights = np.array([1 / (i + 1) for i in range(len(queries))])
+        weights /= weights.sum()
+        stream = [queries[i] for i in rng.choice(len(queries), size=80, p=weights)]
+
+        plain = HotspotMonitor()
+        plain_msgs = 0
+        for q in stream:
+            result = system.query(q, rng=11)
+            plain.record(result.stats)
+            plain_msgs += result.stats.messages
+
+        layer = CachingQueryLayer(system)
+        cached_msgs = 0
+        for q in stream:
+            cached_msgs += layer.query(q, rng=11).stats.messages
+
+        assert layer.stats.hit_rate > 0.8
+        assert cached_msgs < plain_msgs / 2
+        assert layer.monitor.max_load() <= plain.max_load()
+
+
+class TestCacheReplication:
+    def test_replicas_validation(self):
+        system = fresh_storage_system(n_nodes=8, n_keys=10)
+        with pytest.raises(EngineError):
+            CachingQueryLayer(system, replicas=0)
+
+    def test_homes_are_consecutive_ring_nodes(self):
+        system = fresh_storage_system(n_nodes=24, n_keys=100, seed=30)
+        layer = CachingQueryLayer(system, replicas=3)
+        homes = layer.homes_of("(comp*, *)")
+        assert len(homes) == 3
+        for a, b in zip(homes, homes[1:]):
+            assert system.overlay.successor_id(a) == b
+
+    def test_replicated_cache_still_exact(self):
+        system = fresh_storage_system(n_nodes=24, n_keys=150, seed=31)
+        layer = CachingQueryLayer(system, replicas=3)
+        want = sorted(map(id, system.brute_force_matches("(comp*, *)")))
+        for _ in range(4):
+            got = sorted(map(id, layer.query("(comp*, *)", rng=32).matches))
+            assert got == want
+
+    def test_replication_spreads_hot_query_load(self):
+        """One very hot query: with k cache replicas, no single peer absorbs
+        every repetition."""
+        system = fresh_storage_system(n_nodes=32, n_keys=200, seed=33)
+        single = CachingQueryLayer(system, replicas=1)
+        spread = CachingQueryLayer(system, replicas=4)
+        for i in range(60):
+            single.query("(comp*, *)", rng=100 + i)
+            spread.query("(comp*, *)", rng=100 + i)
+        assert spread.monitor.max_load() < single.monitor.max_load()

@@ -1,0 +1,97 @@
+"""Tests for partial-key publication and discovery-mode (limit) queries."""
+
+import pytest
+
+from repro import KeywordSpace, NaiveEngine, OptimizedEngine, SquidSystem, WordDimension
+from repro.errors import DimensionMismatchError, EngineError, KeywordError
+from tests.core.conftest import fresh_storage_system
+
+
+def word_system(dims=3, bits=10, n_nodes=24, seed=0):
+    space = KeywordSpace([WordDimension(f"k{i}") for i in range(dims)], bits=bits)
+    return SquidSystem.create(space, n_nodes=n_nodes, seed=seed)
+
+
+class TestPadKey:
+    def test_single_keyword_repeats(self):
+        space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=8)
+        assert space.pad_key(("computer",)) == ("computer", "computer")
+
+    def test_two_of_three_cycles(self):
+        space = KeywordSpace([WordDimension(f"k{i}") for i in range(3)], bits=8)
+        assert space.pad_key(("alpha", "beta")) == ("alpha", "beta", "alpha")
+
+    def test_full_key_unchanged(self):
+        space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=8)
+        assert space.pad_key(("X", "y")) == ("x", "y")
+
+    def test_empty_rejected(self):
+        space = KeywordSpace([WordDimension("a")], bits=8)
+        with pytest.raises(KeywordError):
+            space.pad_key(())
+
+    def test_too_long_rejected(self):
+        space = KeywordSpace([WordDimension("a")], bits=8)
+        with pytest.raises(DimensionMismatchError):
+            space.pad_key(("x", "y"))
+
+
+class TestPartialKeyPublication:
+    def test_one_keyword_document_discoverable_on_any_dimension(self):
+        """The paper's 'one or more keywords': a single-keyword document
+        matches its keyword queried on every dimension."""
+        system = word_system(dims=2)
+        system.publish(("solitary",), payload="doc", pad=True)
+        assert system.query("(solitary, *)", rng=0).match_count == 1
+        assert system.query("(*, solitary)", rng=0).match_count == 1
+        assert system.query("(solitary, solitary)", rng=0).match_count == 1
+
+    def test_unpadded_short_key_rejected(self):
+        system = word_system(dims=2)
+        with pytest.raises(DimensionMismatchError):
+            system.publish(("solitary",))
+
+    def test_partial_key_in_3d(self):
+        system = word_system(dims=3)
+        system.publish(("grid", "compute"), payload="res", pad=True)
+        assert system.query("(grid, compute, *)", rng=0).match_count == 1
+        assert system.query("(*, *, grid)", rng=0).match_count == 1
+
+
+class TestDiscoveryLimit:
+    def test_limit_returns_enough_matches(self, storage_system):
+        full = storage_system.query("(comp*, *)", rng=0)
+        assert full.match_count >= 5
+        limited = storage_system.query("(comp*, *)", rng=0, limit=3)
+        assert limited.match_count >= 3
+
+    def test_limit_reduces_cost(self, storage_system):
+        origin = storage_system.overlay.node_ids()[0]
+        full = storage_system.query("(*, *)", origin=origin, rng=0)
+        limited = storage_system.query("(*, *)", origin=origin, rng=0, limit=1)
+        assert limited.stats.processing_node_count < full.stats.processing_node_count
+        assert limited.stats.messages < full.stats.messages
+
+    def test_limit_matches_are_true_matches(self, storage_system):
+        oracle = {e.key for e in storage_system.brute_force_matches("(comp*, *)")}
+        limited = storage_system.query("(comp*, *)", rng=0, limit=2)
+        assert {e.key for e in limited.matches} <= oracle
+
+    def test_limit_larger_than_matches_returns_all(self, storage_system):
+        full = storage_system.query("(comp*, *)", rng=0)
+        limited = storage_system.query("(comp*, *)", rng=0, limit=10**6)
+        assert limited.match_count == full.match_count
+
+    def test_limit_on_naive_engine(self, storage_system):
+        limited = storage_system.query(
+            "(comp*, *)", engine=NaiveEngine(), rng=0, limit=2
+        )
+        assert limited.match_count >= 2
+
+    def test_bad_limit(self, storage_system):
+        with pytest.raises(EngineError):
+            storage_system.query("(comp*, *)", rng=0, limit=0)
+        with pytest.raises(EngineError):
+            storage_system.query(
+                "(comp*, *)", engine=NaiveEngine(), rng=0, limit=-1
+            )

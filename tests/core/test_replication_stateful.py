@@ -1,0 +1,90 @@
+"""Stateful testing of the replication manager.
+
+Hypothesis drives random interleavings of publishes, crashes (within the
+degree bound), repairs, and joins; the replication invariant and total data
+conservation must hold at every quiescent point.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import KeywordSpace, SquidSystem, WordDimension
+from repro.core.replication import ReplicationManager
+
+WORDS = ["ant", "bee", "cat", "dog", "eel", "fox", "gnu", "hen"]
+DEGREE = 2
+
+
+class ReplicationMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 500))
+    def setup(self, seed):
+        space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=8)
+        self.system = SquidSystem.create(space, n_nodes=12, seed=seed)
+        self.rng = np.random.default_rng(seed + 1)
+        self.published = 0
+        # Publish a starter workload through the system, then attach.
+        for i in range(20):
+            self.system.publish(
+                (WORDS[i % len(WORDS)], WORDS[(i * 3) % len(WORDS)]), payload=i
+            )
+            self.published += 1
+        self.manager = ReplicationManager(self.system, degree=DEGREE)
+        self.crashes_since_repair = 0
+
+    @rule(w1=st.sampled_from(WORDS), w2=st.sampled_from(WORDS))
+    def publish(self, w1, w2):
+        self.manager.publish((w1, w2), payload=self.published)
+        self.published += 1
+
+    @precondition(
+        lambda self: len(self.system.overlay) > 6 and self.crashes_since_repair < DEGREE
+    )
+    @rule()
+    def crash(self):
+        ids = self.system.overlay.node_ids()
+        victim = ids[int(self.rng.integers(0, len(ids)))]
+        self.manager.crash(victim)
+        self.crashes_since_repair += 1
+
+    @rule()
+    def repair(self):
+        self.manager.repair()
+        self.crashes_since_repair = 0
+
+    @rule()
+    def join(self):
+        node_id = int(self.rng.integers(0, self.system.overlay.space))
+        if node_id not in self.system.overlay.nodes:
+            self.manager.add_node(node_id)
+            self.crashes_since_repair = 0  # add_node runs repair()
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def no_data_lost(self):
+        # Crashes stay within the degree bound between repairs, so every
+        # element must survive.
+        assert self.system.total_elements() == self.published
+        assert self.manager.stats.elements_lost == 0
+
+    @invariant()
+    def placement_correct(self):
+        assert self.system.check_placement_invariant()
+
+    @invariant()
+    def degree_restored_after_repair(self):
+        if self.crashes_since_repair == 0:
+            assert self.manager.verify_degree()
+
+
+ReplicationMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=10, deadline=None
+)
+TestReplicationMachine = ReplicationMachine.TestCase

@@ -1,0 +1,98 @@
+"""Tests for snapshot persistence."""
+
+import json
+
+import pytest
+
+from repro import CategoricalDimension, KeywordSpace, NumericDimension, SquidSystem, WordDimension
+from repro.core.snapshot import (
+    SnapshotError,
+    load_system,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+from tests.core.conftest import fresh_storage_system
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        system = fresh_storage_system(n_nodes=12, n_keys=120, seed=0)
+        restored = system_from_dict(system_to_dict(system))
+        assert restored.overlay.node_ids() == system.overlay.node_ids()
+        assert restored.total_elements() == system.total_elements()
+        assert restored.node_loads() == system.node_loads()
+
+    def test_queries_identical_after_restore(self):
+        system = fresh_storage_system(n_nodes=12, n_keys=120, seed=1)
+        restored = system_from_dict(system_to_dict(system))
+        for q in ["(comp*, *)", "(*, net*)"]:
+            a = {e.key for e in system.query(q, rng=0).matches}
+            b = {e.key for e in restored.query(q, rng=0).matches}
+            assert a == b
+
+    def test_file_round_trip(self, tmp_path):
+        system = fresh_storage_system(n_nodes=10, n_keys=80, seed=2)
+        path = tmp_path / "snapshot.json"
+        save_system(system, path)
+        restored = load_system(path)
+        assert restored.total_elements() == system.total_elements()
+
+    def test_payloads_preserved(self, tmp_path):
+        system = fresh_storage_system(n_nodes=8, n_keys=0, seed=3)
+        system.publish(("alpha", "beta"), payload={"url": "http://x", "size": 3})
+        path = tmp_path / "s.json"
+        save_system(system, path)
+        restored = load_system(path)
+        match = restored.query("(alpha, beta)", rng=0).matches[0]
+        assert match.payload == {"url": "http://x", "size": 3}
+
+    def test_mixed_dimension_space(self, tmp_path):
+        space = KeywordSpace(
+            [
+                WordDimension("name"),
+                NumericDimension("mem", 0, 1024, log_scale=False),
+                CategoricalDimension("os", ["linux", "windows"]),
+            ],
+            bits=8,
+        )
+        system = SquidSystem.create(space, n_nodes=8, seed=4)
+        system.publish(("host", 512, "linux"))
+        path = tmp_path / "mixed.json"
+        save_system(system, path)
+        restored = load_system(path)
+        assert restored.query("(host, *, linux)", rng=0).match_count == 1
+
+    def test_curve_family_preserved(self):
+        space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=6)
+        system = SquidSystem.create(space, n_nodes=6, curve="zorder", seed=5)
+        restored = system_from_dict(system_to_dict(system))
+        assert restored.curve.name == "zorder"
+
+
+class TestErrors:
+    def test_unknown_format(self):
+        with pytest.raises(SnapshotError):
+            system_from_dict({"format": 99})
+
+    def test_unknown_dimension_type(self):
+        data = system_to_dict(fresh_storage_system(n_nodes=6, n_keys=5, seed=6))
+        data["space"]["dimensions"][0]["type"] = "alien"
+        with pytest.raises(SnapshotError):
+            system_from_dict(data)
+
+    def test_non_json_payload_rejected(self, tmp_path):
+        system = fresh_storage_system(n_nodes=6, n_keys=0, seed=7)
+        system.publish(("alpha", "beta"), payload=object())
+        with pytest.raises(SnapshotError):
+            save_system(system, tmp_path / "bad.json")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_system(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SnapshotError):
+            load_system(path)

@@ -1,0 +1,94 @@
+"""Stateful (model-based) testing of a live SquidSystem.
+
+Hypothesis drives random interleavings of publishes, membership changes,
+boundary shifts and balancing rounds against a shadow model (a plain list
+of published elements).  After every step the system must satisfy its
+invariants, and queries must agree with the shadow model.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import KeywordSpace, SquidSystem, WordDimension
+from repro.core.loadbalance import neighbor_balance_round
+
+WORDS = ["ant", "antler", "bee", "beetle", "cat", "catalog", "dog", "dove", "eel"]
+
+
+class SquidMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 1000))
+    def setup(self, seed):
+        space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=8)
+        self.system = SquidSystem.create(space, n_nodes=8, seed=seed)
+        self.rng = np.random.default_rng(seed + 1)
+        self.shadow: list[tuple[str, str]] = []
+        self.payload_counter = 0
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule(w1=st.sampled_from(WORDS), w2=st.sampled_from(WORDS))
+    def publish(self, w1, w2):
+        self.system.publish((w1, w2), payload=self.payload_counter)
+        self.shadow.append((w1, w2))
+        self.payload_counter += 1
+
+    @rule()
+    def add_node(self):
+        node_id = int(self.rng.integers(0, self.system.overlay.space))
+        if node_id not in self.system.overlay.nodes:
+            self.system.add_node(node_id)
+
+    @precondition(lambda self: len(self.system.overlay) > 3)
+    @rule()
+    def remove_node(self):
+        ids = self.system.overlay.node_ids()
+        self.system.remove_node(ids[int(self.rng.integers(0, len(ids)))])
+
+    @rule()
+    def balance(self):
+        neighbor_balance_round(self.system, threshold=1.5)
+
+    @precondition(lambda self: len(self.system.overlay) > 3)
+    @rule()
+    def rename_node(self):
+        ids = self.system.overlay.node_ids()
+        idx = int(self.rng.integers(0, len(ids) - 1))
+        node, succ = ids[idx], ids[idx + 1]
+        target = (node + succ) // 2
+        if target != node and target not in self.system.overlay.nodes:
+            self.system.change_node_id(node, target)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def elements_conserved(self):
+        assert self.system.total_elements() == len(self.shadow)
+
+    @invariant()
+    def placement_correct(self):
+        assert self.system.check_placement_invariant()
+
+    @invariant()
+    def prefix_query_matches_shadow(self):
+        if not self.shadow:
+            return
+        prefix = self.shadow[-1][0][:2]
+        got = self.system.query(f"({prefix}*, *)", rng=0).match_count
+        want = sum(1 for a, _ in self.shadow if a.startswith(prefix))
+        assert got == want
+
+
+SquidMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestSquidStateMachine = SquidMachine.TestCase

@@ -1,0 +1,183 @@
+"""Tests for SquidSystem assembly, publishing, and membership."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HilbertCurve,
+    KeywordSpace,
+    SquidSystem,
+    WordDimension,
+)
+from repro.errors import DuplicateNodeError, OverlayError
+from repro.overlay.chord import ChordRing
+from tests.core.conftest import WORDS, fresh_storage_system
+
+
+class TestConstruction:
+    def test_create_defaults(self):
+        space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=8)
+        system = SquidSystem.create(space, n_nodes=10, seed=0)
+        assert len(system.overlay) == 10
+        assert system.curve.dims == 2
+        assert system.curve.order == 8
+        assert system.overlay.bits == 16
+
+    def test_curve_space_mismatch_rejected(self):
+        space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=8)
+        with pytest.raises(OverlayError):
+            SquidSystem(space, ChordRing(16), curve=HilbertCurve(3, 8))
+
+    def test_overlay_width_mismatch_rejected(self):
+        space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=8)
+        with pytest.raises(OverlayError):
+            SquidSystem(space, ChordRing(10))
+
+    def test_deterministic_with_seed(self):
+        space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=8)
+        a = SquidSystem.create(space, n_nodes=20, seed=5)
+        b = SquidSystem.create(space, n_nodes=20, seed=5)
+        assert a.overlay.node_ids() == b.overlay.node_ids()
+
+
+class TestPublish:
+    def test_publish_lands_at_owner(self):
+        system = fresh_storage_system(n_nodes=16, n_keys=0)
+        element = system.publish(("computer", "network"), payload="x")
+        owner = system.overlay.owner(element.index)
+        assert element in list(system.stores[owner].all_elements())
+
+    def test_publish_normalizes_key(self):
+        system = fresh_storage_system(n_nodes=16, n_keys=0)
+        element = system.publish(("Computer", "NETWORK"))
+        assert element.key == ("computer", "network")
+
+    def test_publish_many_matches_singles(self):
+        a = fresh_storage_system(n_nodes=16, n_keys=0, seed=3)
+        b = fresh_storage_system(n_nodes=16, n_keys=0, seed=3)
+        keys = [("computer", "network"), ("data", "grid"), ("net", "peer")]
+        for k in keys:
+            a.publish(k)
+        b.publish_many(keys)
+        assert a.node_loads() == b.node_loads()
+
+    def test_publish_many_payload_mismatch(self):
+        system = fresh_storage_system(n_nodes=8, n_keys=0)
+        with pytest.raises(ValueError):
+            system.publish_many([("a", "b")], payloads=[1, 2])
+
+    def test_publish_many_empty(self):
+        system = fresh_storage_system(n_nodes=8, n_keys=0)
+        assert system.publish_many([]) == 0
+
+    def test_placement_invariant(self, storage_system):
+        assert storage_system.check_placement_invariant()
+
+    def test_total_counts(self):
+        system = fresh_storage_system(n_nodes=8, n_keys=0)
+        system.publish(("a", "b"))
+        system.publish(("a", "b"))
+        system.publish(("c", "d"))
+        assert system.total_elements() == 3
+        assert system.total_keys() == 2
+
+    def test_index_of_deterministic(self, storage_system):
+        i1 = storage_system.index_of(("computer", "network"))
+        i2 = storage_system.index_of(("Computer", "network"))
+        assert i1 == i2
+
+
+class TestMembership:
+    def test_add_node_moves_keys(self):
+        system = fresh_storage_system(n_nodes=12, n_keys=200, seed=4)
+        before = system.total_elements()
+        # Insert right below a loaded node to force a transfer.
+        loads = system.node_loads()
+        loaded = max(loads, key=lambda n: loads[n])
+        pred = system.overlay.predecessor_id(loaded)
+        new_id = (pred + loaded) // 2 if pred < loaded else loaded // 2
+        if new_id in system.overlay.nodes:
+            new_id += 1
+        system.add_node(new_id)
+        assert system.total_elements() == before
+        assert system.check_placement_invariant()
+
+    def test_add_duplicate_rejected(self):
+        system = fresh_storage_system(n_nodes=8, n_keys=10)
+        existing = system.overlay.node_ids()[0]
+        with pytest.raises(DuplicateNodeError):
+            system.add_node(existing)
+
+    def test_remove_node_keeps_elements(self):
+        system = fresh_storage_system(n_nodes=12, n_keys=200, seed=6)
+        before = system.total_elements()
+        system.remove_node(system.overlay.node_ids()[3])
+        assert system.total_elements() == before
+        assert system.check_placement_invariant()
+
+    def test_queries_survive_churn(self):
+        system = fresh_storage_system(n_nodes=16, n_keys=150, seed=7)
+        want = len(system.brute_force_matches("(comp*, *)"))
+        system.remove_node(system.overlay.node_ids()[0])
+        system.add_node(12345)
+        got = system.query("(comp*, *)", rng=0).match_count
+        assert got == want
+
+
+class TestChangeNodeId:
+    def test_shrink_hands_keys_to_successor(self):
+        system = fresh_storage_system(n_nodes=12, n_keys=300, seed=9)
+        loads = system.node_loads()
+        # The most loaded non-wrapped node whose store is splittable.
+        node = None
+        for candidate in sorted(loads, key=lambda n: -loads[n]):
+            pred = system.overlay.predecessor_id(candidate)
+            split = system.stores[candidate].split_point_by_load()
+            if pred < candidate and split is not None and split > pred:
+                node = candidate
+                break
+        assert node is not None, "workload should offer a splittable node"
+        split = system.stores[node].split_point_by_load()
+        before = system.total_elements()
+        moved, cost = system.change_node_id(node, split)
+        assert moved >= 0 and cost >= 1
+        assert system.total_elements() == before
+        assert system.check_placement_invariant()
+
+    def test_grow_absorbs_from_successor(self):
+        system = fresh_storage_system(n_nodes=12, n_keys=300, seed=10)
+        ids = system.overlay.node_ids()
+        node, succ = ids[2], ids[3]
+        target = (node + succ) // 2
+        if target == node or target in system.overlay.nodes:
+            pytest.skip("no room between neighbors")
+        before = system.total_elements()
+        system.change_node_id(node, target)
+        assert system.total_elements() == before
+        assert system.check_placement_invariant()
+
+    def test_queries_exact_after_renames(self):
+        system = fresh_storage_system(n_nodes=16, n_keys=200, seed=11)
+        want = len(system.brute_force_matches("(c*, *)"))
+        ids = system.overlay.node_ids()
+        node, succ = ids[4], ids[5]
+        target = (node + succ) // 2
+        if target != node and target not in system.overlay.nodes:
+            system.change_node_id(node, target)
+        system.overlay.rebuild_all_fingers()
+        assert system.query("(c*, *)", rng=1).match_count == want
+
+
+class TestIntrospection:
+    def test_node_loads_sum(self, storage_system):
+        assert sum(storage_system.node_loads().values()) == storage_system.total_keys()
+
+    def test_key_index_distribution(self, storage_system):
+        dist = storage_system.key_index_distribution(intervals=50)
+        assert dist.shape == (50,)
+        assert dist.sum() == storage_system.total_keys()
+
+    def test_distribution_is_skewed(self, storage_system):
+        """Figure 18's premise: the SFC index space is non-uniformly loaded."""
+        dist = storage_system.key_index_distribution(intervals=50)
+        assert dist.max() > 2 * max(dist.mean(), 1)

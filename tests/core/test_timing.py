@@ -1,0 +1,103 @@
+"""Tests for time-domain query metrics (latency-model-driven engine)."""
+
+import pytest
+
+from repro import LatencyModel, OptimizedEngine, ProximityChordRing, SquidSystem
+from repro.keywords import KeywordSpace, WordDimension
+from tests.core.conftest import WORDS, fresh_storage_system
+
+
+def timed_setup(seed=0):
+    system = fresh_storage_system(n_nodes=32, n_keys=250, seed=seed)
+    model = LatencyModel.random(system.overlay.node_ids(), rng=seed + 1)
+    return system, model
+
+
+class TestDefaults:
+    def test_no_model_means_zero_times(self, storage_system):
+        stats = storage_system.query("(comp*, *)", rng=0).stats
+        assert stats.completion_time == 0.0
+        assert stats.time_to_first_match is None
+
+
+class TestTimedExecution:
+    def test_completion_time_positive(self):
+        system, model = timed_setup()
+        engine = OptimizedEngine(latency_model=model)
+        stats = system.query("(comp*, *)", engine=engine, rng=0).stats
+        assert stats.completion_time > 0
+
+    def test_first_match_before_completion(self):
+        system, model = timed_setup(seed=1)
+        engine = OptimizedEngine(latency_model=model)
+        result = system.query("(comp*, *)", engine=engine, rng=0)
+        assert result.match_count > 0
+        assert result.stats.time_to_first_match is not None
+        assert result.stats.time_to_first_match <= result.stats.completion_time
+
+    def test_no_matches_no_first_match_time(self):
+        system, model = timed_setup(seed=2)
+        engine = OptimizedEngine(latency_model=model)
+        stats = system.query("(zzzz*, *)", engine=engine, rng=0).stats
+        assert stats.time_to_first_match is None
+        assert stats.completion_time > 0  # the fan-out still takes time
+
+    def test_timing_does_not_change_results(self):
+        system, model = timed_setup(seed=3)
+        plain = system.query("(comp*, *)", engine=OptimizedEngine(), rng=0)
+        timed = system.query(
+            "(comp*, *)", engine=OptimizedEngine(latency_model=model), rng=0
+        )
+        assert sorted(map(id, plain.matches)) == sorted(map(id, timed.matches))
+        assert plain.stats.messages == timed.stats.messages
+
+    def test_processing_delay_adds_up(self):
+        system, model = timed_setup(seed=4)
+        fast = system.query(
+            "(comp*, *)",
+            engine=OptimizedEngine(latency_model=model, processing_delay=0.0),
+            origin=system.overlay.node_ids()[0],
+            rng=0,
+        ).stats
+        slow = system.query(
+            "(comp*, *)",
+            engine=OptimizedEngine(latency_model=model, processing_delay=5.0),
+            origin=system.overlay.node_ids()[0],
+            rng=0,
+        ).stats
+        assert slow.completion_time > fast.completion_time
+
+
+class TestProximityImprovesQueryTime:
+    def test_pns_reduces_completion_time(self):
+        """End-to-end: Squid on a PNS ring answers faster than on a classic
+        ring with the same membership and latency model."""
+        space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=10)
+        base = SquidSystem.create(space, n_nodes=150, seed=5)
+        ids = base.overlay.node_ids()
+        model = LatencyModel.random(ids, rng=6)
+        pns_ring = ProximityChordRing.build_with_model(
+            base.overlay.bits, ids, model=model, candidates=8
+        )
+        pns = SquidSystem(space, pns_ring, curve=base.curve)
+
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        keys = [
+            (WORDS[rng.integers(len(WORDS))], WORDS[rng.integers(len(WORDS))])
+            for _ in range(400)
+        ]
+        base.publish_many(keys)
+        pns.publish_many(keys)
+
+        plain_time = pns_time = 0.0
+        origin = ids[0]
+        for q in ["(comp*, *)", "(*, net*)", "(s*, *)"]:
+            plain_time += base.query(
+                q, engine=OptimizedEngine(latency_model=model), origin=origin, rng=0
+            ).stats.completion_time
+            pns_time += pns.query(
+                q, engine=OptimizedEngine(latency_model=model), origin=origin, rng=0
+            ).stats.completion_time
+        assert pns_time < plain_time

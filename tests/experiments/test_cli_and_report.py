@@ -1,0 +1,85 @@
+"""Tests for the CLI and the report generator."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report import SHAPE_CHECKS, generate_report
+
+
+class TestCli:
+    def test_figures_command(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for fig in ("fig09", "fig19"):
+            assert fig in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "doc-net" in out
+        assert "peers" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "fig18", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "fig18" in out
+        assert "interval" in out
+
+    def test_run_with_seed(self, capsys):
+        assert main(["run", "fig18", "--scale", "small", "--seed", "3"]) == 0
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--scale", "small", "--figures", "fig18", "--output", str(target)]) == 0
+        text = target.read_text()
+        assert "fig18" in text
+        assert "PASS" in text
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReportGenerator:
+    def test_every_figure_has_checks_and_claims(self):
+        from repro.experiments import EXTENSIONS, FIGURES
+        from repro.experiments.report import _PAPER_CLAIMS
+
+        everything = set(FIGURES) | set(EXTENSIONS)
+        assert set(SHAPE_CHECKS) == everything
+        assert set(_PAPER_CLAIMS) == everything
+
+    def test_extension_report(self):
+        text = generate_report(scale="small", figures=["extB"])
+        assert "extB" in text
+        assert "FAIL" not in text
+
+    def test_subset_report(self):
+        text = generate_report(scale="small", figures=["fig18", "fig19"])
+        assert "fig18" in text and "fig19" in text
+        assert "fig09" not in text
+
+    def test_report_checks_pass_at_small_scale(self):
+        text = generate_report(scale="small", figures=["fig18", "fig19"])
+        assert "FAIL" not in text
+
+
+class TestNewCliCommands:
+    def test_run_csv(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig18", "--scale", "small", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "interval,keys"
+
+    def test_replicate_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["replicate", "fig18", "--scale", "small", "--seeds", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "seed-spread" in out
+        assert "keys" in out

@@ -1,0 +1,122 @@
+"""Tests for the extension experiments (extA/extB/extC)."""
+
+import pytest
+
+from repro.experiments import EXTENSIONS, run_figure
+from repro.experiments.runner import SCALES, ScalePreset
+
+SCALES.setdefault(
+    "tiny",
+    ScalePreset(
+        name="tiny",
+        node_counts=(30, 45, 60, 75, 90),
+        key_counts=(400, 600, 800, 1000, 1200),
+        vocabulary_size=500,
+    ),
+)
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        assert set(EXTENSIONS) == {"extA", "extB", "extC", "extD", "extE"}
+
+    def test_run_figure_dispatches_extensions(self):
+        result = run_figure("extB", scale="tiny")
+        assert result.figure == "extB"
+
+
+class TestReplicationExperiment:
+    def test_degree_zero_loses_higher_degrees_do_not(self):
+        result = run_figure("extA", scale="tiny")
+        by_degree = {row["degree"]: row for row in result.rows}
+        assert set(by_degree) == {0, 1, 2, 3}
+        assert by_degree[0]["lost"] > 0
+        for degree in (1, 2, 3):
+            assert by_degree[degree]["lost"] == 0
+
+    def test_overhead_proportional_to_degree(self):
+        result = run_figure("extA", scale="tiny")
+        by_degree = {row["degree"]: row for row in result.rows}
+        elements = by_degree[1]["elements"]
+        for degree in (1, 2, 3):
+            assert by_degree[degree]["replica_overhead"] == degree * elements
+
+
+class TestHotspotExperiment:
+    def test_caching_reduces_messages_and_peak_load(self):
+        result = run_figure("extB", scale="tiny")
+        plain = next(r for r in result.rows if r["variant"] == "plain")
+        cached = next(r for r in result.rows if r["variant"] == "cached")
+        assert cached["messages"] < plain["messages"]
+        assert cached["hottest_node_load"] <= plain["hottest_node_load"]
+        assert cached["hit_rate"] > 0.7
+
+
+class TestResponseTimeExperiment:
+    def test_rows_and_ordering(self):
+        result = run_figure("extC", scale="tiny")
+        assert len(result.rows) == 6  # 3 sizes x 2 variants
+        for row in result.rows:
+            assert row["mean_completion"] > 0
+            if row["mean_first_match"] is not None:
+                assert row["mean_first_match"] <= row["mean_completion"]
+
+    def test_pns_wins_at_larger_sizes(self):
+        result = run_figure("extC", scale="tiny")
+        largest = max(r["nodes"] for r in result.rows)
+        classic = next(
+            r for r in result.rows if r["nodes"] == largest and r["variant"] == "classic"
+        )
+        pns = next(
+            r for r in result.rows if r["nodes"] == largest and r["variant"] == "pns"
+        )
+        assert pns["mean_completion"] < classic["mean_completion"] * 1.2
+
+
+class TestAttackExperiment:
+    def test_mitigation_ladder(self):
+        result = run_figure("extE", scale="tiny")
+        # At every attacked fraction: none <= retry <= retry+replication.
+        for fraction in {r["dropper_fraction"] for r in result.rows}:
+            rows = {
+                r["mitigation"]: r
+                for r in result.rows
+                if r["dropper_fraction"] == fraction
+            }
+            assert rows["none"]["recall"] <= rows["retry"]["recall"] + 1e-9
+            assert rows["retry"]["recall"] <= rows["retry+replication"]["recall"] + 1e-9
+
+    def test_no_attack_full_recall(self):
+        result = run_figure("extE", scale="tiny")
+        clean = [r for r in result.rows if r["dropper_fraction"] == 0.0]
+        assert all(r["recall"] == 1.0 for r in clean)
+
+    def test_attack_hurts_unmitigated(self):
+        result = run_figure("extE", scale="tiny")
+        worst = [
+            r
+            for r in result.rows
+            if r["dropper_fraction"] >= 0.2 and r["mitigation"] == "none"
+        ]
+        assert any(r["recall"] < 0.9 for r in worst)
+
+
+class TestChurnExperiment:
+    def test_rows_and_exactness(self):
+        result = run_figure("extD", scale="tiny")
+        assert len(result.rows) == 6  # 3 rates x stabilization on/off
+        # Queries over surviving data stay exact through churn.
+        assert all(row["query_exact"] for row in result.rows)
+
+    def test_stabilization_reduces_staleness(self):
+        result = run_figure("extD", scale="tiny")
+        for rate in {row["churn_rate"] for row in result.rows}:
+            off = next(
+                r for r in result.rows
+                if r["churn_rate"] == rate and not r["stabilized"]
+            )
+            on = next(
+                r for r in result.rows
+                if r["churn_rate"] == rate and r["stabilized"]
+            )
+            assert on["stale_fingers"] <= off["stale_fingers"]

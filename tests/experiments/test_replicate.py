@@ -1,0 +1,50 @@
+"""Tests for multi-seed experiment replication."""
+
+import pytest
+
+from repro.experiments.replicate import replicate_figure
+from repro.experiments.runner import SCALES, ScalePreset
+
+SCALES.setdefault(
+    "tiny",
+    ScalePreset(
+        name="tiny",
+        node_counts=(30, 45, 60, 75, 90),
+        key_counts=(400, 600, 800, 1000, 1200),
+        vocabulary_size=500,
+    ),
+)
+
+
+class TestReplicateFigure:
+    def test_aggregates_present(self):
+        result = replicate_figure("fig18", seeds=[1, 2], scale="tiny")
+        assert "keys" in result.aggregates
+        agg = result.aggregates["keys"]
+        assert agg["min"] <= agg["mean"] <= agg["max"]
+        assert agg["std"] >= 0
+
+    def test_per_seed_totals(self):
+        result = replicate_figure("fig18", seeds=[1, 2, 3], scale="tiny")
+        # Every seed publishes the same number of keys, so totals are stable.
+        assert result.per_seed_totals["keys"] == [1200.0, 1200.0, 1200.0]
+        assert result.relative_spread("keys") == 0.0
+
+    def test_query_costs_have_bounded_spread(self):
+        """The headline metrics are stable across seeds (no cherry-picking)."""
+        result = replicate_figure(
+            "fig09", seeds=[1, 2, 3], scale="tiny",
+            columns=["processing_nodes", "data_nodes", "messages"],
+        )
+        for column in ("processing_nodes", "messages"):
+            assert result.relative_spread(column) < 0.6
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            replicate_figure("fig18", seeds=[])
+
+    def test_to_text(self):
+        result = replicate_figure("fig18", seeds=[4], scale="tiny")
+        text = result.to_text()
+        assert "fig18" in text
+        assert "keys" in text

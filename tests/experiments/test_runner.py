@@ -1,0 +1,93 @@
+"""Tests for the experiment framework (results, tables, scales)."""
+
+import pytest
+
+from repro.experiments.runner import SCALES, FigureResult, format_table
+
+
+class TestScales:
+    def test_presets_exist(self):
+        # Tests may register extra presets (e.g. "tiny"); the three shipped
+        # ones must always be there.
+        assert {"full", "medium", "small"} <= set(SCALES)
+
+    def test_full_matches_paper(self):
+        full = SCALES["full"]
+        assert full.node_counts[0] == 1000
+        assert full.node_counts[-1] == 5400
+        assert full.key_counts[0] == 20_000
+        assert full.key_counts[-1] == 100_000
+
+    def test_paired(self):
+        pairs = SCALES["small"].paired()
+        assert len(pairs) == 5
+        assert pairs[0] == (100, 2000)
+
+    def test_scales_are_proportional(self):
+        full, small = SCALES["full"], SCALES["small"]
+        for f, s in zip(full.node_counts, small.node_counts):
+            assert f == s * 10
+
+
+class TestFigureResult:
+    def make(self):
+        result = FigureResult("figX", "test figure", ["a", "b"])
+        result.add_row(a=1, b="x")
+        result.add_row(a=2, b="y")
+        result.add_row(a=2, b="z")
+        return result
+
+    def test_series(self):
+        assert self.make().series("a") == [1, 2, 2]
+
+    def test_series_missing_column(self):
+        assert self.make().series("zzz") == [None, None, None]
+
+    def test_filtered(self):
+        filtered = self.make().filtered(a=2)
+        assert len(filtered.rows) == 2
+        assert filtered.series("b") == ["y", "z"]
+
+    def test_to_text_contains_data(self):
+        text = self.make().to_text()
+        assert "figX" in text
+        assert "test figure" in text
+        assert "x" in text and "z" in text
+
+    def test_notes_rendered(self):
+        result = self.make()
+        result.notes.append("hello note")
+        assert "hello note" in result.to_text()
+
+    def test_to_csv(self):
+        csv_text = self.make().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+        assert len(lines) == 4
+
+    def test_to_csv_missing_values_blank(self):
+        result = FigureResult("f", "t", ["a", "b"])
+        result.add_row(a=1)  # b missing
+        lines = result.to_csv().strip().splitlines()
+        assert lines[1] == "1,"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["col"], [{"col": 1}, {"col": 22}])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all rows equal width
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["a"], [{"a": None}])
+        assert "-" in text
+
+    def test_float_formatting(self):
+        text = format_table(["a"], [{"a": 1.23456}, {"a": 12345.6}])
+        assert "1.235" in text
+        assert "12345.6" in text

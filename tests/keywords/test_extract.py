@@ -1,0 +1,72 @@
+"""Tests for keyword extraction."""
+
+import pytest
+
+from repro.errors import KeywordError
+from repro.keywords.extract import STOPWORDS, extract_keywords, tokenize
+
+
+class TestTokenize:
+    def test_lowercase_alpha_only(self):
+        assert tokenize("Hello, World! 42 foo_bar") == ["hello", "world", "foo", "bar"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("123 !!!") == []
+
+
+class TestExtractKeywords:
+    def test_frequency_ranking(self):
+        text = "network network network computer computer storage"
+        assert extract_keywords(text, 3) == ("network", "computer", "storage")
+
+    def test_tie_broken_by_first_appearance(self):
+        text = "alpha beta alpha beta gamma"
+        assert extract_keywords(text, 2) == ("alpha", "beta")
+
+    def test_stopwords_dropped(self):
+        text = "the the the the protocol is a protocol for the network"
+        keywords = extract_keywords(text, 2)
+        assert keywords == ("protocol", "network")
+        assert "the" not in keywords
+
+    def test_min_length(self):
+        text = "db db db database database"
+        assert extract_keywords(text, 1, min_length=3) == ("database",)
+
+    def test_too_few_content_words(self):
+        with pytest.raises(KeywordError):
+            extract_keywords("just the one wordhere", 3)
+
+    def test_bad_count(self):
+        with pytest.raises(KeywordError):
+            extract_keywords("some text here", 0)
+
+    def test_custom_stopwords(self):
+        keywords = extract_keywords(
+            "foo bar foo bar baz", 1, stopwords=frozenset({"foo"})
+        )
+        assert keywords == ("bar",)
+
+    def test_output_is_publishable(self):
+        """Extracted keywords satisfy WordDimension's alphabet."""
+        from repro import KeywordSpace, SquidSystem, WordDimension
+
+        text = (
+            "Squid is a peer to peer information discovery system that "
+            "supports flexible queries using keywords and ranges. The "
+            "discovery system maps keywords onto a Hilbert curve."
+        )
+        keywords = extract_keywords(text, 2)
+        space = KeywordSpace([WordDimension("k1"), WordDimension("k2")], bits=10)
+        system = SquidSystem.create(space, n_nodes=8, seed=0)
+        system.publish(keywords, payload="doc")
+        assert system.query(f"({keywords[0]}, *)", rng=0).match_count == 1
+
+
+class TestStopwordList:
+    def test_all_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)
+
+    def test_common_words_present(self):
+        assert {"the", "and", "of", "is"} <= STOPWORDS

@@ -1,0 +1,202 @@
+"""Tests for KeywordSpace: encoding, regions, and the exactness invariant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionMismatchError, KeywordError
+from repro.keywords import (
+    CategoricalDimension,
+    Exact,
+    KeywordSpace,
+    NumericDimension,
+    NumericRange,
+    Prefix,
+    Query,
+    Wildcard,
+    WordDimension,
+)
+
+words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=10)
+
+
+def storage_space(bits=16):
+    """2-D P2P storage keyword space (paper Figure 1a)."""
+    return KeywordSpace([WordDimension("kw1"), WordDimension("kw2")], bits=bits)
+
+
+def grid_space(bits=10):
+    """3-D grid resource space (paper Figure 1b)."""
+    return KeywordSpace(
+        [
+            NumericDimension("storage", 0, 1024),
+            NumericDimension("bandwidth", 0, 1000),
+            NumericDimension("cost", 0, 100),
+        ],
+        bits=bits,
+    )
+
+
+class TestConstruction:
+    def test_requires_dimensions(self):
+        with pytest.raises(KeywordError):
+            KeywordSpace([], bits=8)
+
+    def test_requires_positive_bits(self):
+        with pytest.raises(KeywordError):
+            KeywordSpace([WordDimension("a")], bits=0)
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(KeywordError):
+            KeywordSpace([WordDimension("a"), WordDimension("a")], bits=8)
+
+    def test_properties(self):
+        space = storage_space(bits=12)
+        assert space.dims == 2
+        assert space.side == 4096
+
+
+class TestCoordinates:
+    def test_word_coordinates(self):
+        space = storage_space()
+        point = space.coordinates(("computer", "network"))
+        assert len(point) == 2
+        assert all(0 <= c < space.side for c in point)
+
+    def test_wrong_arity(self):
+        with pytest.raises(DimensionMismatchError):
+            storage_space().coordinates(("one",))
+
+    def test_validate_key_normalizes(self):
+        space = storage_space()
+        assert space.validate_key(("Computer", "NETWORK")) == ("computer", "network")
+
+    def test_coordinates_many(self):
+        space = storage_space()
+        arr = space.coordinates_many([("a", "b"), ("c", "d")])
+        assert arr.shape == (2, 2)
+        assert tuple(arr[0]) == space.coordinates(("a", "b"))
+
+    def test_coordinates_many_empty(self):
+        assert storage_space().coordinates_many([]).shape == (0, 2)
+
+
+class TestRegion:
+    def test_exact_query_small_region(self):
+        space = storage_space()
+        region = space.region("(computer, network)")
+        assert region.contains_point(space.coordinates(("computer", "network")))
+
+    def test_wildcard_dimension_full_width(self):
+        space = storage_space()
+        region = space.region("(computer, *)")
+        box = region.boxes[0]
+        assert box.intervals[1].low == 0
+        assert box.intervals[1].high == space.side - 1
+
+    def test_text_and_ast_agree(self):
+        space = storage_space()
+        ast = Query((Prefix("comp"), Wildcard()))
+        assert space.region("(comp*, *)") == space.region(ast)
+
+    def test_range_region(self):
+        space = grid_space()
+        region = space.region("(256-512, *, 10-*)")
+        box = region.boxes[0]
+        lo, hi = box.intervals[0].low, box.intervals[0].high
+        assert lo <= space.coordinates((300, 0, 50))[0] <= hi
+
+    def test_range_clamped_to_domain(self):
+        space = grid_space()
+        region = space.region(Query((NumericRange(None, 2000.0), Wildcard(), Wildcard())))
+        assert region.boxes[0].intervals[0].high == space.side - 1
+
+    def test_type_checking_prefix_on_numeric(self):
+        space = grid_space()
+        with pytest.raises(KeywordError):
+            space.region(Query((Prefix("ab"), Wildcard(), Wildcard())))
+
+    def test_type_checking_range_on_word(self):
+        space = storage_space()
+        with pytest.raises(KeywordError):
+            space.region(Query((NumericRange(1.0, 2.0), Wildcard())))
+
+    def test_wrong_query_arity(self):
+        with pytest.raises(DimensionMismatchError):
+            storage_space().region("(a, b, c)")
+
+
+class TestMatches:
+    def test_exact(self):
+        space = storage_space()
+        assert space.matches(("computer", "network"), "(computer, network)")
+        assert not space.matches(("computer", "storage"), "(computer, network)")
+
+    def test_prefix(self):
+        space = storage_space()
+        assert space.matches(("computer", "network"), "(comp*, *)")
+        assert not space.matches(("docs", "network"), "(comp*, *)")
+
+    def test_range(self):
+        space = grid_space()
+        assert space.matches((300, 100, 5), "(256-512, *, *)")
+        assert not space.matches((100, 100, 5), "(256-512, *, *)")
+
+    def test_wrong_key_arity(self):
+        with pytest.raises(DimensionMismatchError):
+            storage_space().matches(("a",), "(a, b)")
+
+
+class TestCoveringInvariant:
+    """matches(key, q) => region(q).contains_point(coordinates(key))."""
+
+    @given(words, words, words, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=300)
+    def test_word_prefix_covering(self, w1, w2, base, plen):
+        space = storage_space(bits=14)
+        prefix = base[:plen]
+        query = Query((Prefix(prefix), Wildcard()))
+        key = (prefix + w1, w2)  # guaranteed prefix match
+        assert space.matches(key, query)
+        assert space.region(query).contains_point(space.coordinates(key))
+
+    @given(words, words, words)
+    @settings(max_examples=200)
+    def test_exact_covering(self, w1, w2, _):
+        space = storage_space(bits=14)
+        query = Query((Exact(w1), Exact(w2)))
+        key = (w1, w2)
+        assert space.region(query).contains_point(space.coordinates(key))
+
+    @given(
+        st.floats(min_value=0, max_value=1024),
+        st.floats(min_value=0, max_value=1024),
+        st.floats(min_value=0, max_value=1024),
+    )
+    @settings(max_examples=200)
+    def test_numeric_covering(self, a, b, v):
+        space = grid_space(bits=12)
+        low, high = sorted((a, b))
+        if not (low <= v <= high):
+            return
+        query = Query((NumericRange(low, high), Wildcard(), Wildcard()))
+        key = (v, 500, 50)
+        assert space.matches(key, query)
+        assert space.region(query).contains_point(space.coordinates(key))
+
+
+class TestMixedSpace:
+    def test_word_plus_numeric_plus_categorical(self):
+        space = KeywordSpace(
+            [
+                WordDimension("name"),
+                NumericDimension("memory", 0, 4096),
+                CategoricalDimension("os", ["linux", "windows"]),
+            ],
+            bits=10,
+        )
+        key = ("webserver", 2048, "linux")
+        query = Query((Prefix("web"), NumericRange(1024.0, None), Exact("linux")))
+        assert space.matches(key, query)
+        assert space.region(query).contains_point(space.coordinates(key))
+        assert not space.matches(("webserver", 512, "linux"), query)

@@ -1,0 +1,74 @@
+"""Tests for ring interval arithmetic and RouteResult."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.overlay.base import (
+    RouteResult,
+    ring_contains_open_closed,
+    ring_contains_open_open,
+)
+
+SPACE = 16
+
+
+class TestOpenClosed:
+    def test_simple_interval(self):
+        assert ring_contains_open_closed(5, 3, 8, SPACE)
+        assert ring_contains_open_closed(8, 3, 8, SPACE)
+        assert not ring_contains_open_closed(3, 3, 8, SPACE)
+        assert not ring_contains_open_closed(9, 3, 8, SPACE)
+
+    def test_wrapping_interval(self):
+        assert ring_contains_open_closed(15, 12, 4, SPACE)
+        assert ring_contains_open_closed(0, 12, 4, SPACE)
+        assert ring_contains_open_closed(4, 12, 4, SPACE)
+        assert not ring_contains_open_closed(12, 12, 4, SPACE)
+        assert not ring_contains_open_closed(8, 12, 4, SPACE)
+
+    def test_degenerate_full_ring(self):
+        for v in range(SPACE):
+            assert ring_contains_open_closed(v, 7, 7, SPACE)
+
+    def test_values_reduced_mod_space(self):
+        assert ring_contains_open_closed(5 + SPACE, 3, 8, SPACE)
+
+    @given(
+        st.integers(0, SPACE - 1), st.integers(0, SPACE - 1), st.integers(0, SPACE - 1)
+    )
+    def test_partition_property(self, v, a, b):
+        """Every point is in exactly one of (a, b] and (b, a] when a != b."""
+        if a == b:
+            return
+        in_ab = ring_contains_open_closed(v, a, b, SPACE)
+        in_ba = ring_contains_open_closed(v, b, a, SPACE)
+        assert in_ab != in_ba
+
+
+class TestOpenOpen:
+    def test_simple(self):
+        assert ring_contains_open_open(5, 3, 8, SPACE)
+        assert not ring_contains_open_open(8, 3, 8, SPACE)
+        assert not ring_contains_open_open(3, 3, 8, SPACE)
+
+    def test_wrapping(self):
+        assert ring_contains_open_open(0, 12, 4, SPACE)
+        assert not ring_contains_open_open(4, 12, 4, SPACE)
+
+    def test_degenerate(self):
+        assert ring_contains_open_open(5, 7, 7, SPACE)
+        assert not ring_contains_open_open(7, 7, 7, SPACE)
+
+
+class TestRouteResult:
+    def test_properties(self):
+        r = RouteResult(key=9, path=(1, 5, 8))
+        assert r.source == 1
+        assert r.destination == 8
+        assert r.hops == 2
+
+    def test_self_delivery(self):
+        r = RouteResult(key=3, path=(4,))
+        assert r.source == r.destination == 4
+        assert r.hops == 0

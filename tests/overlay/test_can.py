@@ -1,0 +1,219 @@
+"""Tests for the CAN overlay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DuplicateNodeError,
+    EmptyOverlayError,
+    NodeNotFoundError,
+    OverlayError,
+)
+from repro.overlay.can import CanOverlay, Zone
+
+
+def grown_overlay(n=20, seed=0, bits=12, can_dims=2):
+    can = CanOverlay(bits, can_dims)
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        can.join(rng)
+    return can
+
+
+class TestZone:
+    def test_contains(self):
+        z = Zone((0, 0), (3, 3))
+        assert z.contains((0, 0)) and z.contains((3, 3))
+        assert not z.contains((4, 0))
+
+    def test_volume(self):
+        assert Zone((0, 0), (3, 1)).volume() == 8
+
+    def test_distance(self):
+        z = Zone((2, 2), (4, 4))
+        assert z.distance_to((3, 3)) == 0
+        assert z.distance_to((0, 3)) == 2
+        assert z.distance_to((6, 6)) == 4
+
+    def test_touches_face(self):
+        a = Zone((0, 0), (1, 3))
+        b = Zone((2, 0), (3, 3))
+        assert a.touches(b) and b.touches(a)
+
+    def test_corner_contact_is_not_face(self):
+        a = Zone((0, 0), (1, 1))
+        b = Zone((2, 2), (3, 3))
+        assert not a.touches(b)
+
+    def test_separated(self):
+        a = Zone((0, 0), (1, 1))
+        b = Zone((5, 0), (6, 1))
+        assert not a.touches(b)
+
+    def test_split(self):
+        z = Zone((0, 0), (3, 3))
+        lower, upper = z.split(0)
+        assert lower == Zone((0, 0), (1, 3))
+        assert upper == Zone((2, 0), (3, 3))
+
+    def test_split_too_thin(self):
+        with pytest.raises(OverlayError):
+            Zone((0, 0), (0, 3)).split(0)
+
+
+class TestConstruction:
+    def test_bits_divisibility(self):
+        with pytest.raises(OverlayError):
+            CanOverlay(13, 2)
+
+    def test_bad_dims(self):
+        with pytest.raises(OverlayError):
+            CanOverlay(12, 0)
+
+    def test_bootstrap(self):
+        can = CanOverlay(8, 2)
+        nid = can.bootstrap()
+        assert can.node_ids() == [nid]
+        assert can.owner(0) == nid
+        assert can.owner(255) == nid
+
+    def test_double_bootstrap_rejected(self):
+        can = CanOverlay(8, 2)
+        can.bootstrap()
+        with pytest.raises(DuplicateNodeError):
+            can.bootstrap()
+
+    def test_empty_owner(self):
+        with pytest.raises(EmptyOverlayError):
+            CanOverlay(8, 2).owner(1)
+
+
+class TestJoin:
+    def test_zones_tile_space(self):
+        can = grown_overlay(n=30, bits=12)
+        total = sum(z.volume() for zl in can.zones.values() for z in zl)
+        assert total == 1 << 12
+
+    def test_zones_disjoint(self):
+        can = grown_overlay(n=15, bits=10)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            point = tuple(int(x) for x in rng.integers(0, 32, size=2))
+            owners = [
+                nid
+                for nid, zl in can.zones.items()
+                for z in zl
+                if z.contains(point)
+            ]
+            assert len(owners) == 1
+
+    def test_join_at_point_splits_target(self):
+        can = CanOverlay(8, 2)
+        first = can.bootstrap()
+        second = can.join_at_point((0, 0))
+        assert len(can.zones[first]) == 1
+        assert len(can.zones[second]) == 1
+        assert can.zones[first][0].volume() == 128
+
+
+class TestOwnerAndRouting:
+    def test_every_key_has_owner(self):
+        can = grown_overlay(n=25)
+        rng = np.random.default_rng(2)
+        for key in rng.integers(0, can.space, size=100):
+            assert can.owner(int(key)) in can.zones
+
+    def test_route_reaches_owner(self):
+        can = grown_overlay(n=40)
+        rng = np.random.default_rng(3)
+        ids = can.node_ids()
+        for _ in range(100):
+            source = ids[rng.integers(0, len(ids))]
+            key = int(rng.integers(0, can.space))
+            result = can.route(source, key)
+            assert result.destination == can.owner(key)
+            assert result.path[0] == source
+
+    def test_route_hops_scale(self):
+        """CAN routes in O(d * N^(1/d)) hops: far more than Chord's O(log N)."""
+        can = grown_overlay(n=100, bits=16)
+        rng = np.random.default_rng(4)
+        ids = can.node_ids()
+        hops = [
+            can.route(
+                ids[rng.integers(0, len(ids))], int(rng.integers(0, can.space))
+            ).hops
+            for _ in range(50)
+        ]
+        n = len(ids)
+        assert np.mean(hops) < 4 * 2 * np.sqrt(n)
+
+    def test_route_from_unknown(self):
+        with pytest.raises(NodeNotFoundError):
+            grown_overlay(5).route(999, 0)
+
+
+class TestNeighbors:
+    def test_symmetry(self):
+        can = grown_overlay(n=20)
+        for nid in can.node_ids():
+            for other in can.neighbors(nid):
+                assert nid in can.neighbors(other)
+
+    def test_no_self_neighbor(self):
+        can = grown_overlay(n=20)
+        for nid in can.node_ids():
+            assert nid not in can.neighbors(nid)
+
+
+class TestLeave:
+    def test_leave_preserves_tiling(self):
+        can = grown_overlay(n=20, bits=10)
+        ids = can.node_ids()
+        can.leave(ids[3])
+        can.leave(ids[7])
+        total = sum(z.volume() for zl in can.zones.values() for z in zl)
+        assert total == 1 << 10
+        assert len(can.node_ids()) == 18
+
+    def test_leave_then_route(self):
+        can = grown_overlay(n=20, bits=10)
+        can.leave(can.node_ids()[0])
+        rng = np.random.default_rng(5)
+        ids = can.node_ids()
+        for _ in range(50):
+            source = ids[rng.integers(0, len(ids))]
+            key = int(rng.integers(0, can.space))
+            assert can.route(source, key).destination == can.owner(key)
+
+    def test_leave_unknown(self):
+        with pytest.raises(NodeNotFoundError):
+            grown_overlay(5).leave(12345)
+
+    def test_leave_last(self):
+        can = CanOverlay(8, 2)
+        nid = can.bootstrap()
+        can.leave(nid)
+        assert can.node_ids() == []
+
+
+class TestJoinCost:
+    def test_bootstrap_cost(self):
+        can = CanOverlay(8, 2)
+        assert can.join_cost((0, 0)) == 1
+
+    def test_cost_components(self):
+        can = grown_overlay(n=25, bits=12)
+        point = (3, 3)
+        entry = can.node_ids()[0]
+        cost = can.join_cost(point, entry=entry)
+        route = can.route_to_point(entry, point)
+        assert cost == route.hops + 1 + len(can.neighbors(route.destination))
+
+    def test_cost_positive_and_bounded(self):
+        can = grown_overlay(n=30, bits=12)
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            point = tuple(int(x) for x in rng.integers(0, 64, size=2))
+            cost = can.join_cost(point)
+            assert 1 <= cost <= len(can.node_ids()) * 2

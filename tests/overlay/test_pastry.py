@@ -1,0 +1,150 @@
+"""Tests for the Pastry overlay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DuplicateNodeError,
+    EmptyOverlayError,
+    NodeNotFoundError,
+    OverlayError,
+)
+from repro.overlay.pastry import PastryOverlay
+
+
+def overlay(n=100, bits=16, seed=0, **kwargs):
+    return PastryOverlay.with_random_ids(bits, n, rng=seed, **kwargs)
+
+
+class TestConstruction:
+    def test_bits_digit_compatibility(self):
+        with pytest.raises(OverlayError):
+            PastryOverlay(10, digit_bits=4)
+
+    def test_leaf_size_validation(self):
+        with pytest.raises(OverlayError):
+            PastryOverlay(16, leaf_size=3)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(DuplicateNodeError):
+            PastryOverlay.build(16, [5, 5])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(OverlayError):
+            PastryOverlay.build(8, [300])
+
+    def test_random_build(self):
+        net = overlay(50)
+        assert len(net) == 50
+
+
+class TestDigits:
+    def test_digit_extraction(self):
+        net = PastryOverlay(16, digit_bits=4)
+        assert net.digit(0xABCD, 0) == 0xA
+        assert net.digit(0xABCD, 1) == 0xB
+        assert net.digit(0xABCD, 3) == 0xD
+
+    def test_shared_prefix(self):
+        net = PastryOverlay(16, digit_bits=4)
+        assert net.shared_prefix_len(0xABCD, 0xABFF) == 2
+        assert net.shared_prefix_len(0xABCD, 0xABCD) == 4
+        assert net.shared_prefix_len(0xABCD, 0x1BCD) == 0
+
+    def test_circular_distance(self):
+        net = PastryOverlay(8, digit_bits=4)
+        assert net.circular_distance(0, 255) == 1
+        assert net.circular_distance(10, 20) == 10
+
+
+class TestOwner:
+    def test_numerically_closest(self):
+        net = PastryOverlay.build(8, [10, 100, 200], digit_bits=4, leaf_size=2)
+        assert net.owner(50) == 10
+        assert net.owner(60) == 100
+        assert net.owner(160) == 200
+
+    def test_wraparound_closeness(self):
+        net = PastryOverlay.build(8, [5, 250], digit_bits=4, leaf_size=2)
+        assert net.owner(0) == 5
+        assert net.owner(254) == 250
+        assert net.owner(130) in (5, 250)
+
+    def test_brute_force_agreement(self):
+        net = overlay(60, bits=12, seed=1)
+        ids = net.node_ids()
+        rng = np.random.default_rng(2)
+        for key in rng.integers(0, net.space, size=200):
+            key = int(key)
+            want = min(ids, key=lambda nid: (net.circular_distance(key, nid), nid))
+            assert net.owner(key) == want
+
+    def test_empty(self):
+        with pytest.raises(EmptyOverlayError):
+            PastryOverlay(16).owner(3)
+
+
+class TestRouting:
+    def test_reaches_owner_from_everywhere(self):
+        net = overlay(80, bits=16, seed=3)
+        rng = np.random.default_rng(4)
+        ids = net.node_ids()
+        for _ in range(300):
+            source = ids[rng.integers(0, len(ids))]
+            key = int(rng.integers(0, net.space))
+            result = net.route(source, key)
+            assert result.destination == net.owner(key)
+            assert result.path[0] == source
+
+    def test_self_delivery(self):
+        net = overlay(30, seed=5)
+        nid = net.node_ids()[0]
+        assert net.route(nid, nid).path == (nid,)
+
+    def test_logarithmic_hops(self):
+        net = overlay(400, bits=20, seed=6)
+        rng = np.random.default_rng(7)
+        ids = net.node_ids()
+        hops = [
+            net.route(ids[rng.integers(0, len(ids))], int(rng.integers(0, net.space))).hops
+            for _ in range(200)
+        ]
+        # O(log_16 N): ~2.2 for N=400; generous bound.
+        assert np.mean(hops) <= 2 * np.log(len(ids)) / np.log(net.cols) + 2
+
+    def test_unknown_source(self):
+        with pytest.raises(NodeNotFoundError):
+            overlay(10).route(12345678, 1)
+
+
+class TestState:
+    def test_state_size_logarithmic(self):
+        small, large = overlay(50, bits=20, seed=8), overlay(800, bits=20, seed=9)
+
+        def mean_state(net):
+            return np.mean([net.state_size(n) for n in net.node_ids()])
+
+        # 16x more nodes: state grows slowly (one routing row per digit).
+        assert mean_state(large) < mean_state(small) * 4
+
+    def test_state_unknown_node(self):
+        with pytest.raises(NodeNotFoundError):
+            overlay(10).state_size(999999999)
+
+    def test_leaf_sets_symmetricish(self):
+        net = overlay(60, seed=10)
+        for nid in net.node_ids()[:10]:
+            node = net.nodes[nid]
+            assert len(node.leaf_set) <= net.leaf_size
+            assert nid not in node.leaf_set
+
+    def test_routing_table_entries_share_prefix(self):
+        net = overlay(100, seed=11)
+        for nid in net.node_ids()[:10]:
+            node = net.nodes[nid]
+            for row_idx, row in enumerate(node.routing_table):
+                for col_idx, entry in enumerate(row):
+                    if entry is None:
+                        continue
+                    assert net.shared_prefix_len(nid, entry) == row_idx
+                    assert net.digit(entry, row_idx) == col_idx

@@ -1,0 +1,107 @@
+"""Tests for SFC clustering analytics."""
+
+import numpy as np
+import pytest
+
+from repro.sfc import HilbertCurve, MortonCurve, Region, make_curve
+from repro.sfc.analysis import (
+    average_cluster_count,
+    cluster_stats,
+    locality_ratio,
+    random_box_region,
+)
+
+
+class TestClusterStats:
+    def test_single_cluster(self):
+        curve = HilbertCurve(2, 3)
+        region = Region.from_bounds([(0, 7), (0, 7)])
+        stats = cluster_stats(curve, region)
+        assert stats.cluster_count == 1
+        assert stats.covered_indices == 64
+        assert stats.largest_cluster == 64
+        assert stats.mean_cluster_length == 64.0
+
+    def test_column_region(self):
+        curve = HilbertCurve(2, 3)
+        region = Region.from_bounds([(0, 0), (0, 7)])
+        stats = cluster_stats(curve, region)
+        assert stats.covered_indices == 8
+        assert stats.cluster_count >= 2
+        assert stats.smallest_cluster >= 1
+
+    def test_mean_length_of_empty(self):
+        from repro.sfc.analysis import ClusterStats
+
+        assert ClusterStats(0, 0, 0, 0).mean_cluster_length == 0.0
+
+
+class TestRandomBoxRegion:
+    def test_extent_respected(self):
+        curve = HilbertCurve(2, 4)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            region = random_box_region(curve, 4, rng)
+            box = region.boxes[0]
+            for iv in box.intervals:
+                assert iv.width == 4
+                assert 0 <= iv.low and iv.high < curve.side
+
+    def test_rejects_bad_extent(self):
+        curve = HilbertCurve(2, 4)
+        with pytest.raises(ValueError):
+            random_box_region(curve, 0)
+        with pytest.raises(ValueError):
+            random_box_region(curve, curve.side + 1)
+
+
+class TestHilbertVsMorton:
+    def test_hilbert_fewer_clusters(self):
+        """The clustering claim: Hilbert decomposes boxes into fewer segments."""
+        h = HilbertCurve(2, 6)
+        m = MortonCurve(2, 6)
+        h_count = average_cluster_count(h, extent=8, samples=40, rng=1)
+        m_count = average_cluster_count(m, extent=8, samples=40, rng=1)
+        assert h_count < m_count
+
+    def test_hilbert_better_locality(self):
+        h = HilbertCurve(2, 6)
+        m = MortonCurve(2, 6)
+        assert locality_ratio(h, window=4, samples=200, rng=2) < locality_ratio(
+            m, window=4, samples=200, rng=2
+        )
+
+    def test_locality_window_too_large(self):
+        with pytest.raises(ValueError):
+            locality_ratio(HilbertCurve(2, 2), window=100)
+
+
+class TestCurveComparison:
+    def test_all_families_reported(self):
+        from repro.sfc.analysis import curve_comparison
+
+        table = curve_comparison(dims=2, order=5, extent=6, samples=20, rng=0)
+        assert set(table) == {"hilbert", "gray", "zorder"}
+        for row in table.values():
+            assert row["mean_clusters"] >= 1
+            assert row["locality"] > 0
+
+    def test_moon_ordering(self):
+        from repro.sfc.analysis import curve_comparison
+
+        table = curve_comparison(dims=2, order=6, extent=8, samples=30, rng=1)
+        assert (
+            table["hilbert"]["mean_clusters"]
+            <= table["gray"]["mean_clusters"]
+            <= table["zorder"]["mean_clusters"]
+        )
+
+
+class TestMakeCurve:
+    def test_registry(self):
+        assert isinstance(make_curve("hilbert", 2, 3), HilbertCurve)
+        assert isinstance(make_curve("zorder", 2, 3), MortonCurve)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_curve("peano", 2, 3)

@@ -1,0 +1,103 @@
+"""Tests for the Gray-coded curve (the middle comparison mapping)."""
+
+import numpy as np
+import pytest
+
+from repro.sfc import GrayCurve, HilbertCurve, MortonCurve, Region, make_curve, resolve_clusters
+from repro.sfc.analysis import average_cluster_count
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dims,order", [(1, 4), (2, 4), (3, 3)])
+    def test_exhaustive_bijection(self, dims, order):
+        c = GrayCurve(dims, order)
+        points = [c.decode(i) for i in range(c.size)]
+        assert len(set(points)) == c.size
+        for i, p in enumerate(points):
+            assert c.encode(p) == i
+
+    def test_registry(self):
+        assert isinstance(make_curve("gray", 2, 3), GrayCurve)
+
+
+class TestSiblingAdjacency:
+    def test_consecutive_siblings_share_a_face(self):
+        """Within one parent subcube, curve-consecutive cells are neighbors."""
+        c = GrayCurve(3, 1)  # one level: all 8 cells are siblings
+        for i in range(c.size - 1):
+            a, b = c.decode(i), c.decode(i + 1)
+            assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    def test_adjacency_breaks_across_subcubes(self):
+        """Unlike Hilbert, transitions between subcubes can jump."""
+        c = GrayCurve(2, 3)
+        jumps = 0
+        for i in range(c.size - 1):
+            a, b = c.decode(i), c.decode(i + 1)
+            if sum(abs(x - y) for x, y in zip(a, b)) > 1:
+                jumps += 1
+        assert jumps > 0
+
+    def test_fewer_jumps_than_morton(self):
+        gray, morton = GrayCurve(2, 4), MortonCurve(2, 4)
+
+        def jumps(curve):
+            return sum(
+                1
+                for i in range(curve.size - 1)
+                if sum(
+                    abs(x - y) for x, y in zip(curve.decode(i), curve.decode(i + 1))
+                )
+                > 1
+            )
+
+        assert jumps(gray) < jumps(morton)
+
+
+class TestClusterOrdering:
+    def test_moon_et_al_ordering(self):
+        """Mean clusters per box query: hilbert <= gray <= zorder."""
+        h = average_cluster_count(HilbertCurve(2, 6), extent=8, samples=40, rng=0)
+        g = average_cluster_count(GrayCurve(2, 6), extent=8, samples=40, rng=0)
+        m = average_cluster_count(MortonCurve(2, 6), extent=8, samples=40, rng=0)
+        assert h <= g <= m
+        assert h < m  # strict at the ends
+
+    def test_resolve_clusters_matches_brute_force(self):
+        curve = GrayCurve(2, 4)
+        rng = np.random.default_rng(3)
+        for _ in range(15):
+            a, b = sorted(rng.integers(0, curve.side, size=2))
+            c, d = sorted(rng.integers(0, curve.side, size=2))
+            region = Region.from_bounds([(int(a), int(b)), (int(c), int(d))])
+            got = resolve_clusters(curve, region)
+            want = []
+            start = None
+            for i in range(curve.size):
+                if region.contains_point(curve.decode(i)):
+                    if start is None:
+                        start = i
+                elif start is not None:
+                    want.append((start, i - 1))
+                    start = None
+            if start is not None:
+                want.append((start, curve.size - 1))
+            assert got == want
+
+
+class TestEndToEnd:
+    def test_squid_on_gray_curve_is_exact(self):
+        from repro import KeywordSpace, SquidSystem, WordDimension
+
+        space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=8)
+        system = SquidSystem.create(space, n_nodes=24, curve="gray", seed=5)
+        rng = np.random.default_rng(6)
+        words = ["alpha", "beta", "gamma", "delta", "algo", "altair", "gam"]
+        for _ in range(120):
+            system.publish(
+                (words[rng.integers(len(words))], words[rng.integers(len(words))])
+            )
+        for q in ["(al*, *)", "(*, *)", "(gamma, delta)"]:
+            got = sorted(map(id, system.query(q, rng=7).matches))
+            want = sorted(map(id, system.brute_force_matches(q)))
+            assert got == want

@@ -1,0 +1,228 @@
+"""Property and unit tests for the Hilbert curve implementation.
+
+These cover the mathematical properties the paper relies on (§3.2):
+bijectivity, adjacency (continuity of the curve), digital causality, and
+locality preservation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    CoordinateRangeError,
+    DimensionMismatchError,
+    IndexRangeError,
+)
+from repro.sfc.hilbert import HilbertCurve, HilbertState, _transition_table
+
+
+def curve_params():
+    return st.sampled_from([(1, 4), (2, 2), (2, 4), (3, 2), (3, 3), (4, 2), (5, 1)])
+
+
+class TestConstruction:
+    def test_attributes(self):
+        c = HilbertCurve(3, 4)
+        assert c.dims == 3
+        assert c.order == 4
+        assert c.index_bits == 12
+        assert c.size == 4096
+        assert c.side == 16
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            HilbertCurve(0, 4)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            HilbertCurve(2, 0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dims,order", [(1, 3), (2, 3), (3, 2), (4, 2)])
+    def test_exhaustive_bijection(self, dims, order):
+        c = HilbertCurve(dims, order)
+        points = [c.decode(i) for i in range(c.size)]
+        assert len(set(points)) == c.size
+        for i, p in enumerate(points):
+            assert c.encode(p) == i
+
+    @given(curve_params(), st.data())
+    @settings(max_examples=60)
+    def test_random_roundtrip(self, params, data):
+        dims, order = params
+        c = HilbertCurve(dims, order)
+        point = tuple(
+            data.draw(st.integers(min_value=0, max_value=c.side - 1)) for _ in range(dims)
+        )
+        assert c.decode(c.encode(point)) == point
+
+    def test_large_order_roundtrip(self):
+        c = HilbertCurve(2, 40)  # 80-bit index: exceeds the int64 fast path.
+        point = (2**39 + 12345, 2**38 + 999)
+        assert c.decode(c.encode(point)) == point
+
+
+class TestAdjacency:
+    @pytest.mark.parametrize("dims,order", [(1, 4), (2, 4), (3, 3), (4, 2)])
+    def test_consecutive_indices_are_neighbors(self, dims, order):
+        c = HilbertCurve(dims, order)
+        prev = c.decode(0)
+        for i in range(1, c.size):
+            cur = c.decode(i)
+            dist = sum(abs(a - b) for a, b in zip(prev, cur))
+            assert dist == 1, f"break between index {i-1} and {i}"
+            prev = cur
+
+    @given(st.integers(min_value=0, max_value=2**18 - 2))
+    @settings(max_examples=100)
+    def test_adjacency_sampled_large(self, index):
+        c = HilbertCurve(3, 6)
+        a = c.decode(index)
+        b = c.decode(index + 1)
+        assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+
+class TestDigitalCausality:
+    @pytest.mark.parametrize("dims,order", [(2, 4), (3, 3)])
+    def test_subcube_shares_prefix(self, dims, order):
+        """All indices in a level-l subcube agree on their first l*d bits."""
+        c = HilbertCurve(dims, order)
+        for level in range(1, order + 1):
+            span_bits = (order - level) * dims
+            seen: dict[int, tuple] = {}
+            for i in range(c.size):
+                prefix = i >> span_bits
+                coords_prefix = tuple(x >> (order - level) for x in c.decode(i))
+                if prefix in seen:
+                    assert seen[prefix] == coords_prefix
+                else:
+                    seen[prefix] = coords_prefix
+
+    def test_first_subcube_maps_to_first_segment(self):
+        """Paper §3.2: the k-th order d-dim curve maps one subcube to [0, 2^(kd)/2^d - 1]."""
+        c = HilbertCurve(2, 3)
+        first_segment_points = {c.decode(i) for i in range(c.size // 4)}
+        # Those 16 points must form one quadrant (all coords share top bit).
+        top_bits = {(x >> 2, y >> 2) for x, y in first_segment_points}
+        assert len(top_bits) == 1
+
+
+class TestLocality:
+    def test_nearby_indices_nearby_points(self):
+        c = HilbertCurve(2, 6)
+        rng = np.random.default_rng(0)
+        starts = rng.integers(0, c.size - 2, size=300)
+        for s in starts:
+            a = c.decode(int(s))
+            b = c.decode(int(s) + 1)
+            assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    def test_beats_random_placement(self):
+        """Mean L1 distance of curve-adjacent cells far below random baseline."""
+        c = HilbertCurve(2, 5)
+        dists = []
+        for i in range(c.size - 1):
+            a, b = c.decode(i), c.decode(i + 1)
+            dists.append(sum(abs(x - y) for x, y in zip(a, b)))
+        assert np.mean(dists) == 1.0  # exact for Hilbert
+        # Random placement baseline is ~ (2/3) * side per dim; vastly larger.
+        assert np.mean(dists) < c.side / 3
+
+
+class TestChildren:
+    def test_children_count(self):
+        c = HilbertCurve(3, 2)
+        kids = c.children(c.root_state())
+        assert len(kids) == 8
+
+    def test_labels_are_permutation(self):
+        c = HilbertCurve(3, 2)
+        labels = [label for label, _ in c.children(c.root_state())]
+        assert sorted(labels) == list(range(8))
+
+    def test_adjacent_children_share_face(self):
+        """Consecutive child labels differ in exactly one bit (Gray property)."""
+        c = HilbertCurve(4, 1)
+        labels = [label for label, _ in c.children(c.root_state())]
+        for a, b in zip(labels, labels[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    @pytest.mark.parametrize("dims,order", [(2, 3), (3, 2)])
+    def test_tree_walk_reproduces_decode(self, dims, order):
+        """Recursively expanding children must reproduce the full mapping."""
+        c = HilbertCurve(dims, order)
+
+        def walk(level, prefix, coords, state, out):
+            if level == c.order:
+                out.append((prefix, tuple(coords)))
+                return
+            for rank, (label, child_state) in enumerate(c.children(state)):
+                nc = [(coords[j] << 1) | ((label >> j) & 1) for j in range(c.dims)]
+                walk(level + 1, (prefix << c.dims) | rank, nc, child_state, out)
+
+        out: list = []
+        walk(0, 0, [0] * c.dims, c.root_state(), out)
+        assert len(out) == c.size
+        for h, p in out:
+            assert c.decode(h) == p
+
+    def test_transition_table_closed(self):
+        """Every state reachable from the root has a table entry."""
+        table = _transition_table(3)
+        for rows in table.values():
+            for _, child in rows:
+                assert (child.entry, child.direction) in table
+
+
+class TestValidation:
+    def test_encode_wrong_dims(self):
+        with pytest.raises(DimensionMismatchError):
+            HilbertCurve(2, 3).encode((1, 2, 3))
+
+    def test_encode_out_of_range(self):
+        with pytest.raises(CoordinateRangeError):
+            HilbertCurve(2, 3).encode((8, 0))
+
+    def test_encode_negative(self):
+        with pytest.raises(CoordinateRangeError):
+            HilbertCurve(2, 3).encode((-1, 0))
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(IndexRangeError):
+            HilbertCurve(2, 3).decode(64)
+
+    def test_decode_negative(self):
+        with pytest.raises(IndexRangeError):
+            HilbertCurve(2, 3).decode(-1)
+
+
+class TestHilbertState:
+    def test_accessors(self):
+        s = HilbertState(0b10, 1)
+        assert s.entry == 0b10
+        assert s.direction == 1
+
+    def test_hashable(self):
+        assert len({HilbertState(0, 0), HilbertState(0, 0), HilbertState(1, 0)}) == 2
+
+
+class TestIndexRangeOfCell:
+    def test_root_cell(self):
+        c = HilbertCurve(2, 3)
+        assert c.index_range_of_cell(0, 0) == (0, 63)
+
+    def test_leaf_cell(self):
+        c = HilbertCurve(2, 3)
+        assert c.index_range_of_cell(3, 17) == (17, 17)
+
+    def test_mid_level(self):
+        c = HilbertCurve(2, 3)
+        assert c.index_range_of_cell(1, 2) == (32, 47)
+
+    def test_rejects_bad_level(self):
+        c = HilbertCurve(2, 3)
+        with pytest.raises(ValueError):
+            c.index_range_of_cell(4, 0)

@@ -1,0 +1,91 @@
+"""Cross-checks of the vectorized Hilbert path against the scalar one."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CoordinateRangeError, DimensionMismatchError, IndexRangeError
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.hilbert_vec import hilbert_decode_vec, hilbert_encode_vec
+
+
+@pytest.mark.parametrize("dims,order", [(1, 8), (2, 8), (3, 7), (4, 5), (2, 31), (3, 21)])
+def test_encode_matches_scalar(dims, order):
+    c = HilbertCurve(dims, order)
+    rng = np.random.default_rng(7)
+    pts = rng.integers(0, c.side, size=(300, dims))
+    vec = hilbert_encode_vec(pts, dims, order)
+    for row, v in zip(pts, vec):
+        assert c.encode(row) == int(v)
+
+
+@pytest.mark.parametrize("dims,order", [(2, 8), (3, 7), (2, 31)])
+def test_decode_matches_scalar(dims, order):
+    c = HilbertCurve(dims, order)
+    rng = np.random.default_rng(8)
+    idx = rng.integers(0, min(c.size, 2**62), size=200)
+    coords = hilbert_decode_vec(idx, dims, order)
+    for i, row in zip(idx, coords):
+        assert c.decode(int(i)) == tuple(int(x) for x in row)
+
+
+def test_roundtrip_bulk():
+    dims, order = 3, 20
+    rng = np.random.default_rng(9)
+    pts = rng.integers(0, 1 << order, size=(5000, dims))
+    idx = hilbert_encode_vec(pts, dims, order)
+    back = hilbert_decode_vec(idx, dims, order)
+    assert np.array_equal(back, pts)
+
+
+def test_empty_input():
+    out = hilbert_encode_vec(np.empty((0, 2), dtype=np.int64), 2, 8)
+    assert out.shape == (0,)
+    coords = hilbert_decode_vec(np.empty(0, dtype=np.int64), 2, 8)
+    assert coords.shape == (0, 2)
+
+
+def test_rejects_too_many_bits():
+    with pytest.raises(IndexRangeError):
+        hilbert_encode_vec(np.zeros((1, 2), dtype=np.int64), 2, 32)
+
+
+def test_rejects_wrong_shape():
+    with pytest.raises(DimensionMismatchError):
+        hilbert_encode_vec(np.zeros((4, 3), dtype=np.int64), 2, 8)
+
+
+def test_rejects_out_of_range_coords():
+    with pytest.raises(CoordinateRangeError):
+        hilbert_encode_vec(np.array([[0, 256]]), 2, 8)
+
+
+def test_rejects_out_of_range_indices():
+    with pytest.raises(IndexRangeError):
+        hilbert_decode_vec(np.array([1 << 16]), 2, 8)
+
+
+def test_curve_dispatches_to_vectorized():
+    c = HilbertCurve(2, 10)
+    pts = np.array([[1, 2], [3, 4]])
+    out = c.encode_many(pts)
+    assert out.dtype == np.int64
+    assert [c.encode(p) for p in pts] == out.tolist()
+
+
+def test_curve_falls_back_for_wide_indices():
+    c = HilbertCurve(2, 40)  # 80 bits: object-dtype fallback path.
+    pts = np.array([[1, 2], [3, 4]], dtype=object)
+    out = c.encode_many(pts)
+    assert out.dtype == object
+    assert [c.encode(p) for p in pts] == list(out)
+
+
+@given(st.integers(min_value=0, max_value=2**20 - 1))
+@settings(max_examples=50)
+def test_single_point_property(index):
+    c = HilbertCurve(2, 10)
+    point = c.decode(index)
+    vec = hilbert_encode_vec(np.array([point]), 2, 10)
+    assert int(vec[0]) == index

@@ -1,0 +1,95 @@
+"""Tests for the Morton (Z-order) comparison curve."""
+
+import numpy as np
+import pytest
+
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.zorder import MortonCurve
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dims,order", [(1, 4), (2, 4), (3, 3)])
+    def test_exhaustive_bijection(self, dims, order):
+        c = MortonCurve(dims, order)
+        points = [c.decode(i) for i in range(c.size)]
+        assert len(set(points)) == c.size
+        for i, p in enumerate(points):
+            assert c.encode(p) == i
+
+    def test_known_values_2d(self):
+        c = MortonCurve(2, 2)
+        # label bit 0 = dim 0, so index 1 -> x=1 (at the deepest level).
+        assert c.decode(0) == (0, 0)
+        assert c.decode(1) == (1, 0)
+        assert c.decode(2) == (0, 1)
+        assert c.decode(3) == (1, 1)
+
+
+class TestDigitalCausality:
+    def test_subcube_shares_prefix(self):
+        c = MortonCurve(2, 4)
+        level = 2
+        span_bits = (c.order - level) * c.dims
+        seen = {}
+        for i in range(c.size):
+            prefix = i >> span_bits
+            coords_prefix = tuple(x >> (c.order - level) for x in c.decode(i))
+            seen.setdefault(prefix, coords_prefix)
+            assert seen[prefix] == coords_prefix
+
+
+class TestNotAdjacent:
+    def test_morton_has_jumps(self):
+        """Z-order lacks the adjacency property — that is the point of the ablation."""
+        c = MortonCurve(2, 3)
+        jumps = 0
+        for i in range(c.size - 1):
+            a, b = c.decode(i), c.decode(i + 1)
+            if sum(abs(x - y) for x, y in zip(a, b)) > 1:
+                jumps += 1
+        assert jumps > 0
+
+    def test_hilbert_strictly_better_locality(self):
+        h, m = HilbertCurve(2, 4), MortonCurve(2, 4)
+
+        def total_dist(curve):
+            return sum(
+                sum(abs(x - y) for x, y in zip(curve.decode(i), curve.decode(i + 1)))
+                for i in range(curve.size - 1)
+            )
+
+        assert total_dist(h) < total_dist(m)
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        c = MortonCurve(3, 8)
+        rng = np.random.default_rng(3)
+        pts = rng.integers(0, c.side, size=(200, 3))
+        vec = c.encode_many(pts)
+        assert [c.encode(p) for p in pts] == vec.tolist()
+
+
+class TestChildren:
+    def test_identity_traversal(self):
+        c = MortonCurve(2, 3)
+        kids = c.children(c.root_state())
+        assert [label for label, _ in kids] == list(range(4))
+        # All children share the single Morton state.
+        assert len({state for _, state in kids}) == 1
+
+    def test_tree_walk_reproduces_decode(self):
+        c = MortonCurve(2, 3)
+
+        def walk(level, prefix, coords, state, out):
+            if level == c.order:
+                out.append((prefix, tuple(coords)))
+                return
+            for rank, (label, child_state) in enumerate(c.children(state)):
+                nc = [(coords[j] << 1) | ((label >> j) & 1) for j in range(c.dims)]
+                walk(level + 1, (prefix << c.dims) | rank, nc, child_state, out)
+
+        out: list = []
+        walk(0, 0, [0] * c.dims, c.root_state(), out)
+        for h, p in out:
+            assert c.decode(h) == p

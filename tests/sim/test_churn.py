@@ -1,0 +1,169 @@
+"""Tests for churn and stabilization processes on a live system."""
+
+import numpy as np
+import pytest
+
+from repro import KeywordSpace, SquidSystem, WordDimension
+from repro.sim import ChurnConfig, ChurnProcess, Simulator, StabilizationProcess
+
+
+def small_system(n_nodes=24, n_keys=150, seed=0):
+    space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=10)
+    system = SquidSystem.create(space, n_nodes=n_nodes, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    alpha = "abcdefghijklmnopqrstuvwxyz"
+    keys = [
+        (
+            "".join(alpha[i] for i in rng.integers(0, 26, size=5)),
+            "".join(alpha[i] for i in rng.integers(0, 26, size=5)),
+        )
+        for _ in range(n_keys)
+    ]
+    system.publish_many(keys)
+    return system
+
+
+class TestChurnProcess:
+    def test_join_churn_grows_system(self):
+        system = small_system()
+        sim = Simulator()
+        churn = ChurnProcess(sim, system, ChurnConfig(join_rate=1.0), rng=1)
+        sim.run_until(30.0)
+        assert churn.stats.joins > 10
+        assert len(system.overlay) > 24
+        assert system.check_placement_invariant()
+
+    def test_leave_churn_preserves_elements(self):
+        system = small_system()
+        before = system.total_elements()
+        sim = Simulator()
+        churn = ChurnProcess(sim, system, ChurnConfig(leave_rate=1.0, min_nodes=5), rng=2)
+        sim.run_until(15.0)
+        assert churn.stats.leaves > 0
+        assert system.total_elements() == before  # graceful leaves keep data
+        assert len(system.overlay) >= 5
+
+    def test_crash_churn_loses_keys_but_system_survives(self):
+        system = small_system()
+        before = system.total_elements()
+        sim = Simulator()
+        churn = ChurnProcess(sim, system, ChurnConfig(crash_rate=1.0, min_nodes=8), rng=3)
+        sim.run_until(10.0)
+        assert churn.stats.crashes > 0
+        assert system.total_elements() < before
+        # Routing still works on survivors.
+        ids = system.overlay.node_ids()
+        result = system.overlay.route(ids[0], 123)
+        assert result.destination == system.overlay.owner(123)
+
+    def test_mixed_churn_queries_remain_exact(self):
+        system = small_system(n_nodes=30, n_keys=200, seed=4)
+        sim = Simulator()
+        ChurnProcess(
+            sim,
+            system,
+            ChurnConfig(join_rate=0.5, leave_rate=0.5, min_nodes=10),
+            rng=5,
+        )
+        for horizon in (5.0, 10.0, 15.0):
+            sim.run_until(horizon)
+            want = len(system.brute_force_matches("(a*, *)"))
+            got = system.query("(a*, *)", rng=6).match_count
+            assert got == want
+
+    def test_min_nodes_respected(self):
+        system = small_system(n_nodes=5, n_keys=20)
+        sim = Simulator()
+        ChurnProcess(sim, system, ChurnConfig(leave_rate=5.0, min_nodes=4), rng=7)
+        sim.run_until(20.0)
+        assert len(system.overlay) >= 4
+
+
+class TestStabilization:
+    def test_repairs_after_crashes(self):
+        system = small_system(n_nodes=40, n_keys=100, seed=8)
+        rng = np.random.default_rng(9)
+        for victim in rng.choice(system.overlay.node_ids(), size=8, replace=False):
+            system.overlay.fail(int(victim))
+            system.stores.pop(int(victim))
+        stale_before = system.overlay.stale_finger_fraction()
+        assert stale_before > 0
+        sim = Simulator()
+        proc = StabilizationProcess(sim, system, interval=1.0, rng=10)
+        sim.run_until(60.0)
+        assert proc.messages > 0
+        assert system.overlay.stale_finger_fraction() < stale_before
+
+    def test_stop(self):
+        system = small_system(n_nodes=10, n_keys=20)
+        sim = Simulator()
+        proc = StabilizationProcess(sim, system, interval=1.0, rng=11)
+        sim.run_until(3.0)
+        msgs = proc.messages
+        proc.stop()
+        sim.run_until(30.0)
+        # A few in-flight ticks may still run, but the process winds down.
+        assert proc.messages == msgs
+
+
+class TestLoadBalanceProcess:
+    def _skewed_system(self, seed=20):
+        from repro import KeywordSpace, SquidSystem, WordDimension
+
+        space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=16)
+        system = SquidSystem.create(space, n_nodes=24, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        alpha = "abcdefghijklmnopqrstuvwxyz"
+        keys = [
+            (
+                "c" + "".join(alpha[i] for i in rng.integers(0, 26, 5)),
+                "c" + "".join(alpha[i] for i in rng.integers(0, 26, 5)),
+            )
+            for _ in range(500)
+        ]
+        system.publish_many(keys)
+        return system
+
+    def test_periodic_balancing_improves_load(self):
+        from repro.sim import LoadBalanceProcess, Simulator
+        from repro.util.stats import coefficient_of_variation
+
+        system = self._skewed_system()
+        before = coefficient_of_variation(list(system.node_loads().values()))
+        sim = Simulator()
+        proc = LoadBalanceProcess(sim, system, interval=5.0, threshold=1.3, rng=0)
+        sim.run_until(60.0)
+        after = coefficient_of_variation(list(system.node_loads().values()))
+        assert proc.rounds >= 10
+        assert proc.shifts > 0
+        assert after < before
+        assert system.check_placement_invariant()
+
+    def test_stop(self):
+        from repro.sim import LoadBalanceProcess, Simulator
+
+        system = self._skewed_system(seed=21)
+        sim = Simulator()
+        proc = LoadBalanceProcess(sim, system, interval=1.0, rng=1)
+        sim.run_until(3.5)
+        proc.stop()
+        rounds = proc.rounds
+        sim.run_until(30.0)
+        assert proc.rounds == rounds
+
+    def test_combined_with_churn_preserves_data(self):
+        from repro.sim import ChurnConfig, ChurnProcess, LoadBalanceProcess, Simulator
+
+        system = self._skewed_system(seed=22)
+        total = system.total_elements()
+        sim = Simulator()
+        ChurnProcess(
+            sim, system, ChurnConfig(join_rate=1.0, leave_rate=0.5, min_nodes=10), rng=2
+        )
+        LoadBalanceProcess(sim, system, interval=4.0, rng=3)
+        sim.run_until(40.0)
+        assert system.total_elements() == total
+        assert system.check_placement_invariant()
+        want = len(system.brute_force_matches("(c*, *)"))
+        system.overlay.rebuild_all_fingers()
+        assert system.query("(c*, *)", rng=4).match_count == want

@@ -1,0 +1,37 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+            assert issubclass(cls, Exception)
+
+    def test_domain_parents(self):
+        assert issubclass(errors.DimensionMismatchError, errors.SFCError)
+        assert issubclass(errors.CoordinateRangeError, errors.SFCError)
+        assert issubclass(errors.IndexRangeError, errors.SFCError)
+        assert issubclass(errors.QueryParseError, errors.KeywordError)
+        assert issubclass(errors.EmptyOverlayError, errors.OverlayError)
+        assert issubclass(errors.NodeNotFoundError, errors.OverlayError)
+        assert issubclass(errors.DuplicateNodeError, errors.OverlayError)
+
+    def test_dimension_mismatch_message(self):
+        err = errors.DimensionMismatchError(3, 2)
+        assert err.expected == 3
+        assert err.got == 2
+        assert "3" in str(err) and "2" in str(err)
+
+    def test_catchall_usage(self):
+        """A caller can catch everything the library raises in one clause."""
+        from repro import KeywordSpace, WordDimension
+
+        with pytest.raises(errors.ReproError):
+            KeywordSpace([], bits=4)
+        with pytest.raises(errors.ReproError):
+            WordDimension("x").validate("nope!")

@@ -1,0 +1,43 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_numpy_integer_seed(self):
+        gen = as_generator(np.int64(7))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(0, 5)
+        assert len(children) == 5
+
+    def test_children_independent_streams(self):
+        a, b = spawn(0, 2)
+        assert not np.array_equal(a.integers(0, 10**9, 10), b.integers(0, 10**9, 10))
+
+    def test_deterministic_from_seed(self):
+        x = [g.integers(0, 10**9) for g in spawn(1, 3)]
+        y = [g.integers(0, 10**9) for g in spawn(1, 3)]
+        assert x == y

@@ -1,0 +1,94 @@
+"""Tests for Q1/Q2/Q3 query generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.keywords.query import Exact, NumericRange, Prefix, Wildcard
+from repro.workloads.documents import DocumentWorkload
+from repro.workloads.queries import (
+    q1_queries,
+    q2_queries,
+    q3_full_range_queries,
+    q3_keyword_range_queries,
+)
+from repro.workloads.resources import ResourceWorkload
+
+
+@pytest.fixture(scope="module")
+def docs2d():
+    return DocumentWorkload.generate(2, 800, rng=0)
+
+
+@pytest.fixture(scope="module")
+def docs3d():
+    return DocumentWorkload.generate(3, 800, rng=1)
+
+
+@pytest.fixture(scope="module")
+def resources():
+    return ResourceWorkload.generate(600, rng=2)
+
+
+class TestQ1:
+    def test_shape(self, docs2d):
+        queries = q1_queries(docs2d, count=6, rng=3)
+        assert len(queries) == 6
+        for q in queries:
+            assert q.dims == 2
+            assert isinstance(q.terms[0], (Exact, Prefix))
+            assert all(isinstance(t, Wildcard) for t in q.terms[1:])
+
+    def test_3d(self, docs3d):
+        for q in q1_queries(docs3d, count=4, rng=4):
+            assert q.dims == 3
+
+    def test_queries_have_matches(self, docs2d):
+        queries = q1_queries(docs2d, count=10, rng=5)
+        match_counts = [docs2d.count_matching(q) for q in queries]
+        assert all(c >= 1 for c in match_counts)
+        # The paper: "each query resulted in a different number of matches".
+        assert len(set(match_counts)) > 1
+
+    def test_deterministic(self, docs2d):
+        assert q1_queries(docs2d, rng=6) == q1_queries(docs2d, rng=6)
+
+
+class TestQ2:
+    def test_shape(self, docs3d):
+        queries = q2_queries(docs3d, count=5, rng=7)
+        for q in queries:
+            assert q.dims == 3
+            specified = [t for t in q.terms if not isinstance(t, Wildcard)]
+            assert len(specified) == 2
+            assert any(isinstance(t, Prefix) for t in q.terms)
+
+    def test_queries_have_matches(self, docs2d):
+        for q in q2_queries(docs2d, count=5, rng=8):
+            assert docs2d.count_matching(q) >= 1
+
+    def test_needs_two_dims(self):
+        wl = DocumentWorkload.generate(1, 50, rng=9)
+        with pytest.raises(WorkloadError):
+            q2_queries(wl)
+
+
+class TestQ3:
+    def test_keyword_range_shape(self, resources):
+        queries = q3_keyword_range_queries(resources, count=4, rng=10)
+        for q in queries:
+            assert isinstance(q.terms[0], Exact)
+            assert isinstance(q.terms[1], NumericRange)
+            assert isinstance(q.terms[2], Wildcard)
+
+    def test_full_range_shape(self, resources):
+        for q in q3_full_range_queries(resources, count=5, rng=11):
+            assert all(isinstance(t, NumericRange) for t in q.terms)
+
+    def test_ranges_contain_anchor(self, resources):
+        """Each generated query matches at least its anchor resource."""
+        for q in q3_full_range_queries(resources, count=8, rng=12):
+            assert resources.count_matching(q) >= 1
+
+    def test_keyword_range_has_matches(self, resources):
+        for q in q3_keyword_range_queries(resources, count=6, rng=13):
+            assert resources.count_matching(q) >= 1

@@ -1,0 +1,66 @@
+"""Tests for Zipf query streams."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.streams import ZipfQueryStream
+
+POOL = [f"(q{i}*, *)" for i in range(10)]
+
+
+class TestValidation:
+    def test_empty_pool(self):
+        with pytest.raises(WorkloadError):
+            ZipfQueryStream([])
+
+    def test_bad_locality(self):
+        with pytest.raises(WorkloadError):
+            ZipfQueryStream(POOL, locality=1.0)
+        with pytest.raises(WorkloadError):
+            ZipfQueryStream(POOL, locality=-0.1)
+
+    def test_bad_window(self):
+        with pytest.raises(WorkloadError):
+            ZipfQueryStream(POOL, window=0)
+
+    def test_negative_length(self):
+        with pytest.raises(WorkloadError):
+            ZipfQueryStream(POOL).generate(-1)
+
+
+class TestGeneration:
+    def test_length(self):
+        stream = ZipfQueryStream(POOL).generate(100, rng=0)
+        assert len(stream) == 100
+        assert all(q in POOL for q in stream)
+
+    def test_deterministic(self):
+        s = ZipfQueryStream(POOL)
+        assert s.generate(50, rng=7) == s.generate(50, rng=7)
+
+    def test_zipf_skew(self):
+        s = ZipfQueryStream(POOL, exponent=1.2)
+        counts = s.popularity_counts(s.generate(2000, rng=1))
+        ranked = [counts[q] for q in POOL]
+        # The head query dominates the tail.
+        assert ranked[0] > 3 * ranked[-1]
+
+    def test_zero_exponent_near_uniform(self):
+        s = ZipfQueryStream(POOL, exponent=0.0)
+        counts = s.popularity_counts(s.generate(5000, rng=2))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_locality_increases_repeats(self):
+        def repeat_rate(locality):
+            s = ZipfQueryStream(POOL, exponent=0.0, locality=locality, window=1)
+            stream = s.generate(3000, rng=3)
+            return sum(1 for a, b in zip(stream, stream[1:]) if a == b) / len(stream)
+
+        assert repeat_rate(0.8) > repeat_rate(0.0) + 0.3
+
+    def test_expected_top_share(self):
+        s = ZipfQueryStream(POOL, exponent=1.0)
+        share = s.expected_top_share(1000)
+        counts = s.popularity_counts(s.generate(5000, rng=4))
+        observed = counts[POOL[0]] / 5000
+        assert observed == pytest.approx(share, abs=0.05)
