@@ -8,7 +8,7 @@ matches, and sibling aggregation batches fine sub-queries.
 
 import numpy as np
 
-from repro import NaiveEngine, OptimizedEngine, SquidSystem
+from repro import OptimizedEngine, SquidSystem
 from repro.workloads.documents import DocumentWorkload
 from repro.workloads.queries import q1_queries
 
@@ -21,47 +21,54 @@ def _build(seed=0, n_nodes=300, n_keys=5000):
     return system, queries
 
 
+def _mean_row(stats_list):
+    """Mean of the canonical QueryStats.as_row() columns over a query set."""
+    rows = [s.as_row() for s in stats_list]
+    return {col: float(np.mean([r[col] for r in rows])) for col in rows[0]}
+
+
 def test_optimized_vs_naive(benchmark):
     system, queries = _build()
 
     def measure():
-        opt = [system.query(q, engine=OptimizedEngine(), rng=7).stats for q in queries]
-        naive = [system.query(q, engine=NaiveEngine(), rng=7).stats for q in queries]
-        return (
-            float(np.mean([s.messages for s in opt])),
-            float(np.mean([s.messages for s in naive])),
-            float(np.mean([s.processing_node_count for s in opt])),
-            float(np.mean([s.processing_node_count for s in naive])),
-        )
+        return {
+            name: _mean_row([system.query(q, engine=name, rng=7).stats for q in queries])
+            for name in ("optimized", "naive")
+        }
 
-    opt_msgs, naive_msgs, opt_proc, naive_proc = benchmark.pedantic(
-        measure, rounds=1, iterations=1
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    opt, naive = rows["optimized"], rows["naive"]
+    print(f"\nmessages: optimized={opt['messages']:.1f} naive={naive['messages']:.1f}")
+    print(
+        f"processing nodes: optimized={opt['processing_nodes']:.1f} "
+        f"naive={naive['processing_nodes']:.1f}"
     )
-    print(f"\nmessages: optimized={opt_msgs:.1f} naive={naive_msgs:.1f}")
-    print(f"processing nodes: optimized={opt_proc:.1f} naive={naive_proc:.1f}")
     # The paper's motivation: one message per fully resolved cluster does
     # not scale; distributed refinement sends far fewer.
-    assert opt_msgs < naive_msgs
+    assert opt["messages"] < naive["messages"]
 
 
 def test_aggregation_ablation(benchmark):
     system, queries = _build(seed=3)
 
     def measure():
-        agg = [
-            system.query(q, engine=OptimizedEngine(aggregate=True, local_depth=5), rng=9).stats
-            for q in queries
-        ]
-        noagg = [
-            system.query(q, engine=OptimizedEngine(aggregate=False, local_depth=5), rng=9).stats
-            for q in queries
-        ]
-        return (
-            float(np.mean([s.hops for s in agg])),
-            float(np.mean([s.hops for s in noagg])),
-        )
+        return {
+            label: _mean_row(
+                [
+                    system.query(
+                        q,
+                        engine=OptimizedEngine(aggregate=aggregate, local_depth=5),
+                        rng=9,
+                    ).stats
+                    for q in queries
+                ]
+            )
+            for label, aggregate in (("aggregated", True), ("unaggregated", False))
+        }
 
-    agg_hops, noagg_hops = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    agg_hops = rows["aggregated"]["hops"]
+    noagg_hops = rows["unaggregated"]["hops"]
     print(f"\nwire hops with deep refinement: aggregated={agg_hops:.1f} "
           f"unaggregated={noagg_hops:.1f}")
     # With fine sub-queries, batching by destination saves wire traffic.
@@ -88,19 +95,16 @@ def test_local_depth_sweep(benchmark):
                 ).stats
                 for q in queries
             ]
-            rows.append(
-                (
-                    depth,
-                    float(np.mean([s.processing_node_count for s in engine_stats])),
-                    float(np.mean([s.messages for s in engine_stats])),
-                )
-            )
+            rows.append({"depth": depth, **_mean_row(engine_stats)})
         return rows
 
     rows = benchmark.pedantic(measure, rounds=1, iterations=1)
     print("\nlocal_depth sweep (depth, processing, messages):")
-    for depth, proc, msgs in rows:
-        print(f"  depth={depth}: processing={proc:.1f} messages={msgs:.1f}")
+    for row in rows:
+        print(
+            f"  depth={row['depth']}: processing={row['processing_nodes']:.1f} "
+            f"messages={row['messages']:.1f}"
+        )
     # Processing never grows with depth; message counts never shrink much.
-    procs = [r[1] for r in rows]
+    procs = [r["processing_nodes"] for r in rows]
     assert procs[-1] <= procs[0] + 1

@@ -46,6 +46,16 @@ from repro.keywords import (
     parse_terms,
 )
 from repro.core.hotspots import CachingQueryLayer, HotspotMonitor
+from repro.obs import (
+    MetricsRegistry,
+    PhaseProfiler,
+    QueryTrace,
+    Tracer,
+    collecting,
+    get_registry,
+    profiling,
+    set_registry,
+)
 from repro.overlay import CanOverlay, ChordRing, LatencyModel, ProximityChordRing
 from repro.sfc import GrayCurve, HilbertCurve, MortonCurve, make_curve
 from repro.store import LocalStore, StoredElement
@@ -87,5 +97,13 @@ __all__ = [
     "grow_with_join_lb",
     "neighbor_balance_round",
     "run_neighbor_balancing",
+    "Tracer",
+    "QueryTrace",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "collecting",
+    "profiling",
+    "get_registry",
+    "set_registry",
     "__version__",
 ]

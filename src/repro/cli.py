@@ -10,6 +10,12 @@ Commands
     Run all figures, check the paper's shape claims, emit markdown.
 ``demo``
     A 30-second end-to-end demonstration (publish + flexible queries).
+``trace QUERY [--engine E] [--nodes N] [--seed S] [--json]``
+    Run one query on a small demo system with a tracer attached and print
+    the reconstructed refinement tree, the stats, and the metrics snapshot.
+
+``run`` and ``report`` accept ``--profile`` to time the hot SFC/engine
+phases and print the per-phase table after the run.
 """
 
 from __future__ import annotations
@@ -35,6 +41,9 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--scale", default="small", choices=["small", "medium", "full"])
     run_p.add_argument("--seed", type=int, default=None)
     run_p.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    run_p.add_argument(
+        "--profile", action="store_true", help="time hot phases and print the table"
+    )
 
     repl_p = sub.add_parser("replicate", help="run a figure across several seeds")
     repl_p.add_argument("figure", help="figure id, e.g. fig09")
@@ -45,8 +54,24 @@ def main(argv: list[str] | None = None) -> int:
     rep_p.add_argument("--scale", default="small", choices=["small", "medium", "full"])
     rep_p.add_argument("--figures", default=None, help="comma-separated subset")
     rep_p.add_argument("--output", default=None, help="write report to this path")
+    rep_p.add_argument(
+        "--profile", action="store_true", help="append a per-phase profile section"
+    )
 
     sub.add_parser("demo", help="end-to-end demonstration")
+
+    trace_p = sub.add_parser("trace", help="trace one query's refinement tree")
+    trace_p.add_argument(
+        "query", nargs="?", default="(comp*, *)", help="query string, e.g. '(comp*, *)'"
+    )
+    trace_p.add_argument(
+        "--engine", default="optimized", choices=["optimized", "naive"]
+    )
+    trace_p.add_argument("--nodes", type=int, default=64)
+    trace_p.add_argument("--seed", type=int, default=42)
+    trace_p.add_argument(
+        "--json", action="store_true", help="emit the trace tree as JSON"
+    )
 
     args = parser.parse_args(argv)
 
@@ -60,6 +85,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "demo":
         return _cmd_demo()
+    if args.command == "trace":
+        return _cmd_trace(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -82,6 +109,15 @@ def _cmd_run(args) -> int:
     kwargs = {"scale": args.scale}
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if args.profile:
+        from repro.obs import profiling
+
+        with profiling() as profiler:
+            result = run_figure(args.figure, **kwargs)
+        print(result.to_csv() if args.csv else result.to_text())
+        print()
+        print(profiler.to_text())
+        return 0
     result = run_figure(args.figure, **kwargs)
     print(result.to_csv() if args.csv else result.to_text())
     return 0
@@ -100,7 +136,7 @@ def _cmd_report(args) -> int:
     from repro.experiments.report import generate_report
 
     figures = args.figures.split(",") if args.figures else None
-    report = generate_report(scale=args.scale, figures=figures)
+    report = generate_report(scale=args.scale, figures=figures, profile=args.profile)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(report + "\n")
@@ -132,6 +168,42 @@ def _cmd_demo() -> int:
             f"[{result.stats.messages} msgs, "
             f"{result.stats.processing_node_count} peers]"
         )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro import KeywordSpace, SquidSystem, WordDimension
+    from repro.obs import collecting
+
+    space = KeywordSpace([WordDimension("kw1"), WordDimension("kw2")], bits=16)
+    system = SquidSystem.create(
+        space, n_nodes=args.nodes, seed=args.seed, engine=args.engine
+    )
+    docs = [
+        (("computer", "network"), "doc-net"),
+        (("computer", "netbook"), "doc-netbook"),
+        (("computation", "theory"), "doc-theory"),
+        (("database", "network"), "doc-db"),
+        (("compiler", "design"), "doc-compiler"),
+    ]
+    for key, payload in docs:
+        system.publish(key, payload=payload)
+
+    system.attach_tracer()
+    with collecting() as registry:
+        result = system.query(args.query, rng=args.seed)
+    assert result.trace is not None
+    if args.json:
+        print(result.trace.to_json(indent=2))
+        return 0
+    print(result.trace.render())
+    print()
+    print("stats:")
+    for field, value in sorted(result.stats.as_dict().items()):
+        print(f"  {field}: {value}")
+    print()
+    print("metrics:")
+    print(registry.to_text())
     return 0
 
 

@@ -36,10 +36,21 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 from repro.core.metrics import QueryResult, QueryStats
 from repro.errors import EngineError
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs.trace import (
+    Aggregated,
+    ClusterRefined,
+    LocalScan,
+    MessageSent,
+    Pruned,
+    QueryTrace,
+)
 from repro.overlay.base import ring_contains_open_closed
 from repro.sfc.clusters import Cluster, refine_cluster, resolve_clusters, root_cluster
 from repro.util.rng import RandomLike, as_generator
@@ -48,6 +59,20 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.system import SquidSystem
 
 __all__ = ["QueryEngine", "NaiveEngine", "OptimizedEngine", "make_engine"]
+
+
+def _report_query_metrics(engine_name: str, stats: QueryStats) -> None:
+    """Publish one query's cost into the active metrics registry, if any."""
+    reg = obs_metrics.active()
+    if reg is None:
+        return
+    reg.counter(f"engine.{engine_name}.queries").inc()
+    reg.counter("query.messages.total").inc(stats.messages)
+    reg.counter("query.pruned_branches.total").inc(stats.pruned_branches)
+    reg.counter("query.aggregated_batches.total").inc(stats.aggregated_batches)
+    reg.histogram("query.messages").observe(stats.messages)
+    reg.histogram("query.hops").observe(stats.hops)
+    reg.histogram("query.processing_nodes").observe(stats.processing_node_count)
 
 
 def _clip_ranges(ranges, low: int, high: int):
@@ -82,6 +107,20 @@ class QueryEngine(ABC):
         the batch that crossed the threshold is kept whole).  Without a
         limit the paper's completeness guarantee applies: every match is
         returned.
+
+        Discovery-mode cost semantics (``stats`` stays truthful under the
+        early exit):
+
+        * ``messages``/``hops``/``routing_nodes`` count everything actually
+          sent up to the stop, *including* sub-queries dispatched but not
+          yet processed when the origin aborted the fan-out — those were
+          really on the wire; their number is reported separately as
+          ``stats.aborted_in_flight``.
+        * ``processing_nodes``/``data_nodes``/``clusters_processed`` cover
+          only work actually performed; abandoned branches contribute
+          nothing.
+        * ``completion_time`` is the completion of the last *processed*
+          sub-query (abandoned branches are never waited on).
         """
 
     def _pick_origin(
@@ -99,13 +138,20 @@ class QueryEngine(ABC):
 
     @staticmethod
     def _scan_cluster(system: "SquidSystem", node_id: int, cluster_ranges, query) -> list:
-        """Search one node's store over the cluster's index ranges."""
+        """Search one node's store over the cluster's index ranges.
+
+        Timed under the ``engine.scan`` phase when profiling is enabled.
+        """
+        prof = obs_profile._PROFILER
+        start = perf_counter() if prof is not None else 0.0
         store = system.stores[node_id]
         found = []
         for low, high in cluster_ranges:
             for element in store.scan_range(low, high):
                 if system.space.matches(element.key, query):
                     found.append(element)
+        if prof is not None:
+            prof.record("engine.scan", perf_counter() - start)
         return found
 
 
@@ -159,20 +205,30 @@ class OptimizedEngine(QueryEngine):
         matches: list = []
 
         origin_id = self._pick_origin(system, origin, rng)
+        tracer = getattr(system, "tracer", None)
+        trace: QueryTrace | None = (
+            tracer.begin(str(q), origin_id) if tracer is not None else None
+        )
         root = root_cluster(curve, region)
         if root is None:  # pragma: no cover - regions are never empty
-            return QueryResult(q, [], stats)
+            return QueryResult(q, [], stats, trace)
 
         # The initiator performs the first refinement of the query tree
         # (paper Figure 8) but holds none of the clusters itself yet.
         stats.record_processing(origin_id, 0)
+        root_span = trace.new_span(None, origin_id, 0) if trace is not None else 0
         first = self._refine_locally(curve, root, region, min_index=0)
+        if trace is not None:
+            trace.emit(root_span, ClusterRefined(origin_id, 0, len(first)))
 
-        work: deque[tuple[int, Cluster, int, float]] = deque()
-        self._dispatch(system, stats, origin_id, first, work, floor=0, now=0.0)
+        work: deque[tuple[int, Cluster, int, float, int]] = deque()
+        self._dispatch(
+            system, stats, origin_id, first, work, floor=0, now=0.0,
+            trace=trace, parent_span=root_span,
+        )
 
         while work:
-            node_id, cluster, arrival_key, arrival_time = work.popleft()
+            node_id, cluster, arrival_key, arrival_time, span = work.popleft()
             stats.record_processing(node_id, cluster.level)
             done_time = self._account_time(stats, origin_id, node_id, arrival_time)
             # The node searches the slice of the cluster it is responsible
@@ -185,6 +241,8 @@ class OptimizedEngine(QueryEngine):
                 cluster.iter_index_ranges(curve), arrival_key, window_high
             )
             found = self._scan_cluster(system, node_id, ranges, q)
+            if trace is not None:
+                trace.emit(span, LocalScan(node_id, len(ranges), len(found)))
             if found:
                 matches.extend(found)
                 stats.record_data_node(node_id)
@@ -192,7 +250,10 @@ class OptimizedEngine(QueryEngine):
                     stats.record_match_time(done_time)
                 if limit is not None and len(matches) >= limit:
                     # Discovery mode: enough matches known; the origin stops
-                    # the fan-out (outstanding branches are abandoned).
+                    # the fan-out.  Outstanding branches are abandoned —
+                    # their dispatch messages are already (truthfully)
+                    # counted; record how many were dropped in flight.
+                    stats.aborted_in_flight = len(work)
                     break
 
             # Pruning: the branch terminates when this node owns the whole
@@ -208,10 +269,24 @@ class OptimizedEngine(QueryEngine):
                 or node.predecessor == node_id  # single node: owns everything
                 or (node.predecessor > node_id and arrival_key > node.predecessor)
             ):
+                stats.record_pruned()
+                if trace is not None:
+                    trace.emit(span, Pruned(node_id, cluster.level, "owned"))
                 continue
             remainder = self._refine_locally(
                 curve, cluster, region, min_index=node_id + 1
             )
+            if trace is not None:
+                trace.emit(
+                    span, ClusterRefined(node_id, cluster.level, len(remainder))
+                )
+            if not remainder:
+                # The region's remaining geometry lies entirely within this
+                # node's scanned window: the branch ends here too.
+                stats.record_pruned()
+                if trace is not None:
+                    trace.emit(span, Pruned(node_id, cluster.level, "empty"))
+                continue
             self._dispatch(
                 system,
                 stats,
@@ -220,9 +295,12 @@ class OptimizedEngine(QueryEngine):
                 work,
                 floor=node_id + 1,
                 now=arrival_time + self.processing_delay,
+                trace=trace,
+                parent_span=span,
             )
 
-        return QueryResult(q, matches, stats)
+        _report_query_metrics(self.name, stats)
+        return QueryResult(q, matches, stats, trace)
 
     def _account_time(
         self, stats: QueryStats, origin_id: int, node_id: int, arrival_time: float
@@ -262,6 +340,8 @@ class OptimizedEngine(QueryEngine):
         work: deque,
         floor: int,
         now: float,
+        trace: QueryTrace | None = None,
+        parent_span: int = 0,
     ) -> None:
         """Send sub-clusters toward their owners, optionally aggregated.
 
@@ -275,6 +355,11 @@ class OptimizedEngine(QueryEngine):
         the paper's probe-then-batch protocol: the probe message is routed
         (hop-counted), the destination's identity reply costs one message,
         and additional same-destination clusters share one batched message.
+
+        When tracing, every dispatched cluster opens a child span of
+        ``parent_span``; the probe/reply/batch messages are recorded on the
+        spans that own them (probe on the first receiving span, reply and
+        batch on the sender's span).
         """
         if not clusters:
             return
@@ -283,6 +368,11 @@ class OptimizedEngine(QueryEngine):
 
         def route_key(cluster: Cluster) -> int:
             return max(cluster.min_index(curve), floor)
+
+        def child_span(dest: int, cluster: Cluster) -> int:
+            if trace is None:
+                return 0
+            return trace.new_span(parent_span, dest, cluster.level)
 
         ordered = sorted(clusters, key=route_key)
         groups: dict[int, tuple[int, list[Cluster]]] = {}
@@ -298,7 +388,10 @@ class OptimizedEngine(QueryEngine):
             if dest == sender_id:
                 # Remainder that stays local (wrapped first node): no message.
                 for cluster in group:
-                    work.append((dest, cluster, route_key(cluster), now))
+                    work.append(
+                        (dest, cluster, route_key(cluster), now,
+                         child_span(dest, cluster))
+                    )
                 continue
             if self.aggregate:
                 probe = overlay.route(sender_id, first_key)
@@ -308,18 +401,52 @@ class OptimizedEngine(QueryEngine):
                     stats.record_direct()  # identity reply enabling aggregation
                 if len(group) > 1:
                     stats.record_direct()  # batched siblings, sent directly
+                    stats.record_aggregated_batch()
                 # The probe carries the first cluster; batched siblings wait
                 # one sender<->dest round trip (reply + batch).
                 batch_arrival = probe_arrival + 2 * self._pair_latency(sender_id, dest)
                 for i, cluster in enumerate(group):
                     arrival = probe_arrival if i == 0 else batch_arrival
-                    work.append((dest, cluster, route_key(cluster), arrival))
+                    span = child_span(dest, cluster)
+                    if trace is not None and i == 0:
+                        trace.emit(
+                            span,
+                            MessageSent(
+                                sender_id, dest, "probe",
+                                hops=len(probe.path) - 1, path=probe.path,
+                            ),
+                        )
+                    work.append((dest, cluster, route_key(cluster), arrival, span))
+                if trace is not None:
+                    if multiple:
+                        trace.emit(
+                            parent_span,
+                            MessageSent(dest, sender_id, "reply", hops=1),
+                        )
+                    if len(group) > 1:
+                        trace.emit(
+                            parent_span,
+                            MessageSent(sender_id, dest, "batch", hops=1),
+                        )
+                        trace.emit(
+                            parent_span, Aggregated(sender_id, dest, len(group))
+                        )
             else:
                 for cluster in group:
                     route = overlay.route(sender_id, route_key(cluster))
                     stats.record_path(route.path)
+                    span = child_span(dest, cluster)
+                    if trace is not None:
+                        trace.emit(
+                            span,
+                            MessageSent(
+                                sender_id, dest, "routed",
+                                hops=len(route.path) - 1, path=route.path,
+                            ),
+                        )
                     work.append(
-                        (dest, cluster, route_key(cluster), now + self._path_latency(route.path))
+                        (dest, cluster, route_key(cluster),
+                         now + self._path_latency(route.path), span)
                     )
 
     def _path_latency(self, path: tuple[int, ...]) -> float:
@@ -369,17 +496,38 @@ class NaiveEngine(QueryEngine):
         matches: list = []
 
         origin_id = self._pick_origin(system, origin, rng)
+        tracer = getattr(system, "tracer", None)
+        trace: QueryTrace | None = (
+            tracer.begin(str(q), origin_id) if tracer is not None else None
+        )
         stats.record_processing(origin_id, 0)
         ranges = resolve_clusters(curve, region, max_level=self.max_level)
+        root_span = 0
+        if trace is not None:
+            root_span = trace.new_span(None, origin_id, 0)
+            trace.emit(root_span, ClusterRefined(origin_id, 0, len(ranges)))
 
         for low, high in ranges:
             if limit is not None and len(matches) >= limit:
+                # Discovery mode: remaining clusters were never dispatched,
+                # so no in-flight messages exist to account for.
                 break
             # One message routed per cluster, straight from the initiator.
             dest = overlay.owner(low)
+            span = root_span
+            if trace is not None:
+                span = trace.new_span(root_span, dest, curve.order)
             if dest != origin_id:
                 route = overlay.route(origin_id, low)
                 stats.record_path(route.path)
+                if trace is not None:
+                    trace.emit(
+                        span,
+                        MessageSent(
+                            origin_id, dest, "routed",
+                            hops=len(route.path) - 1, path=route.path,
+                        ),
+                    )
             # The cluster may span several successive nodes: walk the chain.
             node_id = dest
             position = low
@@ -389,6 +537,8 @@ class NaiveEngine(QueryEngine):
                 found = self._scan_cluster(
                     system, node_id, [(position, window_high)], q
                 )
+                if trace is not None:
+                    trace.emit(span, LocalScan(node_id, 1, len(found)))
                 if found:
                     matches.extend(found)
                     stats.record_data_node(node_id)
@@ -409,8 +559,19 @@ class NaiveEngine(QueryEngine):
                 next_id = overlay.owner(position)
                 stats.record_direct()  # hand the rest of the range onward
                 stats.routing_nodes.add(next_id)
+                if trace is not None:
+                    child = trace.new_span(span, next_id, curve.order)
+                    trace.emit(
+                        child,
+                        MessageSent(
+                            node_id, next_id, "handoff",
+                            hops=1, path=(node_id, next_id),
+                        ),
+                    )
+                    span = child
                 node_id = next_id
-        return QueryResult(q, matches, stats)
+        _report_query_metrics(self.name, stats)
+        return QueryResult(q, matches, stats, trace)
 
 
 _ENGINES = {

@@ -29,6 +29,8 @@ from typing import Any
 from repro.core.metrics import QueryResult, QueryStats
 from repro.core.system import SquidSystem
 from repro.errors import EngineError
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import LocalScan, MessageSent
 from repro.util.rng import RandomLike, as_generator
 
 __all__ = ["CacheStats", "HotspotMonitor", "CachingQueryLayer"]
@@ -163,6 +165,7 @@ class CachingQueryLayer:
         # Requesters spread over the replica homes pseudo-randomly.
         home = homes[int(gen.integers(0, len(homes)))]
 
+        reg = obs_metrics.active()
         cache = self._caches.setdefault(home, {})
         entry = cache.get(canonical)
         if entry is not None and entry.version == self._version:
@@ -175,14 +178,38 @@ class CachingQueryLayer:
             self.stats.hits += 1
             entry.uses += 1
             self.monitor.record(stats)
-            return QueryResult(q, list(entry.matches), stats)
+            if reg is not None:
+                reg.counter("cache.hits").inc()
+            trace = None
+            if self.system.tracer is not None:
+                trace = self.system.tracer.begin(canonical, origin)
+                root = trace.new_span(None, origin, 0)
+                span = trace.new_span(root, home, 0)
+                trace.emit(
+                    span,
+                    MessageSent(
+                        origin, home, "cache",
+                        hops=len(route.path) - 1, path=route.path,
+                    ),
+                )
+                trace.emit(span, LocalScan(home, 1, len(entry.matches)))
+                trace.emit(root, MessageSent(home, origin, "reply", hops=1))
+            return QueryResult(q, list(entry.matches), stats, trace)
 
         if entry is not None:
             self.stats.stale_refreshes += 1
         self.stats.misses += 1
+        if reg is not None:
+            reg.counter("cache.misses").inc()
         result = self.system.query(q, origin=origin, rng=gen)
         # Install at every replica home (one direct message each).
         result.stats.record_direct(len(homes))
+        if result.trace is not None and result.trace.spans:
+            for node in homes:
+                result.trace.emit(
+                    result.trace.root.span_id,
+                    MessageSent(origin, node, "cache", hops=1),
+                )
         for node in homes:
             self._install(
                 self._caches.setdefault(node, {}), canonical, result.matches
@@ -196,6 +223,9 @@ class CachingQueryLayer:
             victim = min(cache.items(), key=lambda kv: (kv[1].uses, kv[0]))[0]
             del cache[victim]
             self.stats.evictions += 1
+            reg = obs_metrics.active()
+            if reg is not None:
+                reg.counter("cache.evictions").inc()
         cache[canonical] = _CacheEntry(version=self._version, matches=list(matches))
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.core.system import SquidSystem
 from repro.errors import LoadBalanceError
+from repro.obs import metrics as obs_metrics
 from repro.overlay.base import ring_contains_open_open
 from repro.util.rng import RandomLike, as_generator
 
@@ -86,6 +87,9 @@ def sample_join_id(
             best_succ = successor
     assert best is not None and best_succ is not None
     split = _median_split_id(system, best_succ)
+    reg = obs_metrics.active()
+    if reg is not None:
+        reg.counter("lb.join_probes").inc(samples)
     return (split if split is not None else best[1]), cost
 
 
@@ -162,6 +166,10 @@ def neighbor_balance_round(
             if moved:
                 shifts += 1
                 cost += moved[1]
+    reg = obs_metrics.active()
+    if reg is not None:
+        reg.counter("lb.boundary_shifts").inc(shifts)
+        reg.counter("lb.balance_rounds").inc()
     return shifts, cost
 
 
@@ -298,6 +306,9 @@ class VirtualNodeManager:
             key=lambda v: abs(self.system.stores[v].key_count - gap),
         )
         self.host_of[best] = light
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("lb.virtual_migrations").inc()
         return True
 
     def rebalance(self, max_migrations: int = 1000, rng: RandomLike = None) -> int:

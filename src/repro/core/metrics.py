@@ -15,14 +15,23 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import QueryTrace
 
 __all__ = ["QueryStats", "QueryResult"]
 
 
 @dataclass
 class QueryStats:
-    """Mutable accumulator filled in while a query executes."""
+    """Mutable accumulator filled in while a query executes.
+
+    The canonical read-out is :meth:`as_row` (the paper's five bar-chart
+    columns) or :meth:`as_dict` (every field, flattened) — prefer these
+    over ad-hoc attribute tuples so downstream tables share one set of
+    field names.
+    """
 
     routing_nodes: set[int] = field(default_factory=set)
     processing_nodes: set[int] = field(default_factory=set)
@@ -31,6 +40,16 @@ class QueryStats:
     hops: int = 0
     clusters_processed: int = 0
     max_refinement_level: int = 0
+    #: Branches of the query tree terminated by the paper's pruning
+    #: optimization (the processing node owned the whole remainder).
+    pruned_branches: int = 0
+    #: Aggregated sibling batches sent (the paper's second optimization).
+    aggregated_batches: int = 0
+    #: Discovery mode only: sub-queries still in flight when the origin
+    #: stopped the fan-out.  Their dispatch messages are included in
+    #: ``messages`` (they were really sent) but no processing/scan cost was
+    #: accrued for them — see :meth:`QueryEngine.execute`.
+    aborted_in_flight: int = 0
     #: Simulated time until the last sub-query finished and its results
     #: returned to the origin (0.0 when no latency model is in use).
     completion_time: float = 0.0
@@ -67,6 +86,12 @@ class QueryStats:
     def record_data_node(self, node_id: int) -> None:
         self.data_nodes.add(node_id)
 
+    def record_pruned(self, count: int = 1) -> None:
+        self.pruned_branches += count
+
+    def record_aggregated_batch(self, count: int = 1) -> None:
+        self.aggregated_batches += count
+
     @property
     def routing_node_count(self) -> int:
         return len(self.routing_nodes)
@@ -80,13 +105,31 @@ class QueryStats:
         return len(self.data_nodes)
 
     def as_row(self) -> dict[str, int]:
-        """The paper's bar-chart row for one query."""
+        """The paper's bar-chart row for one query (the five §4.1 metrics)."""
         return {
             "routing_nodes": self.routing_node_count,
             "processing_nodes": self.processing_node_count,
             "data_nodes": self.data_node_count,
             "messages": self.messages,
             "hops": self.hops,
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        """Every statistic, flattened with canonical field names.
+
+        A strict superset of :meth:`as_row`; node sets appear as counts
+        (``routing_nodes`` etc.), matching the row/table convention used by
+        the experiments and benchmarks.
+        """
+        return {
+            **self.as_row(),
+            "clusters_processed": self.clusters_processed,
+            "max_refinement_level": self.max_refinement_level,
+            "pruned_branches": self.pruned_branches,
+            "aggregated_batches": self.aggregated_batches,
+            "aborted_in_flight": self.aborted_in_flight,
+            "completion_time": self.completion_time,
+            "time_to_first_match": self.time_to_first_match,
         }
 
 
@@ -97,6 +140,9 @@ class QueryResult:
     query: Any
     matches: list
     stats: QueryStats
+    #: The structured refinement-tree trace, populated when a
+    #: :class:`~repro.obs.trace.Tracer` is attached to the system.
+    trace: "QueryTrace | None" = None
 
     @property
     def match_count(self) -> int:

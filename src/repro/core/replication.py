@@ -19,6 +19,7 @@ from typing import Any, Sequence
 
 from repro.core.system import SquidSystem
 from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
 from repro.store.local import LocalStore, StoredElement
 
 __all__ = ["ReplicationManager"]
@@ -80,10 +81,14 @@ class ReplicationManager:
                 self._write_replicas(node_id, element)
 
     def _write_replicas(self, primary: int, element: StoredElement) -> None:
-        for holder in self._replica_holders(primary):
+        holders = self._replica_holders(primary)
+        for holder in holders:
             self.replicas[holder].add(element)
             self.stats.replicas_written += 1
             self.stats.messages += 1
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("replication.replicas_written").inc(len(holders))
 
     # ------------------------------------------------------------------
     # Data path
@@ -148,6 +153,13 @@ class ReplicationManager:
         # by repair(); replicas promoted above must not be double-counted.
         self._drop_promoted(lost_primaries)
         del crashed_replicas
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("replication.crashes").inc()
+            reg.counter("replication.elements_recovered").inc(recovered)
+            reg.counter("replication.elements_lost").inc(
+                len(lost_primaries) - recovered
+            )
         return recovered
 
     def _drop_promoted(self, elements: list[StoredElement]) -> None:

@@ -32,6 +32,9 @@ from repro.core.engine import OptimizedEngine, QueryEngine, make_engine
 from repro.core.metrics import QueryResult
 from repro.errors import DuplicateNodeError, OverlayError
 from repro.keywords.space import KeywordSpace
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs.trace import KeyMoved, NodeJoined, NodeLeft, Tracer
 from repro.overlay.base import ring_contains_open_closed
 from repro.overlay.chord import ChordRing
 from repro.sfc import make_curve
@@ -50,7 +53,7 @@ class SquidSystem:
         space: KeywordSpace,
         overlay: ChordRing,
         curve: SpaceFillingCurve | None = None,
-        default_engine: QueryEngine | None = None,
+        default_engine: QueryEngine | str | None = None,
         rng: RandomLike = None,
     ) -> None:
         self.space = space
@@ -72,8 +75,12 @@ class SquidSystem:
         self.stores: dict[int, LocalStore] = {
             node_id: LocalStore() for node_id in overlay.node_ids()
         }
+        if isinstance(default_engine, str):
+            default_engine = make_engine(default_engine)
         self.default_engine = default_engine or OptimizedEngine()
         self._rng = as_generator(rng)
+        #: Attached :class:`~repro.obs.trace.Tracer`, or None (no tracing).
+        self.tracer: Tracer | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -85,19 +92,47 @@ class SquidSystem:
         n_nodes: int,
         curve: str = "hilbert",
         seed: RandomLike = None,
+        engine: QueryEngine | str | None = None,
     ) -> "SquidSystem":
-        """Build a system of ``n_nodes`` peers with random identifiers."""
+        """Build a system of ``n_nodes`` peers with random identifiers.
+
+        ``curve`` and ``engine`` are symmetric: both accept a registry name
+        (``curve="hilbert"``, ``engine="optimized"``/``"naive"``) or a
+        ready instance; ``engine`` sets the system's default query engine.
+        """
         gen = as_generator(seed)
         sfc = make_curve(curve, space.dims, space.bits)
         ring = ChordRing.with_random_ids(sfc.index_bits, n_nodes, rng=gen)
-        return cls(space, ring, curve=sfc, rng=gen)
+        return cls(space, ring, curve=sfc, default_engine=engine, rng=gen)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer: Tracer | None = None) -> Tracer:
+        """Attach (and return) a tracer; queries now produce ``result.trace``.
+
+        Membership operations and key movement also record lifecycle events
+        on the tracer.  Passing ``None`` creates a fresh
+        :class:`~repro.obs.trace.Tracer`.
+        """
+        self.tracer = tracer if tracer is not None else Tracer()
+        return self.tracer
+
+    def detach_tracer(self) -> Tracer | None:
+        """Detach and return the current tracer (queries stop tracing)."""
+        tracer, self.tracer = self.tracer, None
+        return tracer
 
     # ------------------------------------------------------------------
     # Publishing
     # ------------------------------------------------------------------
     def index_of(self, key: Sequence[Any]) -> int:
         """Curve index of a keyword tuple."""
-        return self.curve.encode(self.space.coordinates(key))
+        prof = obs_profile.active_profiler()
+        if prof is None:
+            return self.curve.encode(self.space.coordinates(key))
+        with prof.phase("sfc.encode"):
+            return self.curve.encode(self.space.coordinates(key))
 
     def publish(
         self, key: Sequence[Any], payload: Any = None, pad: bool = False
@@ -113,6 +148,9 @@ class SquidSystem:
         index = self.index_of(normalized)
         element = StoredElement(index=index, key=normalized, payload=payload)
         self.stores[self.overlay.owner(index)].add(element)
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("system.publishes").inc()
         return element
 
     def publish_many(
@@ -125,8 +163,14 @@ class SquidSystem:
         payload_list = list(payloads) if payloads is not None else [None] * len(key_list)
         if len(payload_list) != len(key_list):
             raise ValueError("payloads length must match keys length")
-        coords = self.space.coordinates_many(key_list)
-        indices = self.curve.encode_many(coords)
+        prof = obs_profile.active_profiler()
+        if prof is None:
+            coords = self.space.coordinates_many(key_list)
+            indices = self.curve.encode_many(coords)
+        else:
+            with prof.phase("sfc.encode"):
+                coords = self.space.coordinates_many(key_list)
+                indices = self.curve.encode_many(coords)
         node_ids = np.asarray(self.overlay.node_ids(), dtype=np.int64)
         positions = np.searchsorted(node_ids, np.asarray(indices, dtype=np.int64))
         owners = node_ids[positions % len(node_ids)]
@@ -137,6 +181,9 @@ class SquidSystem:
             )
         for owner, elements in per_node.items():
             self.stores[owner].add_sorted_bulk(elements)
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("system.publishes").inc(len(key_list))
         return len(key_list)
 
     # ------------------------------------------------------------------
@@ -231,9 +278,19 @@ class SquidSystem:
         store = LocalStore()
         self.stores[node_id] = store
         successor = self.overlay.successor_id(node_id)
+        moved = 0
         if successor != node_id:
             moved = self._transfer_range_from(successor, node_id)
             cost += 1 if moved else 0
+        if self.tracer is not None:
+            self.tracer.record(NodeJoined(node_id))
+            if moved:
+                self.tracer.record(KeyMoved(successor, node_id, moved))
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("system.nodes_joined").inc()
+            reg.counter("system.keys_moved").inc(moved)
+            reg.gauge("system.nodes").set(len(self.overlay))
         return cost
 
     def remove_node(self, node_id: int) -> int:
@@ -241,11 +298,24 @@ class SquidSystem:
         successor = self.overlay.successor_id(node_id)
         cost = self.overlay.leave(node_id)
         departing = self.stores.pop(node_id)
+        moved = 0
+        target_id = node_id
         if self.overlay.node_ids():
-            target = self.stores[successor if successor != node_id else self.overlay.node_ids()[0]]
+            target_id = successor if successor != node_id else self.overlay.node_ids()[0]
+            target = self.stores[target_id]
             for element in departing.all_elements():
                 target.add(element)
+                moved += 1
             cost += 1 if departing.element_count else 0
+        if self.tracer is not None:
+            self.tracer.record(NodeLeft(node_id))
+            if moved:
+                self.tracer.record(KeyMoved(node_id, target_id, moved))
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("system.nodes_left").inc()
+            reg.counter("system.keys_moved").inc(moved)
+            reg.gauge("system.nodes").set(len(self.overlay))
         return cost
 
     def change_node_id(self, old_id: int, new_id: int) -> tuple[int, int]:
@@ -267,11 +337,19 @@ class SquidSystem:
             for element in store.pop_range(new_id + 1, old_id):
                 self.stores[succ].add(element)
                 moved += 1
+            src, dest = new_id, succ
         else:
             # Grew: absorb (old_id, new_id] from the successor.
             for element in self.stores[succ].pop_range(old_id + 1, new_id):
                 store.add(element)
                 moved += 1
+            src, dest = succ, new_id
+        if moved:
+            if self.tracer is not None:
+                self.tracer.record(KeyMoved(src, dest, moved))
+            reg = obs_metrics.active()
+            if reg is not None:
+                reg.counter("system.keys_moved").inc(moved)
         return moved, cost + (1 if moved else 0)
 
     def _transfer_range_from(self, source_id: int, new_node_id: int) -> int:

@@ -240,8 +240,19 @@ _PAPER_CLAIMS = {
 }
 
 
-def generate_report(scale: str = "small", figures: list[str] | None = None) -> str:
-    """Run the selected figures and return the markdown report."""
+def generate_report(
+    scale: str = "small",
+    figures: list[str] | None = None,
+    profile: bool = False,
+) -> str:
+    """Run the selected figures and return the markdown report.
+
+    With ``profile=True`` the hot SFC/engine phases are timed while the
+    figures run (see :mod:`repro.obs.profile`) and a closing "Profile"
+    section reports per-phase call counts and wall time.
+    """
+    from repro.obs import profile as obs_profile
+
     names = figures if figures is not None else sorted(FIGURES)
     lines = [
         f"# Experiment report (scale = {scale})",
@@ -250,6 +261,7 @@ def generate_report(scale: str = "small", figures: list[str] | None = None) -> s
         "the paper's claim, the measured table, and automated shape checks.",
         "",
     ]
+    profiler = obs_profile.enable_profiling() if profile else None
     for name in names:
         start = time.time()
         result = run_figure(name, scale=scale)
@@ -273,6 +285,14 @@ def generate_report(scale: str = "small", figures: list[str] | None = None) -> s
             lines.append("```")
         lines.append("")
         lines.append(f"_(ran in {elapsed:.1f}s)_")
+        lines.append("")
+    if profiler is not None:
+        obs_profile.disable_profiling()
+        lines.append("## Profile")
+        lines.append("")
+        lines.append("```")
+        lines.append(profiler.to_text())
+        lines.append("```")
         lines.append("")
     return "\n".join(lines)
 

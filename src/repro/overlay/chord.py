@@ -30,6 +30,7 @@ from repro.errors import (
     NodeNotFoundError,
     OverlayError,
 )
+from repro.obs import metrics as obs_metrics
 from repro.overlay.base import (
     Overlay,
     RouteResult,
@@ -170,12 +171,12 @@ class ChordRing(Overlay):
             if current.predecessor in self.nodes and ring_contains_open_closed(
                 key, current.predecessor, current.id, self.space
             ):
-                return RouteResult(key=key, path=tuple(path))
+                return self._route_done(key, path)
             succ = self._live_successor(current)
             if ring_contains_open_closed(key, current.id, succ, self.space):
                 if succ != path[-1]:
                     path.append(succ)
-                return RouteResult(key=key, path=tuple(path))
+                return self._route_done(key, path)
             nxt = self._closest_preceding_live_finger(current, key)
             if nxt == current.id:
                 # All fingers useless/stale: fall back to the successor link.
@@ -186,6 +187,14 @@ class ChordRing(Overlay):
                 )
             path.append(nxt)
             current = self.nodes[nxt]
+
+    @staticmethod
+    def _route_done(key: int, path: list[int]) -> RouteResult:
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("overlay.routes").inc()
+            reg.histogram("overlay.route_hops").observe(len(path) - 1)
+        return RouteResult(key=key, path=tuple(path))
 
     def _live_successor(self, node: ChordNode) -> int:
         if node.successor in self.nodes:
@@ -231,6 +240,9 @@ class ChordRing(Overlay):
         insort(self._sorted_ids, node_id)
         self._refresh_node_state(node)
         cost += self._repair_after_insert(node_id)
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("overlay.joins").inc()
         return max(cost, 1)
 
     def leave(self, node_id: int) -> int:
@@ -239,6 +251,9 @@ class ChordRing(Overlay):
         cost = self._repair_before_remove(node_id)
         del self.nodes[node_id]
         self._sorted_ids.remove(node_id)
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("overlay.leaves").inc()
         if not self._sorted_ids:
             return 1
         return max(cost, 1)
@@ -280,6 +295,9 @@ class ChordRing(Overlay):
         self._require(node_id)
         del self.nodes[node_id]
         self._sorted_ids.remove(node_id)
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("overlay.failures").inc()
 
     # ------------------------------------------------------------------
     # Stabilization
@@ -319,6 +337,9 @@ class ChordRing(Overlay):
         if fresh != node.successor_list:
             node.successor_list = fresh
             cost += 1
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("overlay.stabilizations").inc()
         return cost
 
     def stale_finger_fraction(self) -> float:

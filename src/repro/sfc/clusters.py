@@ -30,7 +30,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence, Union
 
+from time import perf_counter
+
 from repro.errors import SFCError
+from repro.obs import profile as obs_profile
 from repro.sfc.base import CurveState, SpaceFillingCurve
 from repro.sfc.regions import Containment, Region
 
@@ -184,7 +187,27 @@ def refine_cluster(
     (clipped); Cell pieces are expanded into their children in curve order
     and classified against the region.  Maximal contiguous runs of surviving
     pieces form the output clusters.
+
+    This is the hot refinement path; when a profiler is enabled
+    (:func:`repro.obs.profile.enable_profiling`) each call is timed under
+    the ``sfc.refine`` phase.
     """
+    prof = obs_profile._PROFILER
+    if prof is None:
+        return _refine_cluster(curve, cluster, region, min_index)
+    start = perf_counter()
+    try:
+        return _refine_cluster(curve, cluster, region, min_index)
+    finally:
+        prof.record("sfc.refine", perf_counter() - start)
+
+
+def _refine_cluster(
+    curve: SpaceFillingCurve,
+    cluster: Cluster,
+    region: Region,
+    min_index: int = 0,
+) -> list[Cluster]:
     runs: list[Cluster] = []
     current: list[Piece] = []
     next_level = cluster.level + 1
@@ -281,7 +304,24 @@ def resolve_clusters(
     where a cell is a single point).  Returns the sorted list of disjoint
     index ranges whose union is precisely the set of curve indices of points
     inside the region.  ``max_level`` caps refinement for approximate use.
+
+    When a profiler is enabled the full resolution is timed under the
+    ``sfc.resolve`` phase (its inner refinements also count toward
+    ``sfc.refine``).
     """
+    prof = obs_profile._PROFILER
+    if prof is not None:
+        start = perf_counter()
+        try:
+            return _resolve_clusters(curve, region, max_level)
+        finally:
+            prof.record("sfc.resolve", perf_counter() - start)
+    return _resolve_clusters(curve, region, max_level)
+
+
+def _resolve_clusters(
+    curve: SpaceFillingCurve, region: Region, max_level: int | None = None
+) -> list[tuple[int, int]]:
     limit = curve.order if max_level is None else min(max_level, curve.order)
     root = root_cluster(curve, region)
     if root is None:  # pragma: no cover - defensive

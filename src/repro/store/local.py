@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.errors import StoreError
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["StoredElement", "LocalStore"]
 
@@ -57,6 +58,9 @@ class LocalStore:
         else:
             per_key.append(element)
         self._element_count += 1
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("store.elements_added").inc()
 
     def add_sorted_bulk(self, elements: list[StoredElement]) -> None:
         """Bulk insert; amortizes the sorted-index maintenance."""
@@ -73,6 +77,9 @@ class LocalStore:
                 per_key.append(element)
             self._element_count += 1
         self._sorted_indices = sorted(self._by_index)
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("store.elements_added").inc(len(elements))
 
     def pop_range(self, low: int, high: int) -> list[StoredElement]:
         """Remove and return every element with index in ``[low, high]``.
@@ -92,6 +99,9 @@ class LocalStore:
                 self._key_count -= 1
                 self._element_count -= len(per_key)
         del self._sorted_indices[lo_pos:hi_pos]
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("store.elements_moved").inc(len(moved))
         return moved
 
     # ------------------------------------------------------------------
@@ -101,6 +111,9 @@ class LocalStore:
         """Yield elements with index in ``[low, high]`` in index order."""
         if low > high:
             return
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("store.range_scans").inc()
         lo_pos = bisect_left(self._sorted_indices, low)
         hi_pos = bisect_right(self._sorted_indices, high)
         for index in self._sorted_indices[lo_pos:hi_pos]:

@@ -63,6 +63,13 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "Chord" in out and "Pastry" in out and "CAN" in out
 
+    def test_tracing_a_query(self, capsys):
+        module = load_example("tracing_a_query")
+        module.N_PEERS = 32
+        module.main()
+        out = capsys.readouterr().out
+        assert "trace totals == query stats" in out
+
     def test_attack_and_defense_shrunk(self, capsys):
         module = load_example("attack_and_defense")
         module.N_PEERS = 40

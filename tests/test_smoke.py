@@ -1,0 +1,56 @@
+"""Smoke target: the CLI demo plus one traced query end to end.
+
+Fast, dependency-free checks that the package wires together: the ``demo``
+subcommand runs, the ``trace`` subcommand reconstructs a refinement tree,
+and (when ruff is installed, e.g. via the ``dev`` extra) the source tree
+passes ``ruff check`` with the configuration in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_demo_smoke(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "doc-net" in out
+    assert "msgs" in out
+
+
+def test_traced_query_smoke(capsys):
+    assert main(["trace", "(comp*, *)", "--nodes", "32", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "query '(comp*, *)'" in out
+    assert "stats:" in out
+    assert "metrics:" in out
+    assert "engine.optimized.queries" in out
+
+
+def test_traced_query_json_smoke(capsys):
+    import json
+
+    assert main(["trace", "--json", "--nodes", "16"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["query"] == "(comp*, *)"
+    assert payload["tree"]["children"], "root span should have children"
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    ruff = shutil.which("ruff")
+    proc = subprocess.run(
+        [ruff, "check", "src"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
