@@ -1,0 +1,28 @@
+"""Reproducible benchmark harness for the query hot path.
+
+Run via ``python -m repro bench`` (see :mod:`repro.cli`); the harness and
+its suites live in :mod:`repro.bench.harness`.  Results are written as a
+versioned JSON document (``BENCH_query_path.json`` at the repo root by
+convention) so successive PRs can compare numbers; see
+``docs/performance.md`` for how to read it.
+"""
+
+from repro.bench.harness import (
+    SCHEMA,
+    bench_e2e,
+    bench_encode,
+    bench_refine,
+    render_summary,
+    run_bench,
+    write_bench_json,
+)
+
+__all__ = [
+    "SCHEMA",
+    "bench_encode",
+    "bench_refine",
+    "bench_e2e",
+    "render_summary",
+    "run_bench",
+    "write_bench_json",
+]

@@ -1,0 +1,329 @@
+"""Seeded micro/macro benchmarks of the query hot path.
+
+Three suites, each deterministic given a seed:
+
+``encode``
+    Bulk encode/decode throughput: the scalar per-point loop vs. the
+    vectorized ``encode_many``/``decode_many`` fast path, per curve family.
+``refine``
+    The refinement kernel microbenchmark: :func:`repro.sfc.resolve_clusters`
+    with the NumPy kernel disabled vs. enabled, over a seeded suite of
+    range- and wildcard-shaped regions (d = 2–3, order ≥ 8).
+``e2e``
+    End-to-end query latency by query class (exact / prefix / wildcard /
+    range) on a live seeded system, for both engines: the *baseline* mode
+    (scalar refinement, no plan cache) vs. the *optimized* mode (vectorized
+    kernel + warm plan cache — the steady state of a repeated-query
+    workload).  Match sets are asserted identical between modes.
+
+Timings use ``time.perf_counter`` best-of-``repeats``; the harness is not a
+statistics package — it exists so a regression (or a win) in the hot path
+shows up as a number in version control, not as an anecdote.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import sys
+from time import perf_counter
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.plancache import PlanCache
+from repro.keywords.dimensions import NumericDimension, WordDimension
+from repro.keywords.space import KeywordSpace
+from repro.sfc import make_curve
+from repro.sfc.clusters import resolve_clusters, vectorized_refinement
+from repro.sfc.regions import Region
+
+__all__ = [
+    "SCHEMA",
+    "bench_encode",
+    "bench_refine",
+    "bench_e2e",
+    "run_bench",
+    "write_bench_json",
+]
+
+#: Version tag of the JSON document layout; bump on breaking changes.
+SCHEMA = "squid-bench.query_path/1"
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Best (minimum) wall time of ``repeats`` calls to ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = perf_counter()
+        fn()
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Suite: encode / decode throughput
+# ----------------------------------------------------------------------
+def bench_encode(seed: int, quick: bool = False) -> list[dict[str, Any]]:
+    """Scalar-loop vs. vectorized bulk encode/decode, per curve family."""
+    n_points = 2_000 if quick else 20_000
+    repeats = 1 if quick else 3
+    geometries = [(2, 10), (3, 8)] if not quick else [(2, 8)]
+    rng = np.random.default_rng(seed)
+    rows: list[dict[str, Any]] = []
+    for curve_name in ("hilbert", "zorder"):
+        for dims, order in geometries:
+            curve = make_curve(curve_name, dims, order)
+            points = rng.integers(0, curve.side, size=(n_points, dims), dtype=np.int64)
+            point_list = [tuple(int(c) for c in row) for row in points]
+
+            def scalar_encode() -> list[int]:
+                return [curve.encode(p) for p in point_list]
+
+            indices = curve.encode_many(points)
+            scalar_s = _best_of(scalar_encode, repeats)
+            vec_s = _best_of(lambda: curve.encode_many(points), repeats)
+            decode_vec_s = _best_of(lambda: curve.decode_many(indices), repeats)
+            rows.append(
+                {
+                    "curve": curve_name,
+                    "dims": dims,
+                    "order": order,
+                    "n_points": n_points,
+                    "encode_scalar_s": scalar_s,
+                    "encode_vectorized_s": vec_s,
+                    "encode_speedup": scalar_s / vec_s if vec_s > 0 else None,
+                    "decode_vectorized_s": decode_vec_s,
+                    "encode_mpts_per_s": n_points / vec_s / 1e6 if vec_s > 0 else None,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Suite: refinement kernel (scalar vs. vectorized)
+# ----------------------------------------------------------------------
+def _region_suite(dims: int, order: int, rng: random.Random) -> list[tuple[str, Region]]:
+    """Range- and wildcard-shaped query regions for one geometry, seeded."""
+    side = 1 << order
+    regions: list[tuple[str, Region]] = []
+    # Broad range query: ~60% span on every dimension.
+    lo = side // 8
+    regions.append(
+        ("range-broad", Region.from_bounds([(lo, lo + int(side * 0.6))] * dims))
+    )
+    # Wildcard-like slab: full span on one dimension, narrow on the rest.
+    bounds = [(0, side - 1)]
+    for _ in range(dims - 1):
+        start = rng.randrange(side // 2)
+        bounds.append((start, start + side // 8))
+    regions.append(("wildcard-slab", Region.from_bounds(bounds)))
+    # Two random boxes (seeded): mid-size spans at random offsets.
+    for i in range(2):
+        bounds = []
+        for _ in range(dims):
+            span = rng.randrange(side // 4, side // 2)
+            start = rng.randrange(side - span)
+            bounds.append((start, start + span))
+        regions.append((f"random-box-{i}", Region.from_bounds(bounds)))
+    return regions
+
+
+def bench_refine(seed: int, quick: bool = False) -> list[dict[str, Any]]:
+    """Refinement microbench: full cluster resolution, scalar vs. NumPy."""
+    geometries = [(2, 8)] if quick else [(2, 10), (2, 12), (3, 8)]
+    repeats = 1 if quick else 2
+    rows: list[dict[str, Any]] = []
+    for dims, order in geometries:
+        curve = make_curve("hilbert", dims, order)
+        rng = random.Random(seed * 1000 + dims * 10 + order)
+        for label, region in _region_suite(dims, order, rng):
+            with vectorized_refinement(False):
+                scalar_ranges = resolve_clusters(curve, region)
+                scalar_s = _best_of(lambda: resolve_clusters(curve, region), repeats)
+            with vectorized_refinement(True):
+                vec_ranges = resolve_clusters(curve, region)
+                vec_s = _best_of(lambda: resolve_clusters(curve, region), repeats)
+            if scalar_ranges != vec_ranges:  # pragma: no cover - exactness guard
+                raise AssertionError(
+                    f"vectorized refinement diverged on {label} d={dims} order={order}"
+                )
+            rows.append(
+                {
+                    "curve": "hilbert",
+                    "dims": dims,
+                    "order": order,
+                    "region": label,
+                    "clusters": len(scalar_ranges),
+                    "scalar_s": scalar_s,
+                    "vectorized_s": vec_s,
+                    "speedup": scalar_s / vec_s if vec_s > 0 else None,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Suite: end-to-end query latency by query class
+# ----------------------------------------------------------------------
+_WORD_STEMS = [
+    "computer", "computation", "compiler", "network", "netbook", "storage",
+    "monitor", "memory", "bandwidth", "database", "processor", "scheduler",
+]
+
+#: One representative textual query per class (word dim, numeric dim).
+_QUERY_CLASSES = [
+    ("exact", "(computer, 512)"),
+    ("prefix", "(comp*, 512)"),
+    ("wildcard", "(*, 512)"),
+    ("range", "(*, 256-512)"),
+]
+
+
+def _build_system(seed: int, quick: bool, engine: str):
+    from repro.core.system import SquidSystem
+
+    bits = 8 if quick else 12
+    n_nodes = 16 if quick else 64
+    n_docs = 200 if quick else 2_000
+    space = KeywordSpace(
+        [WordDimension("keyword"), NumericDimension("size", 1, 1024)], bits=bits
+    )
+    system = SquidSystem.create(space, n_nodes=n_nodes, seed=seed, engine=engine)
+    rng = random.Random(seed)
+    keys = [
+        (rng.choice(_WORD_STEMS), float(rng.choice([128, 256, 300, 512, 640, 1024])))
+        for _ in range(n_docs)
+    ]
+    system.publish_many(keys, payloads=range(n_docs))
+    return system
+
+
+def bench_e2e(seed: int, quick: bool = False) -> list[dict[str, Any]]:
+    """Repeated-query latency per class, baseline vs. optimized hot path.
+
+    Baseline disables the NumPy kernel and the plan cache; optimized runs
+    with both (cache warmed by one untimed query, the steady state of a
+    repeated workload).  Both modes run the same ``runs`` timed repetitions
+    from the same origin with the same rng, and must return identical
+    match sets.
+    """
+    runs = 2 if quick else 5
+    rows: list[dict[str, Any]] = []
+    for engine in ("optimized", "naive"):
+        system = _build_system(seed, quick, engine)
+        origin = system.overlay.node_ids()[0]
+
+        def run_query(text: str) -> Any:
+            return system.query(text, origin=origin, rng=0)
+
+        for query_class, text in _QUERY_CLASSES:
+            # Baseline: scalar refinement, no plan reuse.
+            system.plan_cache = None
+            with vectorized_refinement(False):
+                base_result = run_query(text)
+                t0 = perf_counter()
+                for _ in range(runs):
+                    run_query(text)
+                baseline_s = (perf_counter() - t0) / runs
+            # Optimized: NumPy kernel + warm plan cache.
+            system.plan_cache = PlanCache()
+            with vectorized_refinement(True):
+                opt_result = run_query(text)  # warms the cache, untimed
+                t0 = perf_counter()
+                for _ in range(runs):
+                    run_query(text)
+                optimized_s = (perf_counter() - t0) / runs
+            base_keys = {e.payload for e in base_result.matches}
+            opt_keys = {e.payload for e in opt_result.matches}
+            if base_keys != opt_keys:  # pragma: no cover - exactness guard
+                raise AssertionError(
+                    f"optimized path changed the match set for {text!r} on {engine}"
+                )
+            rows.append(
+                {
+                    "engine": engine,
+                    "class": query_class,
+                    "query": text,
+                    "runs": runs,
+                    "matches": len(base_result.matches),
+                    "baseline_s": baseline_s,
+                    "optimized_s": optimized_s,
+                    "speedup": baseline_s / optimized_s if optimized_s > 0 else None,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_bench(seed: int = 42, quick: bool = False) -> dict[str, Any]:
+    """Run every suite and assemble the versioned result document."""
+    encode_rows = bench_encode(seed, quick)
+    refine_rows = bench_refine(seed, quick)
+    e2e_rows = bench_e2e(seed, quick)
+
+    refine_speedups = [r["speedup"] for r in refine_rows if r["speedup"]]
+    e2e_by_class: dict[str, list[float]] = {}
+    for row in e2e_rows:
+        if row["speedup"]:
+            e2e_by_class.setdefault(row["class"], []).append(row["speedup"])
+    return {
+        "schema": SCHEMA,
+        "seed": seed,
+        "quick": quick,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": sys.platform,
+        },
+        "suites": {
+            "encode": encode_rows,
+            "refine": refine_rows,
+            "e2e": e2e_rows,
+        },
+        "summary": {
+            "refine_min_speedup": min(refine_speedups) if refine_speedups else None,
+            "refine_max_speedup": max(refine_speedups) if refine_speedups else None,
+            "e2e_median_speedup_by_class": {
+                cls: sorted(vals)[len(vals) // 2] for cls, vals in e2e_by_class.items()
+            },
+        },
+    }
+
+
+def write_bench_json(result: dict[str, Any], path: str) -> None:
+    """Write the result document as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_summary(result: dict[str, Any]) -> str:
+    """Human-readable digest of one bench run (printed by the CLI)."""
+    lines = [f"bench {result['schema']} (seed={result['seed']}, quick={result['quick']})"]
+    lines.append("refine (scalar vs vectorized resolve):")
+    for row in result["suites"]["refine"]:
+        lines.append(
+            f"  d={row['dims']} order={row['order']:2d} {row['region']:14s} "
+            f"{row['scalar_s'] * 1e3:8.2f}ms -> {row['vectorized_s'] * 1e3:7.2f}ms "
+            f"({row['speedup']:.1f}x, {row['clusters']} clusters)"
+        )
+    lines.append("e2e (baseline vs vectorized+plan-cache, per query):")
+    for row in result["suites"]["e2e"]:
+        lines.append(
+            f"  {row['engine']:9s} {row['class']:8s} {row['query']:16s} "
+            f"{row['baseline_s'] * 1e3:8.2f}ms -> {row['optimized_s'] * 1e3:7.2f}ms "
+            f"({row['speedup']:.1f}x, {row['matches']} matches)"
+        )
+    summary = result["summary"]
+    lines.append(
+        f"refine speedup min/max: {summary['refine_min_speedup']:.1f}x / "
+        f"{summary['refine_max_speedup']:.1f}x"
+    )
+    by_class = summary["e2e_median_speedup_by_class"]
+    classes = ", ".join(f"{cls}={spd:.1f}x" for cls, spd in sorted(by_class.items()))
+    lines.append(f"e2e median speedup by class: {classes}")
+    return "\n".join(lines)

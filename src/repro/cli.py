@@ -13,6 +13,11 @@ Commands
 ``trace QUERY [--engine E] [--nodes N] [--seed S] [--json]``
     Run one query on a small demo system with a tracer attached and print
     the reconstructed refinement tree, the stats, and the metrics snapshot.
+``bench [--quick] [--seed N] [--output PATH]``
+    Run the seeded query-hot-path benchmark suites (encode throughput,
+    refinement kernel scalar vs. vectorized, end-to-end latency by query
+    class) and write the versioned JSON document (default
+    ``BENCH_query_path.json``).
 
 ``run`` and ``report`` accept ``--profile`` to time the hot SFC/engine
 phases and print the per-phase table after the run.
@@ -73,6 +78,17 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="emit the trace tree as JSON"
     )
 
+    bench_p = sub.add_parser("bench", help="run the query-hot-path benchmarks")
+    bench_p.add_argument(
+        "--quick", action="store_true", help="tiny suites (seconds; used by CI smoke)"
+    )
+    bench_p.add_argument("--seed", type=int, default=42)
+    bench_p.add_argument(
+        "--output",
+        default="BENCH_query_path.json",
+        help="path of the JSON result document",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "figures":
@@ -87,6 +103,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_demo()
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -207,5 +225,16 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import render_summary, run_bench, write_bench_json
+
+    result = run_bench(seed=args.seed, quick=args.quick)
+    write_bench_json(result, args.output)
+    print(render_summary(result))
+    print(f"results written to {args.output}")
+    return 0
+
+
 if __name__ == "__main__":  # pragma: no cover
     sys.exit(main())
+

@@ -12,6 +12,7 @@ from repro.core.loadbalance import (
     sample_join_id,
 )
 from repro.core.metrics import QueryResult, QueryStats
+from repro.core.plancache import PlanCache, plan_key
 from repro.core.replication import ReplicationManager
 from repro.core.system import SquidSystem
 
@@ -23,6 +24,8 @@ __all__ = [
     "make_engine",
     "QueryResult",
     "QueryStats",
+    "PlanCache",
+    "plan_key",
     "sample_join_id",
     "grow_with_join_lb",
     "neighbor_balance_round",

@@ -40,6 +40,7 @@ from time import perf_counter
 from typing import TYPE_CHECKING
 
 from repro.core.metrics import QueryResult, QueryStats
+from repro.core.plancache import plan_key
 from repro.errors import EngineError
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
@@ -145,11 +146,14 @@ class QueryEngine(ABC):
         prof = obs_profile._PROFILER
         start = perf_counter() if prof is not None else 0.0
         store = system.stores[node_id]
-        found = []
-        for low, high in cluster_ranges:
-            for element in store.scan_range(low, high):
-                if system.space.matches(element.key, query):
-                    found.append(element)
+        matches = system.space.matches
+        # Cluster piece ranges arrive sorted and disjoint, so the whole
+        # batch is one pass over the store's sorted index list.
+        found = [
+            element
+            for element in store.scan_ranges(cluster_ranges)
+            if matches(element.key, query)
+        ]
         if prof is not None:
             prof.record("engine.scan", perf_counter() - start)
         return found
@@ -214,10 +218,25 @@ class OptimizedEngine(QueryEngine):
             return QueryResult(q, [], stats, trace)
 
         # The initiator performs the first refinement of the query tree
-        # (paper Figure 8) but holds none of the clusters itself yet.
+        # (paper Figure 8) but holds none of the clusters itself yet.  The
+        # refinement is pure geometry — a function of (curve, region,
+        # local_depth) only — so repeated queries reuse it from the system's
+        # plan cache; clusters are frozen, making the shared plan safe.
         stats.record_processing(origin_id, 0)
         root_span = trace.new_span(None, origin_id, 0) if trace is not None else 0
-        first = self._refine_locally(curve, root, region, min_index=0)
+        cache = getattr(system, "plan_cache", None)
+        cache_key = None
+        first: list[Cluster] | None = None
+        if cache is not None:
+            cache_key = plan_key(curve, region, self.name, self.local_depth)
+            cached = cache.get(cache_key)
+            if cached is not None:
+                first = list(cached)
+                stats.plan_cache_hit = True
+        if first is None:
+            first = self._refine_locally(curve, root, region, min_index=0)
+            if cache is not None:
+                cache.put(cache_key, tuple(first))
         if trace is not None:
             trace.emit(root_span, ClusterRefined(origin_id, 0, len(first)))
 
@@ -500,8 +519,23 @@ class NaiveEngine(QueryEngine):
         trace: QueryTrace | None = (
             tracer.begin(str(q), origin_id) if tracer is not None else None
         )
+        # Full cluster resolution is the naive engine's dominant initiator
+        # cost; like the optimized engine's first refinement it is pure
+        # geometry, so the plan cache applies (keyed on max_level).
         stats.record_processing(origin_id, 0)
-        ranges = resolve_clusters(curve, region, max_level=self.max_level)
+        cache = getattr(system, "plan_cache", None)
+        cache_key = None
+        ranges: list[tuple[int, int]] | None = None
+        if cache is not None:
+            cache_key = plan_key(curve, region, self.name, self.max_level)
+            cached = cache.get(cache_key)
+            if cached is not None:
+                ranges = list(cached)
+                stats.plan_cache_hit = True
+        if ranges is None:
+            ranges = resolve_clusters(curve, region, max_level=self.max_level)
+            if cache is not None:
+                cache.put(cache_key, tuple(ranges))
         root_span = 0
         if trace is not None:
             root_span = trace.new_span(None, origin_id, 0)

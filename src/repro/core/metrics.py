@@ -56,6 +56,10 @@ class QueryStats:
     #: Simulated time at which the first match reached the origin (None when
     #: there were no matches or no latency model).
     time_to_first_match: float | None = None
+    #: True when the initiator's cluster plan came from the system's
+    #: :class:`~repro.core.plancache.PlanCache` instead of being refined
+    #: (identical plans either way — the cache only skips the geometry work).
+    plan_cache_hit: bool = False
 
     def record_completion(self, time: float) -> None:
         if time > self.completion_time:
@@ -130,6 +134,7 @@ class QueryStats:
             "aborted_in_flight": self.aborted_in_flight,
             "completion_time": self.completion_time,
             "time_to_first_match": self.time_to_first_match,
+            "plan_cache_hit": self.plan_cache_hit,
         }
 
 

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.engine import OptimizedEngine, QueryEngine, make_engine
 from repro.core.metrics import QueryResult
+from repro.core.plancache import PlanCache
 from repro.errors import DuplicateNodeError, OverlayError
 from repro.keywords.space import KeywordSpace
 from repro.obs import metrics as obs_metrics
@@ -81,6 +82,10 @@ class SquidSystem:
         self._rng = as_generator(rng)
         #: Attached :class:`~repro.obs.trace.Tracer`, or None (no tracing).
         self.tracer: Tracer | None = None
+        #: Initiator-side query-plan cache (see :mod:`repro.core.plancache`).
+        #: Plans are pure functions of (curve, region, engine parameters),
+        #: so the cache needs no invalidation; set to None to disable.
+        self.plan_cache: PlanCache | None = PlanCache()
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -21,8 +21,11 @@ from repro.sfc.clusters import (
     clusters_at_level,
     count_clusters_per_level,
     refine_cluster,
+    refine_level,
     resolve_clusters,
     root_cluster,
+    set_vectorized_refinement,
+    vectorized_refinement,
 )
 from repro.sfc.graycurve import GrayCurve
 from repro.sfc.hilbert import HilbertCurve
@@ -44,9 +47,12 @@ __all__ = [
     "FullRange",
     "root_cluster",
     "refine_cluster",
+    "refine_level",
     "clusters_at_level",
     "resolve_clusters",
     "count_clusters_per_level",
+    "set_vectorized_refinement",
+    "vectorized_refinement",
     "ClusterStats",
     "cluster_stats",
     "locality_ratio",

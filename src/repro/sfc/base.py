@@ -64,6 +64,17 @@ class SpaceFillingCurve(ABC):
         #: Cells per side of the cube, ``2**k``.
         self.side = 1 << order
 
+    @property
+    def fits_int64(self) -> bool:
+        """True when every curve index fits a NumPy ``int64``.
+
+        This is the single gate shared by all vectorized fast paths
+        (bulk encode/decode and the refinement kernel of
+        :mod:`repro.sfc.refine_vec`); wider curves fall back to the exact
+        scalar implementations on Python ints.
+        """
+        return self.index_bits <= 63
+
     # ------------------------------------------------------------------
     # Validation helpers
     # ------------------------------------------------------------------
@@ -109,7 +120,7 @@ class SpaceFillingCurve(ABC):
         out = np.empty(points.shape[0], dtype=object)
         for i, row in enumerate(points):
             out[i] = self.encode(row)
-        if self.index_bits <= 63:
+        if self.fits_int64:
             return out.astype(np.int64)
         return out
 

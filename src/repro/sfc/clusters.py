@@ -27,12 +27,14 @@ cluster semantics (maximal contiguous intersecting runs) are unchanged.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Sequence, Union
 
 from time import perf_counter
 
 from repro.errors import SFCError
+from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
 from repro.sfc.base import CurveState, SpaceFillingCurve
 from repro.sfc.regions import Containment, Region
@@ -44,10 +46,45 @@ __all__ = [
     "Cluster",
     "root_cluster",
     "refine_cluster",
+    "refine_level",
     "clusters_at_level",
     "resolve_clusters",
     "count_clusters_per_level",
+    "set_vectorized_refinement",
+    "vectorized_refinement",
 ]
+
+#: Process-wide switch for the NumPy refinement kernel.  On by default;
+#: the scalar path still applies per call whenever a curve's indices do
+#: not fit ``int64`` or a batch is too small to amortize array overhead.
+_VEC_ENABLED = True
+
+#: Minimum partial cells in a batch before the vectorized kernel pays off
+#: (below this, NumPy call overhead exceeds the per-child Python cost).
+_VEC_MIN_CELLS = 8
+
+
+def set_vectorized_refinement(enabled: bool) -> bool:
+    """Enable/disable the vectorized refinement kernel; returns the old value.
+
+    Used by the benchmark harness to measure the scalar baseline; normal
+    callers never need this (the kernel is exact — property-tested
+    equivalent to the scalar path — and falls back automatically).
+    """
+    global _VEC_ENABLED
+    previous = _VEC_ENABLED
+    _VEC_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def vectorized_refinement(enabled: bool) -> Iterator[None]:
+    """Scope with the vectorized kernel forced on/off; restores on exit."""
+    previous = set_vectorized_refinement(enabled)
+    try:
+        yield
+    finally:
+        set_vectorized_refinement(previous)
 
 
 @dataclass(frozen=True)
@@ -190,16 +227,37 @@ def refine_cluster(
 
     This is the hot refinement path; when a profiler is enabled
     (:func:`repro.obs.profile.enable_profiling`) each call is timed under
-    the ``sfc.refine`` phase.
+    the ``sfc.refine`` phase.  Clusters carrying enough partial cells are
+    expanded by the NumPy kernel (:mod:`repro.sfc.refine_vec`) when the
+    curve's indices fit ``int64``; the result is identical either way.
     """
     prof = obs_profile._PROFILER
     if prof is None:
-        return _refine_cluster(curve, cluster, region, min_index)
+        return _refine_dispatch(curve, cluster, region, min_index)
     start = perf_counter()
     try:
-        return _refine_cluster(curve, cluster, region, min_index)
+        return _refine_dispatch(curve, cluster, region, min_index)
     finally:
         prof.record("sfc.refine", perf_counter() - start)
+
+
+def _refine_dispatch(
+    curve: SpaceFillingCurve,
+    cluster: Cluster,
+    region: Region,
+    min_index: int = 0,
+) -> list[Cluster]:
+    """Route one cluster to the vectorized or scalar refinement path."""
+    if _VEC_ENABLED and curve.fits_int64:
+        n_cells = cluster.cell_count()
+        if n_cells >= _VEC_MIN_CELLS:
+            from repro.sfc.refine_vec import refine_clusters_vec
+
+            return refine_clusters_vec(curve, [cluster], region, min_index)[0]
+    reg = obs_metrics.active()
+    if reg is not None:
+        reg.counter("sfc.refine.scalar_cells").inc(cluster.cell_count())
+    return _refine_cluster(curve, cluster, region, min_index)
 
 
 def _refine_cluster(
@@ -267,6 +325,69 @@ def _refine_cluster(
     return runs
 
 
+def refine_level(
+    curve: SpaceFillingCurve,
+    clusters: list[Cluster],
+    region: Region,
+    min_index: int = 0,
+    bump_resolved: bool = True,
+) -> list[Cluster]:
+    """One refinement step across a whole level's clusters at once.
+
+    The batched entry point of the vectorized kernel: all partial cells of
+    all ``clusters`` are expanded in a single set of array operations, so
+    per-call NumPy overhead amortizes over the level instead of over one
+    cluster.  Resolved clusters (pure index ranges) need no geometry; with
+    ``bump_resolved`` they are carried to the next level unchanged (the
+    identity refinement used by the level-by-level drivers), otherwise
+    they pass through as-is (the engine's local expansion semantics).
+
+    Equivalent to calling :func:`refine_cluster` per cluster, in order.
+    """
+    unresolved = [c for c in clusters if not c.is_resolved]
+    use_vec = (
+        _VEC_ENABLED
+        and curve.fits_int64
+        and unresolved
+        and sum(c.cell_count() for c in unresolved) >= _VEC_MIN_CELLS
+    )
+    if use_vec:
+        from repro.sfc.refine_vec import refine_clusters_vec
+
+        prof = obs_profile._PROFILER
+        if prof is None:
+            refined = refine_clusters_vec(curve, unresolved, region, min_index)
+        else:
+            start = perf_counter()
+            try:
+                refined = refine_clusters_vec(curve, unresolved, region, min_index)
+            finally:
+                prof.record("sfc.refine", perf_counter() - start)
+        refined_iter = iter(refined)
+        out: list[Cluster] = []
+        for cluster in clusters:
+            if cluster.is_resolved:
+                out.append(
+                    Cluster(level=cluster.level + 1, pieces=cluster.pieces)
+                    if bump_resolved
+                    else cluster
+                )
+            else:
+                out.extend(next(refined_iter))
+        return out
+    out = []
+    for cluster in clusters:
+        if cluster.is_resolved:
+            out.append(
+                Cluster(level=cluster.level + 1, pieces=cluster.pieces)
+                if bump_resolved
+                else cluster
+            )
+        else:
+            out.extend(refine_cluster(curve, cluster, region, min_index=min_index))
+    return out
+
+
 def clusters_at_level(
     curve: SpaceFillingCurve, region: Region, level: int
 ) -> list[Cluster]:
@@ -284,14 +405,9 @@ def clusters_at_level(
         return []
     clusters = [root]
     for _ in range(level):
-        nxt: list[Cluster] = []
-        for cluster in clusters:
-            if cluster.is_resolved:
-                # No geometry left: refinement is the identity (level bump).
-                nxt.append(Cluster(level=cluster.level + 1, pieces=cluster.pieces))
-            else:
-                nxt.extend(refine_cluster(curve, cluster, region))
-        clusters = nxt
+        # Resolved clusters have no geometry left: refinement is the
+        # identity (level bump); the rest expand, batched per level.
+        clusters = refine_level(curve, clusters, region)
     return clusters
 
 
@@ -322,6 +438,12 @@ def resolve_clusters(
 def _resolve_clusters(
     curve: SpaceFillingCurve, region: Region, max_level: int | None = None
 ) -> list[tuple[int, int]]:
+    if _VEC_ENABLED and curve.fits_int64:
+        # Only the final index ranges are needed, so the fully array-resident
+        # resolver applies: no intermediate Cluster objects at all.
+        from repro.sfc.refine_vec import resolve_ranges_vec
+
+        return resolve_ranges_vec(curve, region, max_level)
     limit = curve.order if max_level is None else min(max_level, curve.order)
     root = root_cluster(curve, region)
     if root is None:  # pragma: no cover - defensive
@@ -330,13 +452,7 @@ def _resolve_clusters(
     for _ in range(limit):
         if all(c.is_resolved for c in clusters):
             break
-        nxt: list[Cluster] = []
-        for cluster in clusters:
-            if cluster.is_resolved:
-                nxt.append(Cluster(level=cluster.level + 1, pieces=cluster.pieces))
-            else:
-                nxt.extend(refine_cluster(curve, cluster, region))
-        clusters = nxt
+        clusters = refine_level(curve, clusters, region)
     ranges: list[tuple[int, int]] = []
     for cluster in clusters:
         low = cluster.min_index(curve)
@@ -364,12 +480,6 @@ def count_clusters_per_level(
     clusters = [root]
     counts = [len(clusters)]
     for _ in range(limit):
-        nxt: list[Cluster] = []
-        for cluster in clusters:
-            if cluster.is_resolved:
-                nxt.append(Cluster(level=cluster.level + 1, pieces=cluster.pieces))
-            else:
-                nxt.extend(refine_cluster(curve, cluster, region))
-        clusters = nxt
+        clusters = refine_level(curve, clusters, region)
         counts.append(len(clusters))
     return counts

@@ -14,6 +14,8 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import DimensionMismatchError
 
 __all__ = ["Containment", "Interval", "Box", "Region", "full_region"]
@@ -85,6 +87,19 @@ class Box:
                 full = False
         return Containment.FULL if full else Containment.PARTIAL
 
+    def classify_cells(self, cell_lows: np.ndarray, cell_highs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`classify_cell` over ``(N, dims)`` bound arrays.
+
+        Returns an ``(N,)`` ``int8`` array of :class:`Containment` values.
+        """
+        lo = np.fromiter((iv.low for iv in self.intervals), dtype=np.int64, count=self.dims)
+        hi = np.fromiter((iv.high for iv in self.intervals), dtype=np.int64, count=self.dims)
+        overlap = np.logical_and(cell_highs >= lo, cell_lows <= hi).all(axis=1)
+        full = np.logical_and(cell_lows >= lo, cell_highs <= hi).all(axis=1)
+        codes = overlap.astype(np.int8)
+        codes[full] = Containment.FULL.value
+        return codes
+
     @property
     def volume(self) -> int:
         """Number of lattice points inside the box."""
@@ -141,6 +156,33 @@ class Region:
             if relation is Containment.PARTIAL:
                 saw_overlap = True
         return Containment.PARTIAL if saw_overlap else Containment.DISJOINT
+
+    def classify_cells(self, cell_lows: np.ndarray, cell_highs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`classify_cell`: one ``int8`` code per cell row.
+
+        Mirrors the scalar trichotomy exactly, including the conservative
+        union semantics (FULL only when a *single* box contains the cell).
+        This is the classification kernel of the vectorized refinement path
+        (:mod:`repro.sfc.refine_vec`).
+        """
+        codes = self.boxes[0].classify_cells(cell_lows, cell_highs)
+        for box in self.boxes[1:]:
+            np.maximum(codes, box.classify_cells(cell_lows, cell_highs), out=codes)
+        return codes
+
+    def canonical_key(self) -> tuple:
+        """Hashable, order-insensitive identity of the region's geometry.
+
+        Two regions with the same box set (in any order) share a key; used
+        by the query-plan cache (:mod:`repro.core.plancache`) to recognize
+        repeated queries that cover the same coordinate region.
+        """
+        return tuple(
+            sorted(
+                tuple((iv.low, iv.high) for iv in box.intervals)
+                for box in self.boxes
+            )
+        )
 
     @property
     def volume_upper_bound(self) -> int:

@@ -59,7 +59,7 @@ class MortonCurve(SpaceFillingCurve):
         points = np.asarray(points, dtype=np.int64)
         if points.ndim != 2 or points.shape[1] != self.dims:
             return super().encode_many(points)
-        if self.index_bits > 63:
+        if not self.fits_int64:
             return super().encode_many(points)
         # For each level group (MSB first), label bit j = coord-j bit at level.
         index = np.zeros(points.shape[0], dtype=np.int64)

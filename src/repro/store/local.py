@@ -120,6 +120,40 @@ class LocalStore:
             for per_key in self._by_index[index].values():
                 yield from per_key
 
+    def scan_ranges(self, ranges) -> Iterator[StoredElement]:
+        """Yield elements across several index ranges in one sorted pass.
+
+        ``ranges`` must be sorted by ``low`` — as a cluster's piece list
+        always is — so each bisection can resume from the previous range's
+        end position instead of restarting from the front of the index
+        list.  Overlapping ranges are tolerated (an element is yielded once
+        per range containing it, matching repeated :meth:`scan_range`
+        calls); the common disjoint-ranges case never rescans an index.
+        Counts a single ``store.range_scans`` metric for the whole batch.
+        """
+        si = self._sorted_indices
+        counted = False
+        pos = 0
+        prev_high: int | None = None
+        reg = obs_metrics.active()
+        for low, high in ranges:
+            if low > high:
+                continue
+            if not counted:
+                counted = True
+                if reg is not None:
+                    reg.counter("store.range_scans").inc()
+            # Resuming at the previous end position is sound only when every
+            # index before it is < low, i.e. when the ranges don't overlap.
+            hint = pos if prev_high is not None and low > prev_high else 0
+            lo_pos = bisect_left(si, low, hint)
+            hi_pos = bisect_right(si, high, lo_pos)
+            for index in si[lo_pos:hi_pos]:
+                for per_key in self._by_index[index].values():
+                    yield from per_key
+            pos = hi_pos
+            prev_high = high if prev_high is None else max(prev_high, high)
+
     def has_any_in_range(self, low: int, high: int) -> bool:
         """True if any element index falls in ``[low, high]``."""
         pos = bisect_left(self._sorted_indices, low)

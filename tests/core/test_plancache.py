@@ -1,0 +1,146 @@
+"""Tests for the initiator-side query-plan cache.
+
+The load-bearing property is *exactness*: a query planned from cache must
+return the identical match set and identical cost statistics as the same
+query planned from scratch — the cache may only skip geometry work, never
+change what is sent where.
+"""
+
+import pytest
+
+from repro.core.plancache import PlanCache, plan_key
+from repro.core.system import SquidSystem
+from repro.keywords.dimensions import WordDimension
+from repro.keywords.space import KeywordSpace
+from repro.obs import collecting
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.regions import Region
+
+WORDS = ["computer", "computation", "network", "netbook", "storage", "memory"]
+
+
+def build_system(engine="optimized", seed=11, n_nodes=24, n_docs=120):
+    space = KeywordSpace([WordDimension("kw1"), WordDimension("kw2")], bits=8)
+    system = SquidSystem.create(space, n_nodes=n_nodes, seed=seed, engine=engine)
+    import random
+
+    rng = random.Random(seed)
+    for i in range(n_docs):
+        system.publish((rng.choice(WORDS), rng.choice(WORDS)), payload=i)
+    return system
+
+
+class TestPlanCacheLRU:
+    def test_get_miss_then_hit(self):
+        cache = PlanCache(capacity=2)
+        assert cache.get(("k1",)) is None
+        cache.put(("k1",), "plan-1")
+        assert cache.get(("k1",)) == "plan-1"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.get(("a",))  # refresh "a": "b" becomes the LRU entry
+        cache.put(("c",), 3)
+        assert cache.evictions == 1
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1
+        assert cache.get(("c",)) == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_clear_keeps_counters(self):
+        cache = PlanCache()
+        cache.put(("a",), 1)
+        cache.get(("a",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_metrics_published_when_collecting(self):
+        cache = PlanCache(capacity=1)
+        with collecting() as registry:
+            cache.get(("a",))
+            cache.put(("a",), 1)
+            cache.get(("a",))
+            cache.put(("b",), 2)  # evicts "a"
+        assert registry.counter("plan_cache.misses").value == 1
+        assert registry.counter("plan_cache.hits").value == 1
+        assert registry.counter("plan_cache.evictions").value == 1
+
+
+class TestPlanKey:
+    def test_key_is_order_insensitive_over_boxes(self):
+        curve = HilbertCurve(2, 8)
+        box_a = ((0, 10), (5, 9))
+        box_b = ((20, 30), (1, 2))
+        r1 = Region.from_bounds(box_a)
+        r2 = Region.from_bounds(box_b)
+        union_ab = Region(r1.boxes + r2.boxes)
+        union_ba = Region(r2.boxes + r1.boxes)
+        assert plan_key(curve, union_ab, "optimized", 1) == plan_key(
+            curve, union_ba, "optimized", 1
+        )
+
+    def test_key_separates_engines_params_and_curves(self):
+        curve = HilbertCurve(2, 8)
+        region = Region.from_bounds([(0, 10), (0, 10)])
+        base = plan_key(curve, region, "optimized", 1)
+        assert base != plan_key(curve, region, "naive", 1)
+        assert base != plan_key(curve, region, "optimized", 2)
+        assert base != plan_key(HilbertCurve(2, 9), region, "optimized", 1)
+
+
+@pytest.mark.parametrize("engine", ["optimized", "naive"])
+class TestCachedQueriesExact:
+    @pytest.mark.parametrize("query", ["(comp*, *)", "(network, mem*)", "(*, storage)"])
+    def test_hit_returns_identical_result(self, engine, query):
+        system = build_system(engine=engine)
+        origin = system.overlay.node_ids()[0]
+        cold = system.query(query, origin=origin, rng=0)
+        warm = system.query(query, origin=origin, rng=0)
+        assert not cold.stats.plan_cache_hit
+        assert warm.stats.plan_cache_hit
+        assert {e.payload for e in cold.matches} == {e.payload for e in warm.matches}
+        cold_stats = cold.stats.as_dict()
+        warm_stats = warm.stats.as_dict()
+        cold_stats.pop("plan_cache_hit")
+        warm_stats.pop("plan_cache_hit")
+        assert cold_stats == warm_stats
+
+    def test_disabled_cache_never_hits(self, engine):
+        system = build_system(engine=engine)
+        system.plan_cache = None
+        origin = system.overlay.node_ids()[0]
+        for _ in range(2):
+            result = system.query("(comp*, *)", origin=origin, rng=0)
+            assert not result.stats.plan_cache_hit
+
+    def test_membership_churn_keeps_cached_plans_exact(self, engine):
+        """Plans are pure geometry: overlay churn must not stale them."""
+        system = build_system(engine=engine)
+        origin = system.overlay.node_ids()[0]
+        system.query("(comp*, *)", origin=origin, rng=0)
+        # Join a node and move keys; the cached plan stays valid.
+        new_id = next(
+            i for i in range(system.curve.size) if i not in system.stores
+        )
+        system.add_node(new_id)
+        warm = system.query("(comp*, *)", origin=origin, rng=0)
+        assert warm.stats.plan_cache_hit
+        expected = {e.payload for e in system.brute_force_matches("(comp*, *)")}
+        assert {e.payload for e in warm.matches} == expected
+
+    def test_publish_after_hit_still_exact(self, engine):
+        system = build_system(engine=engine)
+        origin = system.overlay.node_ids()[0]
+        system.query("(comp*, *)", origin=origin, rng=0)
+        system.publish(("computer", "storage"), payload="fresh")
+        warm = system.query("(comp*, *)", origin=origin, rng=0)
+        assert warm.stats.plan_cache_hit
+        assert "fresh" in {e.payload for e in warm.matches}

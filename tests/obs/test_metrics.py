@@ -117,6 +117,51 @@ class TestSystemReporting:
         assert counters["system.publishes"] == 1
         assert counters["store.elements_added"] == 1
 
+    def test_plan_cache_counters(self):
+        system = build_system()
+        with collecting() as reg:
+            system.query(QUERY, rng=0)  # cold: one miss per engine plan
+            system.query(QUERY, rng=1)  # warm: planned from cache
+            system.query(QUERY, rng=2)
+        counters = reg.snapshot()["counters"]
+        assert counters["plan_cache.misses"] == 1
+        assert counters["plan_cache.hits"] == 2
+        assert "plan_cache.evictions" not in counters
+
+    def test_refine_kernel_counters(self):
+        from repro.sfc.clusters import vectorized_refinement
+
+        system = build_system()
+        with collecting() as reg:
+            with vectorized_refinement(True):
+                system.query("(*, net*)", engine="naive", rng=0)
+            counters = reg.snapshot()["counters"]
+            # The naive engine resolves the region through the NumPy kernel.
+            assert counters["sfc.refine.vec_calls"] >= 1
+            assert counters["sfc.refine.vec_cells"] >= 1
+            reg.reset()
+            system.plan_cache = None  # force re-planning, scalar this time
+            with vectorized_refinement(False):
+                system.query("(*, net*)", engine="naive", rng=0)
+            counters = reg.snapshot()["counters"]
+            assert counters["sfc.refine.scalar_cells"] >= 1
+            assert "sfc.refine.vec_calls" not in counters
+
+    def test_kernel_counters_deterministic(self):
+        from repro.sfc.clusters import resolve_clusters
+        from repro.sfc.hilbert import HilbertCurve
+        from repro.sfc.regions import Region
+
+        curve = HilbertCurve(2, 8)
+        region = Region.from_bounds([(10, 120), (40, 200)])
+
+        def run():
+            with collecting() as reg:
+                resolve_clusters(curve, region)
+            return reg.snapshot()
+
+        assert run() == run()
+
     def test_snapshot_deterministic_under_fixed_seed(self):
         def run():
             with collecting() as reg:

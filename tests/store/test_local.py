@@ -65,6 +65,65 @@ class TestScan:
         assert self.store.key_count_at(99) == 0
 
 
+class TestScanRanges:
+    """Batched multi-range scan ≡ repeated single-range scans."""
+
+    def _store(self, indices):
+        store = LocalStore()
+        for n, i in enumerate(indices):
+            store.add(element(i, key=(f"k{n}",)))
+        return store
+
+    def test_disjoint_sorted_ranges(self):
+        store = self._store([3, 7, 7, 10, 20, 31])
+        ranges = [(0, 5), (9, 12), (20, 40)]
+        batched = [e.index for e in store.scan_ranges(ranges)]
+        sequential = [e.index for lo, hi in ranges for e in store.scan_range(lo, hi)]
+        assert batched == sequential == [3, 10, 20, 31]
+
+    def test_empty_and_inverted_ranges_skipped(self):
+        store = self._store([5, 6])
+        assert list(store.scan_ranges([])) == []
+        assert list(store.scan_ranges([(9, 2)])) == []
+        assert [e.index for e in store.scan_ranges([(9, 2), (5, 5)])] == [5]
+
+    def test_overlapping_ranges_match_repeated_scans(self):
+        store = self._store([1, 4, 4, 8, 15])
+        ranges = [(0, 10), (3, 20)]  # sorted by low, overlapping
+        batched = [e.index for e in store.scan_ranges(ranges)]
+        sequential = [e.index for lo, hi in ranges for e in store.scan_range(lo, hi)]
+        assert batched == sequential
+
+    def test_single_metric_per_batch(self):
+        from repro.obs import collecting
+
+        store = self._store([2, 9, 14])
+        with collecting() as registry:
+            list(store.scan_ranges([(0, 3), (8, 10), (13, 20)]))
+            list(store.scan_ranges([]))  # nothing scanned: no metric
+        assert registry.counter("store.range_scans").value == 1
+
+    @given(
+        st.lists(st.integers(0, 63), min_size=0, max_size=40),
+        st.lists(
+            st.tuples(st.integers(0, 63), st.integers(0, 63)).map(
+                lambda t: (min(t), max(t))
+            ),
+            min_size=0,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_equivalent_to_repeated_scan_range(self, indices, ranges):
+        ranges = sorted(ranges)  # cluster piece lists arrive sorted by low
+        store = self._store(indices)
+        batched = [(e.index, e.key) for e in store.scan_ranges(ranges)]
+        sequential = [
+            (e.index, e.key) for lo, hi in ranges for e in store.scan_range(lo, hi)
+        ]
+        assert batched == sequential
+
+
 class TestPopRange:
     def test_pop_moves_everything_in_range(self):
         store = LocalStore()

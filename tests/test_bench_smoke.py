@@ -1,0 +1,102 @@
+"""Smoke target: the benchmark harness in ``--quick`` mode.
+
+Runs ``python -m repro bench --quick`` end to end (in-process) and
+validates the shape of the JSON document it writes — the schema the
+committed ``BENCH_query_path.json`` follows.  Timing *values* are not
+asserted here (CI machines vary); exactness guards inside the harness
+already fail the run if the optimized paths diverge from the baselines.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import SCHEMA, run_bench
+from repro.cli import main
+
+ENCODE_KEYS = {
+    "curve", "dims", "order", "n_points", "encode_scalar_s",
+    "encode_vectorized_s", "encode_speedup", "decode_vectorized_s",
+    "encode_mpts_per_s",
+}
+REFINE_KEYS = {
+    "curve", "dims", "order", "region", "clusters", "scalar_s",
+    "vectorized_s", "speedup",
+}
+E2E_KEYS = {
+    "engine", "class", "query", "runs", "matches", "baseline_s",
+    "optimized_s", "speedup",
+}
+
+
+@pytest.fixture(scope="module")
+def quick_result(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "bench.json"
+    assert main(["bench", "--quick", "--seed", "7", "--output", str(path)]) == 0
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_document_envelope(quick_result):
+    assert quick_result["schema"] == SCHEMA
+    assert quick_result["seed"] == 7
+    assert quick_result["quick"] is True
+    assert set(quick_result["suites"]) == {"encode", "refine", "e2e"}
+    env = quick_result["environment"]
+    assert {"python", "numpy", "platform"} <= set(env)
+
+
+def test_encode_rows(quick_result):
+    rows = quick_result["suites"]["encode"]
+    assert rows, "encode suite must produce rows"
+    for row in rows:
+        assert set(row) == ENCODE_KEYS
+        assert row["encode_scalar_s"] > 0
+        assert row["encode_vectorized_s"] > 0
+
+
+def test_refine_rows(quick_result):
+    rows = quick_result["suites"]["refine"]
+    assert rows, "refine suite must produce rows"
+    for row in rows:
+        assert set(row) == REFINE_KEYS
+        assert row["clusters"] > 0
+        assert row["speedup"] > 0
+
+
+def test_e2e_rows_cover_engines_and_classes(quick_result):
+    rows = quick_result["suites"]["e2e"]
+    assert {row["engine"] for row in rows} == {"optimized", "naive"}
+    assert {row["class"] for row in rows} == {"exact", "prefix", "wildcard", "range"}
+    for row in rows:
+        assert set(row) == E2E_KEYS
+        assert row["matches"] > 0  # every class query has seeded matches
+
+
+def test_summary_shape(quick_result):
+    summary = quick_result["summary"]
+    assert summary["refine_min_speedup"] <= summary["refine_max_speedup"]
+    assert set(summary["e2e_median_speedup_by_class"]) == {
+        "exact", "prefix", "wildcard", "range",
+    }
+
+
+def test_run_bench_is_reproducible_in_shape():
+    a = run_bench(seed=3, quick=True)
+    b = run_bench(seed=3, quick=True)
+    # Timings differ run to run; the measured workload must not.
+    def shape(doc):
+        return {
+            "refine": [
+                (r["dims"], r["order"], r["region"], r["clusters"])
+                for r in doc["suites"]["refine"]
+            ],
+            "e2e": [
+                (r["engine"], r["class"], r["query"], r["matches"])
+                for r in doc["suites"]["e2e"]
+            ],
+        }
+
+    assert shape(a) == shape(b)
