@@ -11,6 +11,7 @@ from repro.bench.harness import (
     SCHEMA,
     bench_e2e,
     bench_encode,
+    bench_parallel,
     bench_refine,
     render_summary,
     run_bench,
@@ -22,6 +23,7 @@ __all__ = [
     "bench_encode",
     "bench_refine",
     "bench_e2e",
+    "bench_parallel",
     "render_summary",
     "run_bench",
     "write_bench_json",

@@ -15,6 +15,14 @@ Three suites, each deterministic given a seed:
     (scalar refinement, no plan cache) vs. the *optimized* mode (vectorized
     kernel + warm plan cache — the steady state of a repeated-query
     workload).  Match sets are asserted identical between modes.
+``parallel``
+    Batch query throughput: one mixed-class query batch executed serially
+    (``workers=1``) and through the multiprocess pool
+    (:meth:`SquidSystem.query_many` with ``--workers`` N).  Per-query
+    results, merged stats, and merged metrics are asserted byte-identical
+    between the two runs; the row records both wall times, the speedup,
+    and the machine's CPU count (speedup is bounded by physical cores —
+    on a single-core host the pooled run only adds process overhead).
 
 Timings use ``time.perf_counter`` best-of-``repeats``; the harness is not a
 statistics package — it exists so a regression (or a win) in the hot path
@@ -24,6 +32,7 @@ shows up as a number in version control, not as an anecdote.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import random
 import sys
@@ -44,6 +53,7 @@ __all__ = [
     "bench_encode",
     "bench_refine",
     "bench_e2e",
+    "bench_parallel",
     "run_bench",
     "write_bench_json",
 ]
@@ -257,13 +267,101 @@ def bench_e2e(seed: int, quick: bool = False) -> list[dict[str, Any]]:
 
 
 # ----------------------------------------------------------------------
+# Suite: parallel batch execution (serial vs. multiprocess pool)
+# ----------------------------------------------------------------------
+def _batch_queries(seed: int, count: int) -> list[str]:
+    """A seeded mixed-class query batch over the bench system's space."""
+    rng = random.Random(seed * 7 + 1)
+    sizes = [128, 256, 300, 512, 640, 1024]
+    queries: list[str] = []
+    for i in range(count):
+        cls = ("exact", "prefix", "wildcard", "range")[i % 4]
+        stem = rng.choice(_WORD_STEMS)
+        size = rng.choice(sizes)
+        if cls == "exact":
+            queries.append(f"({stem}, {size})")
+        elif cls == "prefix":
+            queries.append(f"({stem[:4]}*, {size})")
+        elif cls == "wildcard":
+            queries.append(f"(*, {size})")
+        else:
+            lo = rng.choice([s for s in sizes if s < 1024])
+            queries.append(f"(*, {lo}-1024)")
+    return queries
+
+
+def bench_parallel(
+    seed: int, quick: bool = False, workers: int = 2
+) -> list[dict[str, Any]]:
+    """Serial vs. pooled batch execution; asserts bit-identical outputs.
+
+    Runs the same batch through ``query_many(workers=1)`` (in-process, the
+    serial reference) and ``query_many(workers=N)`` (multiprocess pool) and
+    verifies per-query match payloads, per-query stats, merged stats, and
+    merged metrics snapshots are identical — the pool's determinism
+    contract, checked on every bench run.  Speedup is wall-clock and bound
+    by physical cores.
+    """
+    n_queries = 64 if quick else 256
+    system = _build_system(seed, quick, "optimized")
+    queries = _batch_queries(seed, n_queries)
+
+    serial = system.query_many(queries, workers=1, seed=seed)
+    pooled = system.query_many(queries, workers=workers, seed=seed)
+
+    serial_payloads = [sorted(str(e.payload) for e in r.matches) for r in serial.results]
+    pooled_payloads = [sorted(str(e.payload) for e in r.matches) for r in pooled.results]
+    if serial_payloads != pooled_payloads:  # pragma: no cover - exactness guard
+        raise AssertionError("pooled execution changed a query's match set")
+    if [r.stats.as_dict() for r in serial.results] != [
+        r.stats.as_dict() for r in pooled.results
+    ]:  # pragma: no cover - exactness guard
+        raise AssertionError("pooled execution changed per-query stats")
+    if serial.stats.as_dict() != pooled.stats.as_dict():  # pragma: no cover
+        raise AssertionError("pooled execution changed the merged stats")
+    if json.dumps(serial.metrics, sort_keys=True) != json.dumps(
+        pooled.metrics, sort_keys=True
+    ):  # pragma: no cover - exactness guard
+        raise AssertionError("pooled execution changed the merged metrics")
+
+    counters = serial.metrics["counters"]
+    return [
+        {
+            "queries": len(queries),
+            "chunk_size": serial.chunk_size,
+            "chunks": serial.chunk_count,
+            "workers": pooled.workers,
+            "start_method": pooled.start_method,
+            "serial_s": serial.elapsed_s,
+            "parallel_s": pooled.elapsed_s,
+            "speedup": serial.elapsed_s / pooled.elapsed_s if pooled.elapsed_s else None,
+            "total_matches": serial.total_matches(),
+            "route_cache_hits": counters.get("overlay.route_cache.hits", 0),
+            "route_cache_misses": counters.get("overlay.route_cache.misses", 0),
+        }
+    ]
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
-def run_bench(seed: int = 42, quick: bool = False) -> dict[str, Any]:
-    """Run every suite and assemble the versioned result document."""
+def run_bench(
+    seed: int = 42, quick: bool = False, workers: int | None = None
+) -> dict[str, Any]:
+    """Run every suite and assemble the versioned result document.
+
+    ``workers`` sets the pooled side of the ``parallel`` suite; ``None``
+    uses the process-wide default (CLI ``--workers``), floored at 2 so the
+    suite always exercises the multiprocess path.
+    """
+    from repro.exec import get_default_workers
+
+    if workers is None:
+        workers = max(2, get_default_workers())
     encode_rows = bench_encode(seed, quick)
     refine_rows = bench_refine(seed, quick)
     e2e_rows = bench_e2e(seed, quick)
+    parallel_rows = bench_parallel(seed, quick, workers=workers)
 
     refine_speedups = [r["speedup"] for r in refine_rows if r["speedup"]]
     e2e_by_class: dict[str, list[float]] = {}
@@ -278,11 +376,13 @@ def run_bench(seed: int = 42, quick: bool = False) -> dict[str, Any]:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "platform": sys.platform,
+            "cpus": os.cpu_count(),
         },
         "suites": {
             "encode": encode_rows,
             "refine": refine_rows,
             "e2e": e2e_rows,
+            "parallel": parallel_rows,
         },
         "summary": {
             "refine_min_speedup": min(refine_speedups) if refine_speedups else None,
@@ -290,6 +390,8 @@ def run_bench(seed: int = 42, quick: bool = False) -> dict[str, Any]:
             "e2e_median_speedup_by_class": {
                 cls: sorted(vals)[len(vals) // 2] for cls, vals in e2e_by_class.items()
             },
+            "parallel_speedup": parallel_rows[0]["speedup"],
+            "parallel_workers": parallel_rows[0]["workers"],
         },
     }
 
@@ -317,6 +419,15 @@ def render_summary(result: dict[str, Any]) -> str:
             f"  {row['engine']:9s} {row['class']:8s} {row['query']:16s} "
             f"{row['baseline_s'] * 1e3:8.2f}ms -> {row['optimized_s'] * 1e3:7.2f}ms "
             f"({row['speedup']:.1f}x, {row['matches']} matches)"
+        )
+    lines.append("parallel (serial vs pooled batch):")
+    for row in result["suites"]["parallel"]:
+        lines.append(
+            f"  {row['queries']} queries, {row['chunks']} chunks, "
+            f"workers={row['workers']} ({row['start_method']}): "
+            f"{row['serial_s'] * 1e3:8.2f}ms -> {row['parallel_s'] * 1e3:8.2f}ms "
+            f"({row['speedup']:.2f}x on {result['environment']['cpus']} cpu(s), "
+            f"{row['route_cache_hits']} route-cache hits)"
         )
     summary = result["summary"]
     lines.append(

@@ -13,14 +13,17 @@ Commands
 ``trace QUERY [--engine E] [--nodes N] [--seed S] [--json]``
     Run one query on a small demo system with a tracer attached and print
     the reconstructed refinement tree, the stats, and the metrics snapshot.
-``bench [--quick] [--seed N] [--output PATH]``
+``bench [--quick] [--seed N] [--workers N] [--output PATH]``
     Run the seeded query-hot-path benchmark suites (encode throughput,
     refinement kernel scalar vs. vectorized, end-to-end latency by query
-    class) and write the versioned JSON document (default
-    ``BENCH_query_path.json``).
+    class, parallel batch execution) and write the versioned JSON document
+    (default ``BENCH_query_path.json``).
 
 ``run`` and ``report`` accept ``--profile`` to time the hot SFC/engine
-phases and print the per-phase table after the run.
+phases and print the per-phase table after the run.  ``run``, ``report``,
+``replicate``, and ``bench`` accept ``--workers N`` to execute query
+batches across N worker processes (results are identical for any N; only
+wall-clock time changes).
 """
 
 from __future__ import annotations
@@ -49,11 +52,13 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument(
         "--profile", action="store_true", help="time hot phases and print the table"
     )
+    _add_workers_flag(run_p)
 
     repl_p = sub.add_parser("replicate", help="run a figure across several seeds")
     repl_p.add_argument("figure", help="figure id, e.g. fig09")
     repl_p.add_argument("--scale", default="small", choices=["small", "medium", "full"])
     repl_p.add_argument("--seeds", default="1,2,3", help="comma-separated seeds")
+    _add_workers_flag(repl_p)
 
     rep_p = sub.add_parser("report", help="run all figures, emit markdown report")
     rep_p.add_argument("--scale", default="small", choices=["small", "medium", "full"])
@@ -62,6 +67,7 @@ def main(argv: list[str] | None = None) -> int:
     rep_p.add_argument(
         "--profile", action="store_true", help="append a per-phase profile section"
     )
+    _add_workers_flag(rep_p)
 
     sub.add_parser("demo", help="end-to-end demonstration")
 
@@ -88,8 +94,14 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_query_path.json",
         help="path of the JSON result document",
     )
+    _add_workers_flag(bench_p)
 
     args = parser.parse_args(argv)
+
+    if getattr(args, "workers", None) is not None:
+        from repro.exec import set_default_workers
+
+        set_default_workers(args.workers)
 
     if args.command == "figures":
         return _cmd_figures()
@@ -106,6 +118,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "bench":
         return _cmd_bench(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _add_workers_flag(subparser) -> None:
+    subparser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for query batches (results identical for any N)",
+    )
 
 
 def _cmd_figures() -> int:
@@ -228,7 +250,7 @@ def _cmd_trace(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.bench import render_summary, run_bench, write_bench_json
 
-    result = run_bench(seed=args.seed, quick=args.quick)
+    result = run_bench(seed=args.seed, quick=args.quick, workers=args.workers)
     write_bench_json(result, args.output)
     print(render_summary(result))
     print(f"results written to {args.output}")

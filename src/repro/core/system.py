@@ -159,10 +159,23 @@ class SquidSystem:
         return element
 
     def publish_many(
-        self, keys: Iterable[Sequence[Any]], payloads: Iterable[Any] | None = None
+        self,
+        keys: Iterable[Sequence[Any]],
+        payloads: Iterable[Any] | None = None,
+        pad: bool = False,
     ) -> int:
-        """Bulk publish (vectorized indexing); returns elements inserted."""
-        key_list = [self.space.validate_key(k) for k in keys]
+        """Bulk publish (vectorized indexing); returns elements inserted.
+
+        Symmetric with :meth:`publish`: ``pad=True`` extends short keys by
+        cyclic repetition before indexing.  Ownership is resolved in one
+        vectorized :meth:`~repro.overlay.base.Overlay.owner_many` call, so a
+        bulk publish places every element exactly where per-element
+        :meth:`publish` calls would.
+        """
+        if pad:
+            key_list = [self.space.pad_key(k) for k in keys]
+        else:
+            key_list = [self.space.validate_key(k) for k in keys]
         if not key_list:
             return 0
         payload_list = list(payloads) if payloads is not None else [None] * len(key_list)
@@ -176,9 +189,7 @@ class SquidSystem:
             with prof.phase("sfc.encode"):
                 coords = self.space.coordinates_many(key_list)
                 indices = self.curve.encode_many(coords)
-        node_ids = np.asarray(self.overlay.node_ids(), dtype=np.int64)
-        positions = np.searchsorted(node_ids, np.asarray(indices, dtype=np.int64))
-        owners = node_ids[positions % len(node_ids)]
+        owners = self.overlay.owner_many(indices)
         per_node: dict[int, list[StoredElement]] = {}
         for key, payload, index, owner in zip(key_list, payload_list, indices, owners):
             per_node.setdefault(int(owner), []).append(
@@ -216,6 +227,32 @@ class SquidSystem:
             rng=rng if rng is not None else self._rng,
             limit=limit,
         )
+
+    def query_many(
+        self,
+        queries: Iterable[Any],
+        workers: int | None = None,
+        seed: RandomLike = 0,
+        engine: QueryEngine | str | None = None,
+        origin: int | None = None,
+        limit: int | None = None,
+        chunk_size: int | None = None,
+    ):
+        """Resolve a batch of queries, optionally across worker processes.
+
+        Returns a :class:`~repro.exec.pool.BatchResult` with per-query
+        results in input order, a merged :class:`QueryStats`, and a merged
+        metrics snapshot.  Results are bit-identical for any ``workers``
+        value (``None`` uses the process-wide default; see
+        :func:`repro.exec.set_default_workers`); only wall-clock time
+        changes.  ``seed`` feeds per-chunk RNG derivation, replacing the
+        system's own generator for the batch so batches are reproducible
+        regardless of prior query history.
+        """
+        from repro.exec.pool import QueryPool
+
+        pool = QueryPool(self, workers=workers, chunk_size=chunk_size)
+        return pool.run(queries, seed=seed, engine=engine, origin=origin, limit=limit)
 
     def _coerce_engine(self, engine: QueryEngine | str | None) -> QueryEngine:
         if engine is None:

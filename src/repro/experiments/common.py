@@ -107,12 +107,18 @@ def sweep_queries(
     queries: Sequence[Query],
     seed: RandomLike = 0,
     extra: dict | None = None,
+    workers: int | None = None,
 ) -> list[dict]:
-    """Run each query once from a random origin; one metrics row per query."""
-    gen = as_generator(seed)
+    """Run each query once from a random origin; one metrics row per query.
+
+    Queries execute through :meth:`SquidSystem.query_many`, so sweeps
+    parallelize across worker processes (``workers=None`` follows the
+    process-wide default set by the CLI ``--workers`` flag).  Rows are
+    identical for any worker count.
+    """
+    batch = system.query_many(queries, workers=workers, seed=seed)
     rows = []
-    for i, query in enumerate(queries):
-        result = system.query(query, rng=gen)
+    for i, (query, result) in enumerate(zip(queries, batch.results)):
         row = {"query": str(query), "query_id": f"query{i + 1}", "matches": result.match_count}
         row.update(result.stats.as_row())
         if extra:

@@ -19,9 +19,11 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    RegistrySnapshot,
     active,
     collecting,
     get_registry,
+    merge_snapshots,
     set_registry,
 )
 from repro.obs.profile import (
@@ -58,6 +60,8 @@ __all__ = [
     "NodeJoined",
     "NodeLeft",
     "MetricsRegistry",
+    "RegistrySnapshot",
+    "merge_snapshots",
     "Counter",
     "Gauge",
     "Histogram",

@@ -11,6 +11,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+import numpy as np
+
 __all__ = ["RouteResult", "Overlay", "ring_contains_open_closed", "ring_contains_open_open"]
 
 
@@ -55,6 +57,17 @@ class Overlay(ABC):
     @abstractmethod
     def owner(self, key: int) -> int:
         """Identifier of the node responsible for ``key`` (oracle, no messages)."""
+
+    def owner_many(self, keys) -> "np.ndarray":
+        """Owners of many keys at once (oracle); returns an int64 array.
+
+        The base implementation loops over :meth:`owner`; ring overlays
+        with a sorted identifier list override it with one vectorized
+        ``searchsorted`` (see :meth:`ChordRing.owner_many`).  Bulk callers
+        — ``publish_many``, the parallel query pool's system rebuild — use
+        this instead of re-deriving per-element ownership.
+        """
+        return np.array([self.owner(int(k)) for k in keys], dtype=np.int64)
 
     @abstractmethod
     def route(self, source: int, key: int) -> RouteResult:

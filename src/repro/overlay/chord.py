@@ -39,9 +39,60 @@ from repro.overlay.base import (
 )
 from repro.util.rng import RandomLike, as_generator
 
-__all__ = ["ChordNode", "ChordRing"]
+__all__ = ["ChordNode", "ChordRing", "RouteCache"]
 
 _MAX_ROUTE_HOPS_FACTOR = 4  # Safety net against routing loops on stale state.
+
+
+class RouteCache:
+    """Memo of greedy routes for the ring's *current* routing state.
+
+    Entries map ``(source, owner)`` to the path :meth:`ChordRing.route`
+    would walk from ``source`` to any key owned by ``owner``.  Keying on
+    the owner (not the key) is exact: every routing decision — finger
+    selection and both termination checks — tests the key only against
+    *live node identifiers*, and the ownership interval ``(predecessor,
+    owner]`` contains no live identifier below ``owner``; hence two keys
+    with the same owner take the identical path from the same source.
+
+    The cache is a pure simulator optimization: cached deliveries still
+    report the same ``overlay.routes`` / ``overlay.route_hops`` metrics and
+    the same :class:`RouteResult` paths, so the modelled protocol costs are
+    unchanged.  Any mutation of routing state (join, leave, crash, rename,
+    stabilization repair, finger rebuild) must :meth:`invalidate` the whole
+    memo — the ring's membership methods do this; hit/miss/invalidation
+    counts are published as ``overlay.route_cache.*``.
+    """
+
+    __slots__ = ("maxsize", "_paths")
+
+    def __init__(self, maxsize: int = 262_144) -> None:
+        self.maxsize = maxsize
+        self._paths: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    def get(self, source: int, owner: int) -> tuple[int, ...] | None:
+        return self._paths.get((source, owner))
+
+    def put(self, source: int, owner: int, path: tuple[int, ...]) -> None:
+        if len(self._paths) >= self.maxsize:
+            # Full: drop everything rather than track recency — refills are
+            # cheap relative to the sweep workloads the cache serves.
+            self._paths.clear()
+            reg = obs_metrics.active()
+            if reg is not None:
+                reg.counter("overlay.route_cache.evictions").inc()
+        self._paths[(source, owner)] = path
+
+    def invalidate(self) -> None:
+        if not self._paths:
+            return
+        self._paths.clear()
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("overlay.route_cache.invalidations").inc()
+
+    def __len__(self) -> int:
+        return len(self._paths)
 
 
 class ChordNode:
@@ -74,6 +125,9 @@ class ChordRing(Overlay):
         super().__init__(bits)
         self.nodes: dict[int, ChordNode] = {}
         self._sorted_ids: list[int] = []
+        #: Per-ring route memo (see :class:`RouteCache`); set to ``None`` to
+        #: disable caching entirely (every route re-walks the fingers).
+        self.route_cache: RouteCache | None = RouteCache()
 
     # ------------------------------------------------------------------
     # Construction
@@ -130,6 +184,21 @@ class ChordRing(Overlay):
             return self._sorted_ids[0]
         return self._sorted_ids[pos]
 
+    def owner_many(self, keys) -> np.ndarray:
+        """Vectorized :meth:`owner`: one ``searchsorted`` over the ring.
+
+        Falls back to the scalar loop when the identifier space exceeds
+        int64 (curve geometries beyond 63 index bits).
+        """
+        if not self._sorted_ids:
+            raise EmptyOverlayError("ring has no nodes")
+        if self.space > 2**63:
+            return super().owner_many(keys)
+        arr = np.asarray(list(keys), dtype=np.int64) % self.space
+        node_ids = np.asarray(self._sorted_ids, dtype=np.int64)
+        positions = np.searchsorted(node_ids, arr)
+        return node_ids[positions % len(node_ids)]
+
     def predecessor_id(self, node_id: int) -> int:
         """Identifier of the node preceding ``node_id`` on the ring."""
         self._require(node_id)
@@ -159,9 +228,34 @@ class ChordRing(Overlay):
         Dead fingers (crashed, not yet repaired) are skipped the way a live
         protocol would time them out; the safety cap aborts pathological
         loops that could only arise from heavily corrupted state.
+
+        Repeated routes between the same (source, owner interval) pair are
+        served from :attr:`route_cache` when one is attached: the memoized
+        path is identical to a fresh walk (see :class:`RouteCache`), and the
+        reported route metrics are unchanged — only the walk's CPU cost is
+        skipped.
         """
         self._require(source)
         key %= self.space
+        cache = self.route_cache
+        owner = -1
+        if cache is not None:
+            owner = self.owner(key)
+            cached = cache.get(source, owner)
+            reg = obs_metrics.active()
+            if cached is not None:
+                if reg is not None:
+                    reg.counter("overlay.route_cache.hits").inc()
+                return self._route_done(key, list(cached))
+            if reg is not None:
+                reg.counter("overlay.route_cache.misses").inc()
+        path = self._walk_route(source, key)
+        if cache is not None:
+            cache.put(source, owner, tuple(path))
+        return self._route_done(key, path)
+
+    def _walk_route(self, source: int, key: int) -> list[int]:
+        """The uncached greedy finger walk; returns the hop-by-hop path."""
         path = [source]
         current = self.nodes[source]
         max_hops = _MAX_ROUTE_HOPS_FACTOR * max(self.bits, len(self._sorted_ids).bit_length() + 1)
@@ -171,12 +265,12 @@ class ChordRing(Overlay):
             if current.predecessor in self.nodes and ring_contains_open_closed(
                 key, current.predecessor, current.id, self.space
             ):
-                return self._route_done(key, path)
+                return path
             succ = self._live_successor(current)
             if ring_contains_open_closed(key, current.id, succ, self.space):
                 if succ != path[-1]:
                     path.append(succ)
-                return self._route_done(key, path)
+                return path
             nxt = self._closest_preceding_live_finger(current, key)
             if nxt == current.id:
                 # All fingers useless/stale: fall back to the successor link.
@@ -240,6 +334,7 @@ class ChordRing(Overlay):
         insort(self._sorted_ids, node_id)
         self._refresh_node_state(node)
         cost += self._repair_after_insert(node_id)
+        self._invalidate_routes()
         reg = obs_metrics.active()
         if reg is not None:
             reg.counter("overlay.joins").inc()
@@ -251,6 +346,7 @@ class ChordRing(Overlay):
         cost = self._repair_before_remove(node_id)
         del self.nodes[node_id]
         self._sorted_ids.remove(node_id)
+        self._invalidate_routes()
         reg = obs_metrics.active()
         if reg is not None:
             reg.counter("overlay.leaves").inc()
@@ -288,6 +384,7 @@ class ChordRing(Overlay):
         insort(self._sorted_ids, new_id)
         self._refresh_node_state(node)
         cost += self._repair_after_insert(new_id)
+        self._invalidate_routes()
         return max(cost, 1)
 
     def fail(self, node_id: int) -> None:
@@ -295,6 +392,7 @@ class ChordRing(Overlay):
         self._require(node_id)
         del self.nodes[node_id]
         self._sorted_ids.remove(node_id)
+        self._invalidate_routes()
         reg = obs_metrics.active()
         if reg is not None:
             reg.counter("overlay.failures").inc()
@@ -337,6 +435,10 @@ class ChordRing(Overlay):
         if fresh != node.successor_list:
             node.successor_list = fresh
             cost += 1
+        if cost:
+            # Something was repaired: memoized routes may now take different
+            # (possibly shorter) paths, so the memo is stale.
+            self._invalidate_routes()
         reg = obs_metrics.active()
         if reg is not None:
             reg.counter("overlay.stabilizations").inc()
@@ -360,6 +462,10 @@ class ChordRing(Overlay):
     def _require(self, node_id: int) -> None:
         if node_id not in self.nodes:
             raise NodeNotFoundError(f"node {node_id} not in ring")
+
+    def _invalidate_routes(self) -> None:
+        if self.route_cache is not None:
+            self.route_cache.invalidate()
 
     def _refresh_node_state(self, node: ChordNode) -> None:
         node.successor = self.successor_id(node.id)
@@ -449,3 +555,4 @@ class ChordRing(Overlay):
         """Recompute every node's links from scratch (test/maintenance aid)."""
         for node in self.nodes.values():
             self._refresh_node_state(node)
+        self._invalidate_routes()

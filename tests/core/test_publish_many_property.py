@@ -1,0 +1,81 @@
+"""Property test: ``publish_many`` must place every element exactly where
+per-element ``publish`` calls would — across random node sets, every curve
+family, and the ``pad=`` path (ISSUE satellite: bulk/scalar equivalence)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import KeywordSpace, SquidSystem, WordDimension
+from repro.overlay.chord import ChordRing
+from repro.sfc import CURVES, make_curve
+
+words = st.text(alphabet="abcd", min_size=1, max_size=4)
+
+BITS = 5  # per-dimension order; index space is 2**(2*BITS) = 1024
+
+
+@st.composite
+def publish_scenario(draw):
+    curve_name = draw(st.sampled_from(sorted(CURVES)))
+    node_ids = draw(
+        st.sets(st.integers(min_value=0, max_value=2 ** (2 * BITS) - 1),
+                min_size=1, max_size=12)
+    )
+    keys = draw(st.lists(st.tuples(words, words), min_size=1, max_size=25))
+    return curve_name, sorted(node_ids), keys
+
+
+def _fresh_system(curve_name: str, node_ids: list[int]) -> SquidSystem:
+    space = KeywordSpace([WordDimension("k1"), WordDimension("k2")], bits=BITS)
+    curve = make_curve(curve_name, space.dims, space.bits)
+    ring = ChordRing.build(curve.index_bits, node_ids)
+    return SquidSystem(space, ring, curve=curve, rng=0)
+
+
+def _store_contents(system: SquidSystem) -> dict[int, list[tuple]]:
+    return {
+        node_id: [(e.index, e.key, e.payload) for e in store.all_elements()]
+        for node_id, store in system.stores.items()
+    }
+
+
+@given(publish_scenario())
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_bulk_publish_places_like_scalar_publish(scenario):
+    curve_name, node_ids, keys = scenario
+    scalar = _fresh_system(curve_name, node_ids)
+    bulk = _fresh_system(curve_name, node_ids)
+
+    for i, key in enumerate(keys):
+        scalar.publish(key, payload=i)
+    inserted = bulk.publish_many(keys, payloads=range(len(keys)))
+
+    assert inserted == len(keys)
+    assert _store_contents(bulk) == _store_contents(scalar)
+
+
+@given(publish_scenario())
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_bulk_publish_pad_matches_scalar_pad(scenario):
+    curve_name, node_ids, keys = scenario
+    short_keys = [(k1,) for k1, _ in keys]  # shorter than the space's 2 dims
+    scalar = _fresh_system(curve_name, node_ids)
+    bulk = _fresh_system(curve_name, node_ids)
+
+    for i, key in enumerate(short_keys):
+        scalar.publish(key, payload=i, pad=True)
+    bulk.publish_many(short_keys, payloads=range(len(short_keys)), pad=True)
+
+    assert _store_contents(bulk) == _store_contents(scalar)
+
+
+@given(publish_scenario())
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_owner_many_matches_scalar_owner(scenario):
+    curve_name, node_ids, keys = scenario
+    system = _fresh_system(curve_name, node_ids)
+    indices = [system.index_of(system.space.validate_key(k)) for k in keys]
+    owners = system.overlay.owner_many(indices)
+    assert [int(o) for o in owners] == [system.overlay.owner(i) for i in indices]

@@ -1,0 +1,124 @@
+"""Route-cache exactness: cached routes must equal uncached greedy routing,
+including across churn (joins, graceful leaves, crashes, stabilization).
+ISSUE acceptance criterion: zero stale-route misses after a churn burst."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs import collecting
+from repro.overlay.chord import ChordRing, RouteCache
+
+
+def _uncached_path(ring: ChordRing, source: int, key: int) -> tuple[int, ...]:
+    """The greedy route computed with the cache disabled."""
+    saved = ring.route_cache
+    ring.route_cache = None
+    try:
+        return ring.route(source, key).path
+    finally:
+        ring.route_cache = saved
+
+
+def _assert_routes_exact(ring: ChordRing, keys, sources=None) -> None:
+    """Every cached route equals the uncached one and ends at the owner."""
+    sources = sources if sources is not None else ring.node_ids()
+    for source in sources:
+        for key in keys:
+            cached = ring.route(source, key)
+            assert cached.path == _uncached_path(ring, source, key)
+            assert cached.destination == ring.owner(key)
+
+
+@pytest.fixture
+def ring():
+    return ChordRing.build(10, [3, 97, 205, 330, 471, 512, 640, 777, 880, 1000])
+
+
+def test_cache_unit_behaviour():
+    cache = RouteCache(maxsize=2)
+    assert cache.get(1, 2) is None
+    cache.put(1, 2, (1, 5, 2))
+    assert cache.get(1, 2) == (1, 5, 2)
+    assert len(cache) == 1
+    cache.put(3, 4, (3, 4))
+    cache.put(5, 6, (5, 6))  # exceeds maxsize: cleared, then inserted
+    assert len(cache) == 1
+    assert cache.get(1, 2) is None
+    cache.invalidate()
+    assert len(cache) == 0
+
+
+def test_cached_routes_match_uncached_on_static_ring(ring):
+    keys = list(range(0, 1024, 37))
+    _assert_routes_exact(ring, keys)
+    # Second pass is served from the cache; still identical.
+    assert len(ring.route_cache) > 0
+    _assert_routes_exact(ring, keys)
+
+
+def test_repeat_route_hits_cache(ring):
+    with collecting() as registry:
+        first = ring.route(3, 500)
+        second = ring.route(3, 500)
+    assert first.path == second.path
+    counters = registry.snapshot()["counters"]
+    assert counters["overlay.route_cache.misses"] == 1
+    assert counters["overlay.route_cache.hits"] == 1
+    # Cache hits still report routing traffic, so query stats are unchanged.
+    assert counters["overlay.routes"] == 2
+
+
+def test_keys_sharing_an_owner_share_a_cache_entry(ring):
+    owner = ring.owner(100)
+    keys = [k for k in range(60, 140) if ring.owner(k) == owner]
+    assert len(keys) > 1
+    for key in keys:
+        ring.route(3, key)
+    assert len(ring.route_cache) == 1
+
+
+def test_mutations_invalidate_the_cache(ring):
+    ring.route(3, 500)
+    assert len(ring.route_cache) > 0
+    ring.join(222)
+    assert len(ring.route_cache) == 0
+    ring.route(3, 500)
+    ring.leave(222)
+    assert len(ring.route_cache) == 0
+    ring.route(3, 500)
+    ring.fail(880)
+    assert len(ring.route_cache) == 0
+
+
+def test_zero_stale_routes_after_churn_burst(ring):
+    """A randomized join/leave/crash burst with stabilization interleaved:
+    after every event, cached routes must match uncached greedy routing."""
+    rng = random.Random(9)
+    keys = list(range(0, 1024, 61))
+    _assert_routes_exact(ring, keys)  # warm the cache pre-churn
+    for _ in range(30):
+        action = rng.random()
+        live = ring.node_ids()
+        if action < 0.4 or len(live) < 4:
+            candidate = rng.randrange(1024)
+            if candidate not in live:
+                ring.join(candidate)
+        elif action < 0.7:
+            ring.leave(rng.choice(live))
+        else:
+            ring.fail(rng.choice(live))
+            # Crashes leave stale state; repair as stabilization would.
+            for node in ring.node_ids():
+                ring.stabilize_node(node)
+        _assert_routes_exact(ring, keys, sources=ring.node_ids()[:4])
+    # Full sweep at the end: every source, every key, zero stale routes.
+    _assert_routes_exact(ring, keys)
+
+
+def test_cache_disabled_ring_still_routes(ring):
+    ring.route_cache = None
+    result = ring.route(3, 500)
+    assert result.destination == ring.owner(500)

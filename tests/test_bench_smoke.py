@@ -29,6 +29,11 @@ E2E_KEYS = {
     "engine", "class", "query", "runs", "matches", "baseline_s",
     "optimized_s", "speedup",
 }
+PARALLEL_KEYS = {
+    "queries", "chunk_size", "chunks", "workers", "start_method",
+    "serial_s", "parallel_s", "speedup", "total_matches",
+    "route_cache_hits", "route_cache_misses",
+}
 
 
 @pytest.fixture(scope="module")
@@ -43,9 +48,9 @@ def test_document_envelope(quick_result):
     assert quick_result["schema"] == SCHEMA
     assert quick_result["seed"] == 7
     assert quick_result["quick"] is True
-    assert set(quick_result["suites"]) == {"encode", "refine", "e2e"}
+    assert set(quick_result["suites"]) == {"encode", "refine", "e2e", "parallel"}
     env = quick_result["environment"]
-    assert {"python", "numpy", "platform"} <= set(env)
+    assert {"python", "numpy", "platform", "cpus"} <= set(env)
 
 
 def test_encode_rows(quick_result):
@@ -73,6 +78,19 @@ def test_e2e_rows_cover_engines_and_classes(quick_result):
     for row in rows:
         assert set(row) == E2E_KEYS
         assert row["matches"] > 0  # every class query has seeded matches
+
+
+def test_parallel_rows(quick_result):
+    rows = quick_result["suites"]["parallel"]
+    assert len(rows) == 1
+    row = rows[0]
+    assert set(row) == PARALLEL_KEYS
+    # The suite asserts bit-identical serial/pooled outputs internally;
+    # reaching this row at all means the determinism guards passed.
+    assert row["workers"] >= 2
+    assert row["queries"] > 0 and row["chunks"] > 0
+    assert row["serial_s"] > 0 and row["parallel_s"] > 0
+    assert row["route_cache_hits"] > 0  # repeated owners within the batch
 
 
 def test_summary_shape(quick_result):
