@@ -46,6 +46,7 @@ from repro.keywords import (
     parse_terms,
 )
 from repro.core.hotspots import CachingQueryLayer, HotspotMonitor
+from repro.faults import FaultConfig, FaultPlane, RetryPolicy
 from repro.obs import (
     MetricsRegistry,
     PhaseProfiler,
@@ -94,6 +95,9 @@ __all__ = [
     "StoredElement",
     "VirtualNodeManager",
     "ReplicationManager",
+    "FaultConfig",
+    "FaultPlane",
+    "RetryPolicy",
     "grow_with_join_lb",
     "neighbor_balance_round",
     "run_neighbor_balancing",

@@ -13,6 +13,7 @@ from repro.bench.harness import (
     bench_encode,
     bench_parallel,
     bench_refine,
+    bench_resilience,
     render_summary,
     run_bench,
     write_bench_json,
@@ -24,6 +25,7 @@ __all__ = [
     "bench_refine",
     "bench_e2e",
     "bench_parallel",
+    "bench_resilience",
     "render_summary",
     "run_bench",
     "write_bench_json",

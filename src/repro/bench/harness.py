@@ -23,6 +23,15 @@ Three suites, each deterministic given a seed:
     between the two runs; the row records both wall times, the speedup,
     and the machine's CPU count (speedup is bounded by physical cores —
     on a single-core host the pooled run only adds process overhead).
+``resilience``
+    Execution under an injected fault plane.  First the zero-fault
+    identity guard: an engine carrying an all-zero-rate
+    :class:`~repro.faults.FaultPlane` (plus retry policy and replication
+    manager) must be bit-identical — per-query match payloads, per-query
+    stats dicts, and collected metric snapshots — to a plain engine.
+    Then one row per mitigation (none / retry / retry+replication) at a
+    fixed message-drop rate, recording recall, completeness, and the
+    retry/failover accounting.
 
 Timings use ``time.perf_counter`` best-of-``repeats``; the harness is not a
 statistics package — it exists so a regression (or a win) in the hot path
@@ -54,6 +63,7 @@ __all__ = [
     "bench_refine",
     "bench_e2e",
     "bench_parallel",
+    "bench_resilience",
     "run_bench",
     "write_bench_json",
 ]
@@ -343,6 +353,111 @@ def bench_parallel(
 
 
 # ----------------------------------------------------------------------
+# Suite: resilient execution under an injected fault plane
+# ----------------------------------------------------------------------
+def bench_resilience(seed: int, quick: bool = False) -> list[dict[str, Any]]:
+    """Fault-plane execution: zero-fault identity guard + mitigation rows.
+
+    The identity guard runs the same seeded query batch through a plain
+    :class:`~repro.core.engine.OptimizedEngine` and through one configured
+    with an all-zero-rate fault plane, a retry policy, and a replication
+    manager — the resilience machinery armed but never triggered — and
+    asserts per-query match payloads, per-query stats dicts, and the
+    collected metrics snapshots are identical.  The mitigation rows then
+    raise the message-drop rate and record what each mitigation ladder
+    step buys: recall, completed fraction, retries, failovers, and lost
+    branches, plus wall time per query.
+    """
+    from repro.core.engine import OptimizedEngine
+    from repro.core.replication import ReplicationManager
+    from repro.faults import FaultConfig, FaultPlane, RetryPolicy
+    from repro.obs import metrics as obs_metrics
+
+    n_queries = 8 if quick else 24
+    drop_rate = 0.25
+    system = _build_system(seed, quick, "optimized")
+    queries = _batch_queries(seed * 3 + 1, n_queries)
+    ids = system.overlay.node_ids()
+    expected = [
+        {str(e.payload) for e in system.brute_force_matches(text)} for text in queries
+    ]
+
+    def run_batch(engine):
+        """One seeded pass over the batch; returns outputs + wall time.
+
+        Plan and route caches are reset so every pass starts cold —
+        otherwise the first engine would warm them for the second and the
+        identity guard would flag the hit/miss counters.
+        """
+        from repro.overlay.chord import RouteCache
+
+        rng = np.random.default_rng(seed * 11 + 3)
+        system.plan_cache = PlanCache()
+        system.overlay.route_cache = RouteCache()
+        payloads, stats_dicts, results = [], [], []
+        with obs_metrics.collecting() as registry:
+            t0 = perf_counter()
+            for i, text in enumerate(queries):
+                origin = ids[(seed + i * 5) % len(ids)]
+                res = engine.execute(system, text, origin=origin, rng=rng)
+                payloads.append(sorted(str(e.payload) for e in res.matches))
+                stats_dicts.append(res.stats.as_dict())
+                results.append(res)
+            elapsed = perf_counter() - t0
+            snapshot = registry.snapshot()
+        return payloads, stats_dicts, results, snapshot, elapsed
+
+    plain = OptimizedEngine()
+    armed = OptimizedEngine(
+        fault_plane=FaultPlane(FaultConfig(seed=seed)),
+        retry=RetryPolicy(),
+        replication=ReplicationManager(system, degree=2),
+    )
+    ref_payloads, ref_stats, _, ref_snapshot, _ = run_batch(plain)
+    arm_payloads, arm_stats, _, arm_snapshot, _ = run_batch(armed)
+    if arm_payloads != ref_payloads:  # pragma: no cover - exactness guard
+        raise AssertionError("zero-fault plane changed a query's match set")
+    if arm_stats != ref_stats:  # pragma: no cover - exactness guard
+        raise AssertionError("zero-fault plane changed per-query stats")
+    if json.dumps(arm_snapshot, sort_keys=True) != json.dumps(
+        ref_snapshot, sort_keys=True
+    ):  # pragma: no cover - exactness guard
+        raise AssertionError("zero-fault plane changed the metrics snapshot")
+
+    rows: list[dict[str, Any]] = []
+    for label, retry, degree in (
+        ("none", False, 0),
+        ("retry", True, 0),
+        ("retry+replication", True, 2),
+    ):
+        manager = ReplicationManager(system, degree=degree) if degree else None
+        engine = OptimizedEngine(
+            fault_plane=FaultPlane(FaultConfig(drop_rate=drop_rate, seed=seed + 1)),
+            retry=RetryPolicy() if retry else None,
+            replication=manager,
+        )
+        payloads, _, results, _, elapsed = run_batch(engine)
+        recalls = [
+            len(set(got) & want) / len(want) if want else 1.0
+            for got, want in zip(payloads, expected)
+        ]
+        rows.append(
+            {
+                "fault_rate": drop_rate,
+                "mitigation": label,
+                "queries": n_queries,
+                "recall": sum(recalls) / len(recalls),
+                "complete_fraction": sum(r.complete for r in results) / len(results),
+                "retries": sum(r.stats.retries for r in results),
+                "failovers": sum(r.stats.failovers for r in results),
+                "lost_branches": sum(r.stats.lost_branches for r in results),
+                "per_query_s": elapsed / n_queries,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def run_bench(
@@ -362,6 +477,7 @@ def run_bench(
     refine_rows = bench_refine(seed, quick)
     e2e_rows = bench_e2e(seed, quick)
     parallel_rows = bench_parallel(seed, quick, workers=workers)
+    resilience_rows = bench_resilience(seed, quick)
 
     refine_speedups = [r["speedup"] for r in refine_rows if r["speedup"]]
     e2e_by_class: dict[str, list[float]] = {}
@@ -383,6 +499,7 @@ def run_bench(
             "refine": refine_rows,
             "e2e": e2e_rows,
             "parallel": parallel_rows,
+            "resilience": resilience_rows,
         },
         "summary": {
             "refine_min_speedup": min(refine_speedups) if refine_speedups else None,
@@ -392,6 +509,9 @@ def run_bench(
             },
             "parallel_speedup": parallel_rows[0]["speedup"],
             "parallel_workers": parallel_rows[0]["workers"],
+            "resilience_recall_by_mitigation": {
+                row["mitigation"]: row["recall"] for row in resilience_rows
+            },
         },
     }
 
@@ -428,6 +548,14 @@ def render_summary(result: dict[str, Any]) -> str:
             f"{row['serial_s'] * 1e3:8.2f}ms -> {row['parallel_s'] * 1e3:8.2f}ms "
             f"({row['speedup']:.2f}x on {result['environment']['cpus']} cpu(s), "
             f"{row['route_cache_hits']} route-cache hits)"
+        )
+    lines.append("resilience (mitigations at fixed drop rate, zero-fault guard passed):")
+    for row in result["suites"]["resilience"]:
+        lines.append(
+            f"  drop={row['fault_rate']} {row['mitigation']:18s} "
+            f"recall={row['recall']:.3f} complete={row['complete_fraction']:.2f} "
+            f"retries={row['retries']} failovers={row['failovers']} "
+            f"lost={row['lost_branches']} ({row['per_query_s'] * 1e3:.2f}ms/query)"
         )
     summary = result["summary"]
     lines.append(

@@ -16,8 +16,13 @@ Commands
 ``bench [--quick] [--seed N] [--workers N] [--output PATH]``
     Run the seeded query-hot-path benchmark suites (encode throughput,
     refinement kernel scalar vs. vectorized, end-to-end latency by query
-    class, parallel batch execution) and write the versioned JSON document
-    (default ``BENCH_query_path.json``).
+    class, parallel batch execution, resilient execution under faults) and
+    write the versioned JSON document (default ``BENCH_query_path.json``).
+``chaos [--drop-rate R] [--crash-rate R] [--mitigation M] [--assert-complete]``
+    Run seeded queries through an injected fault plane and print recall,
+    completeness, and retry/failover accounting.  ``--assert-complete``
+    exits non-zero unless recall is 1.0 and every result is complete —
+    the CI chaos smoke test.
 
 ``run`` and ``report`` accept ``--profile`` to time the hot SFC/engine
 phases and print the per-phase table after the run.  ``run``, ``report``,
@@ -96,6 +101,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_workers_flag(bench_p)
 
+    chaos_p = sub.add_parser(
+        "chaos", help="run seeded queries under an injected fault plane"
+    )
+    chaos_p.add_argument("--nodes", type=int, default=48)
+    chaos_p.add_argument("--docs", type=int, default=400)
+    chaos_p.add_argument("--queries", type=int, default=8)
+    chaos_p.add_argument("--seed", type=int, default=7)
+    chaos_p.add_argument("--drop-rate", type=float, default=0.25)
+    chaos_p.add_argument("--crash-rate", type=float, default=0.0)
+    chaos_p.add_argument("--duplicate-rate", type=float, default=0.0)
+    chaos_p.add_argument("--delay-rate", type=float, default=0.0)
+    chaos_p.add_argument(
+        "--mitigation",
+        default="retry+replication",
+        choices=["none", "retry", "retry+replication"],
+    )
+    chaos_p.add_argument(
+        "--degree", type=int, default=2, help="replication degree"
+    )
+    chaos_p.add_argument(
+        "--assert-complete",
+        action="store_true",
+        help="exit 1 unless recall is 1.0 and every result is complete",
+    )
+
     args = parser.parse_args(argv)
 
     if getattr(args, "workers", None) is not None:
@@ -117,6 +147,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -244,6 +276,94 @@ def _cmd_trace(args) -> int:
     print()
     print("metrics:")
     print(registry.to_text())
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    import numpy as np
+
+    from repro.core.engine import OptimizedEngine
+    from repro.core.replication import ReplicationManager
+    from repro.core.system import SquidSystem
+    from repro.faults import FaultConfig, FaultPlane, RetryPolicy
+    from repro.obs import collecting
+    from repro.workloads.documents import DocumentWorkload
+    from repro.workloads.queries import q1_queries
+
+    gen = np.random.default_rng(args.seed)
+    workload = DocumentWorkload.generate(2, args.docs, rng=gen)
+    system = SquidSystem.create(
+        workload.space, n_nodes=args.nodes, seed=args.seed + 1
+    )
+    system.publish_many(workload.keys)
+    manager = (
+        ReplicationManager(system, degree=args.degree)
+        if args.mitigation == "retry+replication"
+        else None
+    )
+    plane = FaultPlane(
+        FaultConfig(
+            drop_rate=args.drop_rate,
+            crash_rate=args.crash_rate,
+            duplicate_rate=args.duplicate_rate,
+            delay_rate=args.delay_rate,
+            seed=args.seed + 2,
+        )
+    )
+    plane.attach_system(system, replication=manager)
+    engine = OptimizedEngine(
+        fault_plane=plane,
+        retry=RetryPolicy() if args.mitigation != "none" else None,
+        replication=manager,
+    )
+
+    queries = [str(q) for q in q1_queries(workload, count=args.queries, rng=args.seed + 3)]
+    ids = system.overlay.node_ids()
+    recalls = []
+    completes = []
+    with collecting() as registry:
+        for query in queries:
+            want = {id(e) for e in system.brute_force_matches(query)}
+            origin = ids[int(gen.integers(0, len(ids)))]
+            res = engine.execute(system, query, origin=origin, rng=gen)
+            got = {id(e) for e in res.matches}
+            recall = len(got & want) / len(want) if want else 1.0
+            recalls.append(recall)
+            completes.append(res.complete)
+            unresolved = (
+                f" unresolved={len(res.unresolved_ranges)}r/{res.unresolved_span}i"
+                if res.unresolved_ranges
+                else ""
+            )
+            print(
+                f"{query:28s} recall={recall:.3f} complete={res.complete} "
+                f"msgs={res.stats.messages} retries={res.stats.retries} "
+                f"failovers={res.stats.failovers}"
+                f"{unresolved}"
+            )
+    mean_recall = sum(recalls) / len(recalls)
+    all_complete = all(completes)
+    fs = plane.stats
+    print(
+        f"\nmitigation={args.mitigation} drop={args.drop_rate} "
+        f"crash={args.crash_rate}: mean recall {mean_recall:.3f}, "
+        f"{sum(completes)}/{len(completes)} complete"
+    )
+    print(
+        f"fault plane: {fs.messages} transmissions, {fs.dropped} dropped, "
+        f"{fs.crashed} crashed, {fs.duplicated} duplicated, {fs.delayed} delayed"
+    )
+    faults_metrics = {
+        name: value
+        for name, value in sorted(registry.snapshot()["counters"].items())
+        if name.startswith(("faults.", "query.retries", "query.failovers",
+                            "query.lost_branches"))
+    }
+    if faults_metrics:
+        print("metrics: " + ", ".join(f"{k}={v}" for k, v in faults_metrics.items()))
+    if args.assert_complete and not (mean_recall == 1.0 and all_complete):
+        print("FAIL: expected recall 1.0 with every result complete")
+        return 1
     return 0
 
 

@@ -16,20 +16,22 @@ Mitigations layered on the standard DHT defenses:
   restores: the successor scans its replica store for the dropped peer's
   share of the cluster.
 
-:class:`AdversarialEngine` implements the threat and both mitigations;
-``run_attack_experiment`` measures recall vs. dropper fraction for each
-configuration (extension experiment ``extE``).
+:class:`AdversarialEngine` expresses the threat as a droppers-only
+:class:`~repro.faults.FaultPlane` and both mitigations as a single-attempt
+:class:`~repro.faults.RetryPolicy` with failover — the generic resilient
+delivery of :class:`~repro.core.engine.OptimizedEngine` does the rest, so
+the adversarial path shares one retry/failover implementation with the
+probabilistic fault experiments.  ``run_attack_experiment`` measures recall
+vs. dropper fraction for each configuration (extension experiment ``extE``).
 """
 
 from __future__ import annotations
 
-from collections import deque
-
-from repro.core.engine import OptimizedEngine, _clip_ranges
+from repro.core.engine import OptimizedEngine
 from repro.core.metrics import QueryResult, QueryStats
 from repro.core.replication import ReplicationManager
 from repro.errors import EngineError
-from repro.sfc.clusters import refine_cluster, root_cluster
+from repro.faults import FaultPlane, RetryPolicy
 from repro.util.rng import RandomLike, as_generator
 
 __all__ = ["AdversarialEngine", "run_attack_experiment"]
@@ -43,6 +45,12 @@ class AdversarialEngine(OptimizedEngine):
     sub-query to the dropper's successor; with a ``replication`` manager
     attached, that successor additionally serves the dropper's data from
     its replica store.
+
+    Aggregation is disabled because the probe/reply handshake is what
+    detects droppers — each destination group costs its probe regardless.
+    The adversarial retry is a single attempt with failover and no jitter
+    (droppers never respond, so retransmitting to them is pointless and the
+    schedule stays deterministic).
     """
 
     name = "adversarial"
@@ -54,10 +62,19 @@ class AdversarialEngine(OptimizedEngine):
         replication: ReplicationManager | None = None,
         **kwargs,
     ) -> None:
-        super().__init__(**kwargs)
-        self.droppers = set(droppers)
-        self.retry = retry
-        self.replication = replication
+        kwargs.setdefault("aggregate", False)
+        policy = (
+            RetryPolicy(max_attempts=1, budget=4, failover=True, max_jitter=0.0)
+            if retry
+            else None
+        )
+        super().__init__(
+            fault_plane=FaultPlane(droppers=droppers),
+            retry=policy,
+            replication=replication,
+            **kwargs,
+        )
+        self.droppers = self.fault_plane.droppers
 
     def execute(
         self,
@@ -68,108 +85,20 @@ class AdversarialEngine(OptimizedEngine):
         limit: int | None = None,
     ) -> QueryResult:
         """Resolve ``query`` in the presence of droppers (see class docstring)."""
-        q = system.space.as_query(query)
-        region = system.space.region(q)
-        curve = system.curve
-        overlay = system.overlay
-        stats = QueryStats()
-        matches: list = []
-
         origin_id = self._pick_origin(system, origin, rng)
         if origin_id in self.droppers:
-            # A malicious origin returns nothing at all.
+            # A malicious origin returns nothing at all: the entire index
+            # space goes unresolved.
+            q = system.space.as_query(query)
+            stats = QueryStats()
             stats.record_processing(origin_id, 0)
-            return QueryResult(q, [], stats)
-        root = root_cluster(curve, region)
-        if root is None:  # pragma: no cover - regions never empty
-            return QueryResult(q, [], stats)
-
-        stats.record_processing(origin_id, 0)
-        first = self._refine_locally(curve, root, region, min_index=0)
-        # Work entries: (processing_node, cluster, arrival_key, covered_up_to,
-        # replica_of).  ``covered_up_to`` is the identifier whose key range
-        # this visit resolves: the node's own id normally, or the dropped
-        # peer's id on a retry visit (served from replicas) — pruning and
-        # continuation use the *covered* range, not the processor's identity.
-        work: deque = deque()
-        self._adversarial_dispatch(system, stats, origin_id, first, work, floor=0)
-
-        while work:
-            node_id, cluster, arrival_key, covered, replica_of = work.popleft()
-            stats.record_processing(node_id, cluster.level)
-            window_high = covered if arrival_key <= covered else curve.size - 1
-            ranges = _clip_ranges(
-                cluster.iter_index_ranges(curve), arrival_key, window_high
+            full_space = (0, system.curve.size - 1)
+            return QueryResult(
+                q, [], stats, complete=False, unresolved_ranges=(full_space,)
             )
-            found = list(self._scan_cluster(system, node_id, ranges, q))
-            if replica_of is not None and self.replication is not None:
-                found.extend(self._scan_replicas(system, node_id, ranges, q))
-            if found:
-                matches.extend(found)
-                stats.record_data_node(node_id)
-
-            cluster_max = cluster.max_index(curve)
-            if cluster_max <= covered:
-                continue
-            # `covered` is a live identifier (the processor's, or the live-
-            # but-malicious dropper's); its predecessor bounds the range.
-            pred_of_covered = overlay.predecessor_id(covered)
-            if pred_of_covered == covered:
-                continue  # single node: owns everything
-            if pred_of_covered > covered and arrival_key > pred_of_covered:
-                continue  # wrapped range: the tail segment is fully covered
-            remainder = self._refine_locally(
-                curve, cluster, region, min_index=covered + 1
-            )
-            self._adversarial_dispatch(
-                system, stats, node_id, remainder, work, floor=covered + 1
-            )
-        return QueryResult(q, matches, stats)
-
-    # ------------------------------------------------------------------
-    def _scan_replicas(self, system, node_id: int, ranges, q) -> list:
-        """Serve a dropped predecessor's share from the replica store."""
-        store = self.replication.replicas.get(node_id)
-        if store is None:
-            return []
-        found = []
-        for low, high in ranges:
-            for element in store.scan_range(low, high):
-                if system.space.matches(element.key, q):
-                    found.append(element)
-        return found
-
-    def _adversarial_dispatch(
-        self, system, stats, sender_id, clusters, work, floor
-    ) -> None:
-        """Dispatch with drop/timeout/retry semantics (no aggregation —
-        the probe/reply handshake is what detects droppers, so each group
-        costs its probe regardless)."""
-        if not clusters:
-            return
-        curve = system.curve
-        overlay = system.overlay
-        for cluster in sorted(clusters, key=lambda c: c.min_index(curve)):
-            key = max(cluster.min_index(curve), floor)
-            dest = overlay.owner(key)
-            if dest != sender_id:
-                route = overlay.route(sender_id, key)
-                stats.record_path(route.path)
-            if dest in self.droppers:
-                if not self.retry:
-                    continue  # silently swallowed: the branch dies here
-                # Timeout detected; resend to the dropper's successor, which
-                # covers the dropper's key range from replicas.  The visit's
-                # coverage is the *dropper's* range; the backup's own share
-                # of the cluster follows via the normal continuation.
-                backup = overlay.successor_id(dest)
-                if backup in self.droppers or backup == dest:
-                    continue  # two droppers in a row defeat single retry
-                stats.record_direct()  # the retry message
-                stats.routing_nodes.add(backup)
-                work.append((backup, cluster, key, dest, dest))
-            else:
-                work.append((dest, cluster, key, dest, None))
+        return super().execute(
+            system, query, origin=origin_id, rng=rng, limit=limit
+        )
 
 
 def run_attack_experiment(

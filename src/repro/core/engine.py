@@ -39,13 +39,14 @@ from collections import deque
 from time import perf_counter
 from typing import TYPE_CHECKING
 
-from repro.core.metrics import QueryResult, QueryStats
+from repro.core.metrics import QueryResult, QueryStats, merge_index_ranges
 from repro.core.plancache import plan_key
 from repro.errors import EngineError
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
 from repro.obs.trace import (
     Aggregated,
+    BranchLost,
     ClusterRefined,
     LocalScan,
     MessageSent,
@@ -57,7 +58,9 @@ from repro.sfc.clusters import Cluster, refine_cluster, resolve_clusters, root_c
 from repro.util.rng import RandomLike, as_generator
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.replication import ReplicationManager
     from repro.core.system import SquidSystem
+    from repro.faults import FaultPlane, RetryPolicy
 
 __all__ = ["QueryEngine", "NaiveEngine", "OptimizedEngine", "make_engine"]
 
@@ -74,6 +77,15 @@ def _report_query_metrics(engine_name: str, stats: QueryStats) -> None:
     reg.histogram("query.messages").observe(stats.messages)
     reg.histogram("query.hops").observe(stats.hops)
     reg.histogram("query.processing_nodes").observe(stats.processing_node_count)
+    # Resilience counters appear only once a fault actually bit: fault-free
+    # runs (and inert fault planes) leave the registry byte-identical to a
+    # plain engine's, which the zero-fault identity tests rely on.
+    if stats.retries:
+        reg.counter("query.retries.total").inc(stats.retries)
+    if stats.failovers:
+        reg.counter("query.failovers.total").inc(stats.failovers)
+    if stats.lost_branches:
+        reg.counter("query.lost_branches.total").inc(stats.lost_branches)
 
 
 def _clip_ranges(ranges, low: int, high: int):
@@ -170,6 +182,9 @@ class OptimizedEngine(QueryEngine):
         local_depth: int = 1,
         latency_model=None,
         processing_delay: float = 0.0,
+        fault_plane: "FaultPlane | None" = None,
+        retry: "RetryPolicy | None" = None,
+        replication: "ReplicationManager | None" = None,
     ) -> None:
         #: When False, each sub-cluster travels as its own routed message
         #: (disables the paper's second optimization; used by the ablation).
@@ -188,6 +203,20 @@ class OptimizedEngine(QueryEngine):
         self.latency_model = latency_model
         #: Per-node local processing time charged before dispatching.
         self.processing_delay = float(processing_delay)
+        #: Optional :class:`~repro.faults.FaultPlane` every dispatched
+        #: message passes through.  ``None`` — or an *inert* plane (all
+        #: rates zero, no droppers) — leaves execution bit-identical to the
+        #: plain engine: the fault-aware code paths are never entered.
+        self.fault_plane = fault_plane
+        #: Optional :class:`~repro.faults.RetryPolicy` governing timeouts,
+        #: retransmissions, and successor failover when the plane swallows
+        #: a message.  Without one, faulted branches are simply recorded as
+        #: lost (``QueryResult.unresolved_ranges``).
+        self.retry = retry
+        #: Optional :class:`~repro.core.replication.ReplicationManager`;
+        #: failover targets serve the unreachable peer's share of a cluster
+        #: from its replica store, restoring full recall.
+        self.replication = replication
 
     def execute(
         self,
@@ -209,6 +238,16 @@ class OptimizedEngine(QueryEngine):
         matches: list = []
 
         origin_id = self._pick_origin(system, origin, rng)
+        # The fault plane is consulted only when it can actually do
+        # something; an absent or inert plane leaves the execution on the
+        # exact code path of the plain engine (bit-identical results, stats,
+        # metrics, and RNG consumption).
+        plane = self.fault_plane
+        if plane is not None and not plane.active:
+            plane = None
+        if plane is not None:
+            plane.begin_query(origin_id)
+        unresolved: list[tuple[int, int]] = []
         tracer = getattr(system, "tracer", None)
         trace: QueryTrace | None = (
             tracer.begin(str(q), origin_id) if tracer is not None else None
@@ -240,26 +279,72 @@ class OptimizedEngine(QueryEngine):
         if trace is not None:
             trace.emit(root_span, ClusterRefined(origin_id, 0, len(first)))
 
-        work: deque[tuple[int, Cluster, int, float, int]] = deque()
+        # Work entries: (processing_node, cluster, arrival_key, arrival_time,
+        # span, covered, replica_of, sender).  ``covered`` is the identifier
+        # whose key range this visit resolves — the processor's own id
+        # normally, or the unreachable peer's id on a failover visit (served
+        # from replicas); pruning and continuation use the *covered* range.
+        # ``sender`` allows redelivery when the processor crashes while the
+        # entry is still queued.
+        work: deque[tuple[int, Cluster, int, float, int, int, int | None, int]] = (
+            deque()
+        )
         self._dispatch(
             system, stats, origin_id, first, work, floor=0, now=0.0,
-            trace=trace, parent_span=root_span,
+            trace=trace, parent_span=root_span, plane=plane, unresolved=unresolved,
         )
 
         while work:
-            node_id, cluster, arrival_key, arrival_time, span = work.popleft()
+            (node_id, cluster, arrival_key, arrival_time, span,
+             covered, replica_of, sender_id) = work.popleft()
+            if plane is not None and node_id not in overlay.nodes:
+                # The processor crashed (a fault on some other branch) after
+                # this sub-query was sent but before it was handled.  The
+                # sender times out and re-routes to whoever owns the key now;
+                # without a retry policy the branch is simply lost.
+                src = sender_id if sender_id in overlay.nodes else origin_id
+                delivery = (
+                    self._deliver_resilient(
+                        system, stats, src, node_id, arrival_key,
+                        trace, span, charge_route=True,
+                    )
+                    if self.retry is not None
+                    else None
+                )
+                if delivery is None:
+                    self._record_lost(
+                        curve, cluster, arrival_key, unresolved, stats,
+                        trace, span, node_id,
+                    )
+                    continue
+                node_id, covered, replica_of, penalty = delivery
+                arrival_time += penalty
+                if trace is not None:
+                    trace.reassign(span, node_id)
             stats.record_processing(node_id, cluster.level)
-            done_time = self._account_time(stats, origin_id, node_id, arrival_time)
+            done_time = self._account_time(
+                stats, origin_id, node_id, arrival_time, plane
+            )
             # The node searches the slice of the cluster it is responsible
-            # for on this arrival: up to its own identifier, or to the end of
-            # the index space when the delivery wrapped around the ring (a
-            # first-node visit for the tail segment).  Windowing keeps the
-            # chain's scans disjoint even when it wraps past index 0.
-            window_high = node_id if arrival_key <= node_id else curve.size - 1
+            # for on this arrival: up to the covered identifier, or to the
+            # end of the index space when the delivery wrapped around the
+            # ring (a first-node visit for the tail segment).  Windowing
+            # keeps the chain's scans disjoint even when it wraps past 0.
+            window_high = covered if arrival_key <= covered else curve.size - 1
             ranges = _clip_ranges(
                 cluster.iter_index_ranges(curve), arrival_key, window_high
             )
             found = self._scan_cluster(system, node_id, ranges, q)
+            if replica_of is not None:
+                # Failover visit: this node stands in for an unreachable
+                # peer.  Its replica store restores the peer's share of the
+                # data; without replication that share is truthfully
+                # reported as unresolved (the fan-out continues regardless).
+                served, ok = self._scan_replicas(system, node_id, ranges, q)
+                if ok:
+                    found = found + served
+                elif ranges:
+                    unresolved.extend(ranges)
             if trace is not None:
                 trace.emit(span, LocalScan(node_id, len(ranges), len(found)))
             if found:
@@ -275,25 +360,31 @@ class OptimizedEngine(QueryEngine):
                     stats.aborted_in_flight = len(work)
                     break
 
-            # Pruning: the branch terminates when this node owns the whole
-            # remaining index range of the cluster.  Linearly that means the
-            # cluster's last index precedes the node's identifier; at the
-            # ring's wrap point (a node owning (pred, 2^m) ∪ [0, id]) it
-            # means the cluster's remaining part started beyond the
-            # predecessor, since linear indices never wrap.
+            # Pruning: the branch terminates when the covered node owns the
+            # whole remaining index range of the cluster.  Linearly that
+            # means the cluster's last index precedes the covered
+            # identifier; at the ring's wrap point (a node owning
+            # (pred, 2^m) ∪ [0, id]) it means the cluster's remaining part
+            # started beyond the predecessor, since linear indices never
+            # wrap.
             cluster_max = cluster.max_index(curve)
-            node = overlay.nodes[node_id]
+            if covered == node_id:
+                pred = overlay.nodes[node_id].predecessor
+            else:
+                # Failover visit: `covered` is the unreachable-but-live
+                # peer's identifier; ask the ring for its predecessor.
+                pred = overlay.predecessor_id(covered)
             if (
-                cluster_max <= node_id
-                or node.predecessor == node_id  # single node: owns everything
-                or (node.predecessor > node_id and arrival_key > node.predecessor)
+                cluster_max <= covered
+                or pred == covered  # single node: owns everything
+                or (pred > covered and arrival_key > pred)
             ):
                 stats.record_pruned()
                 if trace is not None:
                     trace.emit(span, Pruned(node_id, cluster.level, "owned"))
                 continue
             remainder = self._refine_locally(
-                curve, cluster, region, min_index=node_id + 1
+                curve, cluster, region, min_index=covered + 1
             )
             if trace is not None:
                 trace.emit(
@@ -306,30 +397,48 @@ class OptimizedEngine(QueryEngine):
                 if trace is not None:
                     trace.emit(span, Pruned(node_id, cluster.level, "empty"))
                 continue
+            delay = self.processing_delay
+            if plane is not None and delay:
+                delay *= plane.slow_factor(node_id)
             self._dispatch(
                 system,
                 stats,
                 node_id,
                 remainder,
                 work,
-                floor=node_id + 1,
-                now=arrival_time + self.processing_delay,
+                floor=covered + 1,
+                now=arrival_time + delay,
                 trace=trace,
                 parent_span=span,
+                plane=plane,
+                unresolved=unresolved,
             )
 
         _report_query_metrics(self.name, stats)
-        return QueryResult(q, matches, stats, trace)
+        resolved_gaps = merge_index_ranges(unresolved)
+        return QueryResult(
+            q, matches, stats, trace,
+            complete=not resolved_gaps,
+            unresolved_ranges=resolved_gaps,
+        )
 
     def _account_time(
-        self, stats: QueryStats, origin_id: int, node_id: int, arrival_time: float
+        self,
+        stats: QueryStats,
+        origin_id: int,
+        node_id: int,
+        arrival_time: float,
+        plane: "FaultPlane | None" = None,
     ) -> float:
         """Completion time of this processing event, results back at origin."""
         if self.latency_model is None:
             return 0.0
+        delay = self.processing_delay
+        if plane is not None and delay:
+            delay *= plane.slow_factor(node_id)
         done = (
             arrival_time
-            + self.processing_delay
+            + delay
             + self.latency_model.latency(node_id, origin_id)
         )
         stats.record_completion(done)
@@ -361,6 +470,8 @@ class OptimizedEngine(QueryEngine):
         now: float,
         trace: QueryTrace | None = None,
         parent_span: int = 0,
+        plane: "FaultPlane | None" = None,
+        unresolved: list | None = None,
     ) -> None:
         """Send sub-clusters toward their owners, optionally aggregated.
 
@@ -379,6 +490,11 @@ class OptimizedEngine(QueryEngine):
         ``parent_span``; the probe/reply/batch messages are recorded on the
         spans that own them (probe on the first receiving span, reply and
         batch on the sender's span).
+
+        With an active fault ``plane``, each physical message instead goes
+        through :meth:`_deliver_resilient` (retry/backoff/failover per the
+        engine's policy) and branches that stay undeliverable are recorded
+        in ``unresolved``.
         """
         if not clusters:
             return
@@ -409,7 +525,20 @@ class OptimizedEngine(QueryEngine):
                 for cluster in group:
                     work.append(
                         (dest, cluster, route_key(cluster), now,
-                         child_span(dest, cluster))
+                         child_span(dest, cluster), dest, None, sender_id)
+                    )
+                continue
+            if plane is not None:
+                if self.aggregate:
+                    self._dispatch_group_resilient(
+                        system, stats, sender_id, dest, first_key, group,
+                        work, route_key, now, multiple, trace, parent_span,
+                        unresolved,
+                    )
+                else:
+                    self._dispatch_singles_resilient(
+                        system, stats, sender_id, dest, group, work,
+                        route_key, now, trace, parent_span, unresolved,
                     )
                 continue
             if self.aggregate:
@@ -435,7 +564,10 @@ class OptimizedEngine(QueryEngine):
                                 hops=len(probe.path) - 1, path=probe.path,
                             ),
                         )
-                    work.append((dest, cluster, route_key(cluster), arrival, span))
+                    work.append(
+                        (dest, cluster, route_key(cluster), arrival, span,
+                         dest, None, sender_id)
+                    )
                 if trace is not None:
                     if multiple:
                         trace.emit(
@@ -465,8 +597,330 @@ class OptimizedEngine(QueryEngine):
                         )
                     work.append(
                         (dest, cluster, route_key(cluster),
-                         now + self._path_latency(route.path), span)
+                         now + self._path_latency(route.path), span,
+                         dest, None, sender_id)
                     )
+
+    # ------------------------------------------------------------------
+    # Resilient delivery (active fault plane only)
+    # ------------------------------------------------------------------
+    def _dispatch_group_resilient(
+        self, system, stats, sender_id, dest, first_key, group, work,
+        route_key, now, multiple, trace, parent_span, unresolved,
+    ) -> None:
+        """Aggregated dispatch of one destination group through the plane.
+
+        The probe is routed and charged exactly like the plain path, then
+        pushed through :meth:`_deliver_resilient`; when it cannot be
+        delivered at all, every cluster of the group is recorded as lost.
+        The sibling batch is its own physical message — it can be faulted
+        independently, but never fails over (the probe/reply handshake
+        already fixed its destination).
+        """
+        curve = system.curve
+        overlay = system.overlay
+        probe = overlay.route(sender_id, first_key)
+        stats.record_path(probe.path)
+        probe_hops = len(probe.path) - 1
+        delivery = self._deliver_resilient(
+            system, stats, sender_id, dest, first_key, trace, parent_span
+        )
+        if delivery is None:
+            for i, cluster in enumerate(group):
+                span = (
+                    trace.new_span(parent_span, dest, cluster.level)
+                    if trace is not None else 0
+                )
+                if trace is not None and i == 0:
+                    trace.emit(
+                        span,
+                        MessageSent(sender_id, dest, "probe",
+                                    hops=probe_hops, path=probe.path),
+                    )
+                self._record_lost(
+                    curve, cluster, route_key(cluster), unresolved, stats,
+                    trace, span, dest,
+                )
+            return
+        processor, covered, replica_of, penalty = delivery
+        probe_arrival = now + self._path_latency(probe.path) + penalty
+        if multiple:
+            stats.record_direct()  # identity reply enabling aggregation
+        batch = None
+        batch_penalty = 0.0
+        if len(group) > 1:
+            stats.record_direct()  # batched siblings, sent directly
+            stats.record_aggregated_batch()
+            batch = self._deliver_resilient(
+                system, stats, sender_id, processor, first_key, trace,
+                parent_span, allow_failover=False,
+            )
+            if batch is not None:
+                batch_penalty = batch[3]
+        batch_arrival = (
+            probe_arrival
+            + 2 * self._pair_latency(sender_id, processor)
+            + batch_penalty
+        )
+        for i, cluster in enumerate(group):
+            # Siblings ride the batch message, which is faulted independently
+            # of the probe: when the destination crashed mid-batch the
+            # redelivery re-resolved to a new owner, and the sibling spans
+            # must point at the node that will actually process them.
+            span_node = processor if i == 0 or batch is None else batch[0]
+            span = (
+                trace.new_span(parent_span, span_node, cluster.level)
+                if trace is not None else 0
+            )
+            if trace is not None and i == 0:
+                trace.emit(
+                    span,
+                    MessageSent(sender_id, dest, "probe",
+                                hops=probe_hops, path=probe.path),
+                )
+            if i == 0:
+                work.append(
+                    (processor, cluster, route_key(cluster), probe_arrival,
+                     span, covered, replica_of, sender_id)
+                )
+            elif batch is None:
+                self._record_lost(
+                    curve, cluster, route_key(cluster), unresolved, stats,
+                    trace, span, processor,
+                )
+            else:
+                work.append(
+                    (batch[0], cluster, route_key(cluster), batch_arrival,
+                     span, batch[1], batch[2], sender_id)
+                )
+        if trace is not None:
+            if multiple:
+                trace.emit(
+                    parent_span, MessageSent(processor, sender_id, "reply", hops=1)
+                )
+            if len(group) > 1:
+                trace.emit(
+                    parent_span, MessageSent(sender_id, processor, "batch", hops=1)
+                )
+                trace.emit(
+                    parent_span, Aggregated(sender_id, processor, len(group))
+                )
+
+    def _dispatch_singles_resilient(
+        self, system, stats, sender_id, dest, group, work, route_key, now,
+        trace, parent_span, unresolved,
+    ) -> None:
+        """Unaggregated dispatch through the plane: one routed message per
+        cluster, each retried/failed-over independently."""
+        curve = system.curve
+        overlay = system.overlay
+        for cluster in group:
+            key = route_key(cluster)
+            route = overlay.route(sender_id, key)
+            stats.record_path(route.path)
+            delivery = self._deliver_resilient(
+                system, stats, sender_id, dest, key, trace, parent_span
+            )
+            span_node = dest if delivery is None else delivery[0]
+            span = (
+                trace.new_span(parent_span, span_node, cluster.level)
+                if trace is not None else 0
+            )
+            if trace is not None:
+                trace.emit(
+                    span,
+                    MessageSent(sender_id, dest, "routed",
+                                hops=len(route.path) - 1, path=route.path),
+                )
+            if delivery is None:
+                self._record_lost(
+                    curve, cluster, key, unresolved, stats, trace, span, dest
+                )
+                continue
+            processor, covered, replica_of, penalty = delivery
+            work.append(
+                (processor, cluster, key,
+                 now + self._path_latency(route.path) + penalty, span,
+                 covered, replica_of, sender_id)
+            )
+
+    def _deliver_resilient(
+        self,
+        system: "SquidSystem",
+        stats: QueryStats,
+        sender_id: int,
+        dest: int,
+        key: int,
+        trace: QueryTrace | None,
+        span: int,
+        allow_failover: bool = True,
+        charge_route: bool = False,
+    ) -> tuple[int, int, int | None, float] | None:
+        """Push one physical message through the fault plane, fighting back
+        per the retry policy.
+
+        Returns ``(processor, covered, replica_of, time_penalty)`` on
+        delivery — ``covered`` being the identifier whose range the visit
+        resolves and ``replica_of`` its id when the processor is a failover
+        stand-in — or ``None`` when the message is definitively lost.
+
+        The *first* transmission must already be charged by the caller (the
+        routed probe or the direct batch); retries, failovers, and crash
+        re-routes are charged here.  With ``charge_route`` the message
+        starts from a timed-out crashed destination: the sender re-resolves
+        the owner and the (charged) re-route happens here too.
+        """
+        plane = self.fault_plane
+        policy = self.retry
+        overlay = system.overlay
+        penalty = 0.0
+        total = 0
+        if charge_route:
+            if policy is None:
+                return None
+            penalty += policy.wait_for(1, plane.rng)
+            dest = overlay.owner(key)
+            if dest == sender_id:
+                # The sender itself owns the key now: local hand-off.
+                return (dest, dest, None, penalty)
+            route = overlay.route(sender_id, key)
+            stats.record_path(route.path)
+            stats.record_retry()
+            penalty += self._path_latency(route.path)
+            if trace is not None:
+                trace.emit(
+                    span,
+                    MessageSent(sender_id, dest, "retry",
+                                hops=len(route.path) - 1, path=route.path),
+                )
+        primary = dest
+        current = dest
+        attempts = 0
+        budget = policy.budget if policy is not None else 1
+        while True:
+            total += 1
+            attempts += 1
+            outcome = plane.transmit(sender_id, current)
+            if outcome.crashed:
+                # The destination died mid-delivery, taking the message with
+                # it.  Time out, then route to whoever owns the key now
+                # (with replication, the successor promoted the data).
+                stats.record_dropped()
+                if policy is None or total >= budget:
+                    return None
+                penalty += policy.wait_for(attempts, plane.rng)
+                if current == primary:
+                    primary = overlay.owner(key)
+                    nxt = primary
+                elif primary in overlay.nodes:
+                    # A failover stand-in died while the primary is still
+                    # unreachable-but-alive: try the next ring successor.
+                    nxt = overlay.successor_id(primary)
+                    if nxt == primary:
+                        return None
+                else:  # pragma: no cover - defensive
+                    primary = overlay.owner(key)
+                    nxt = primary
+                if nxt == sender_id:
+                    return (nxt, primary, None if nxt == primary else primary,
+                            penalty)
+                route = overlay.route(sender_id, nxt)
+                stats.record_path(route.path)
+                stats.record_retry()
+                penalty += self._path_latency(route.path)
+                if trace is not None:
+                    trace.emit(
+                        span,
+                        MessageSent(sender_id, nxt, "retry",
+                                    hops=len(route.path) - 1, path=route.path),
+                    )
+                current = nxt
+                attempts = 0
+                continue
+            if outcome.dropped:
+                stats.record_dropped()
+                if policy is None or total >= budget:
+                    return None
+                penalty += policy.wait_for(attempts, plane.rng)
+                if attempts < policy.max_attempts and not plane.always_drops(
+                    current
+                ):
+                    # Retransmit to the same destination after backoff.
+                    stats.record_retry()
+                    stats.record_direct()
+                    if trace is not None:
+                        trace.emit(
+                            span,
+                            MessageSent(sender_id, current, "retry", hops=1),
+                        )
+                    continue
+                if not (allow_failover and policy.failover):
+                    return None
+                backup = overlay.successor_id(current)
+                if backup == current or plane.always_drops(backup):
+                    return None  # nowhere left to go: the branch dies
+                stats.record_failover()
+                stats.record_direct()
+                stats.routing_nodes.add(backup)
+                if trace is not None:
+                    trace.emit(
+                        span,
+                        MessageSent(sender_id, backup, "failover", hops=1,
+                                    path=(sender_id, backup)),
+                    )
+                current = backup
+                attempts = 0
+                continue
+            # Delivered (possibly delayed and/or duplicated).
+            penalty += outcome.delay
+            if outcome.duplicated:
+                # Receivers deduplicate; the spurious copy still cost a send.
+                stats.record_duplicate()
+                stats.record_direct()
+                if trace is not None:
+                    trace.emit(
+                        span, MessageSent(sender_id, current, "dup", hops=1)
+                    )
+            replica_of = primary if current != primary else None
+            return (current, primary, replica_of, penalty)
+
+    def _record_lost(
+        self, curve, cluster: Cluster, floor_key: int, unresolved, stats,
+        trace: QueryTrace | None, span: int, dest: int,
+    ) -> None:
+        """Account one undeliverable branch: its remaining (linear) index
+        window becomes unresolved and the span is tagged lost."""
+        ranges = _clip_ranges(
+            cluster.iter_index_ranges(curve), floor_key, curve.size - 1
+        )
+        if unresolved is not None:
+            unresolved.extend(ranges)
+        stats.record_lost_branch()
+        if trace is not None:
+            trace.emit(span, BranchLost(dest, cluster.level, len(ranges)))
+
+    def _scan_replicas(
+        self, system: "SquidSystem", node_id: int, ranges, query
+    ) -> tuple[list, bool]:
+        """Serve an unreachable peer's share from this node's replica store.
+
+        Returns ``(matches, served)``; ``served`` is False when no replica
+        store is available (no manager attached, or the node holds none) —
+        the caller then records the window as unresolved.
+        """
+        manager = self.replication
+        if manager is None:
+            return [], False
+        store = manager.replicas.get(node_id)
+        if store is None:
+            return [], False
+        matches = system.space.matches
+        found = [
+            element
+            for element in store.scan_ranges(ranges)
+            if matches(element.key, query)
+        ]
+        return found, True
 
     def _path_latency(self, path: tuple[int, ...]) -> float:
         if self.latency_model is None:

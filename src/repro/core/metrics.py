@@ -20,7 +20,28 @@ from typing import TYPE_CHECKING, Any
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.trace import QueryTrace
 
-__all__ = ["QueryStats", "QueryResult"]
+__all__ = ["QueryStats", "QueryResult", "merge_index_ranges"]
+
+
+def merge_index_ranges(
+    ranges: "list[tuple[int, int]] | tuple[tuple[int, int], ...]",
+) -> tuple[tuple[int, int], ...]:
+    """Sort and coalesce inclusive index ranges into a canonical tuple.
+
+    Used for :attr:`QueryResult.unresolved_ranges`: overlapping or adjacent
+    ranges merge so the unresolved curve segments read as a minimal cover.
+    """
+    if not ranges:
+        return ()
+    ordered = sorted(ranges)
+    merged: list[tuple[int, int]] = [ordered[0]]
+    for low, high in ordered[1:]:
+        last_low, last_high = merged[-1]
+        if low <= last_high + 1:
+            merged[-1] = (last_low, max(last_high, high))
+        else:
+            merged.append((low, high))
+    return tuple(merged)
 
 
 @dataclass
@@ -60,6 +81,21 @@ class QueryStats:
     #: :class:`~repro.core.plancache.PlanCache` instead of being refined
     #: (identical plans either way — the cache only skips the geometry work).
     plan_cache_hit: bool = False
+    #: Resilient execution only (all zero on a fault-free run): transmissions
+    #: re-sent after a timeout (to the same destination, or re-routed to the
+    #: new owner after a crash).
+    retries: int = 0
+    #: Sub-queries redirected to a ring successor after a destination
+    #: exhausted its retry attempts.
+    failovers: int = 0
+    #: Transmissions the fault plane discarded (each was charged when sent).
+    messages_dropped: int = 0
+    #: Duplicate deliveries the fault plane produced (receivers deduplicate;
+    #: the spurious copy still costs one direct message).
+    messages_duplicated: int = 0
+    #: Query-tree branches abandoned after the retry budget ran out; their
+    #: unscanned curve segments appear in ``QueryResult.unresolved_ranges``.
+    lost_branches: int = 0
 
     def record_completion(self, time: float) -> None:
         if time > self.completion_time:
@@ -96,6 +132,21 @@ class QueryStats:
     def record_aggregated_batch(self, count: int = 1) -> None:
         self.aggregated_batches += count
 
+    def record_retry(self, count: int = 1) -> None:
+        self.retries += count
+
+    def record_failover(self, count: int = 1) -> None:
+        self.failovers += count
+
+    def record_dropped(self, count: int = 1) -> None:
+        self.messages_dropped += count
+
+    def record_duplicate(self, count: int = 1) -> None:
+        self.messages_duplicated += count
+
+    def record_lost_branch(self, count: int = 1) -> None:
+        self.lost_branches += count
+
     # ------------------------------------------------------------------
     # Reduction (batch execution)
     # ------------------------------------------------------------------
@@ -118,6 +169,11 @@ class QueryStats:
         self.pruned_branches += other.pruned_branches
         self.aggregated_batches += other.aggregated_batches
         self.aborted_in_flight += other.aborted_in_flight
+        self.retries += other.retries
+        self.failovers += other.failovers
+        self.messages_dropped += other.messages_dropped
+        self.messages_duplicated += other.messages_duplicated
+        self.lost_branches += other.lost_branches
         self.max_refinement_level = max(
             self.max_refinement_level, other.max_refinement_level
         )
@@ -179,6 +235,11 @@ class QueryStats:
             "completion_time": self.completion_time,
             "time_to_first_match": self.time_to_first_match,
             "plan_cache_hit": self.plan_cache_hit,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "lost_branches": self.lost_branches,
         }
 
 
@@ -192,10 +253,23 @@ class QueryResult:
     #: The structured refinement-tree trace, populated when a
     #: :class:`~repro.obs.trace.Tracer` is attached to the system.
     trace: "QueryTrace | None" = None
+    #: False when fault injection prevented some curve segments from being
+    #: resolved — the matches are a (certain) subset of the exact answer.
+    #: Fault-free executions always report True (the paper's completeness
+    #: guarantee).
+    complete: bool = True
+    #: The inclusive curve-index ranges that went unreached (sorted,
+    #: coalesced via :func:`merge_index_ranges`); empty iff ``complete``.
+    unresolved_ranges: tuple[tuple[int, int], ...] = ()
 
     @property
     def match_count(self) -> int:
         return len(self.matches)
+
+    @property
+    def unresolved_span(self) -> int:
+        """Total number of curve indices covered by ``unresolved_ranges``."""
+        return sum(high - low + 1 for low, high in self.unresolved_ranges)
 
     def match_keys(self) -> set:
         """Distinct keyword combinations among the matches."""

@@ -80,10 +80,23 @@ class ReplicationManager:
             for element in store.all_elements():
                 self._write_replicas(node_id, element)
 
+    def _replica_store(self, holder: int) -> LocalStore:
+        """The replica store of ``holder``, created on demand.
+
+        Nodes can join the overlay after this manager was constructed (e.g.
+        directly through ``SquidSystem.add_node`` or the churn simulator);
+        their stores must spring into existence on first write rather than
+        silently dropping — or crashing on — the replica.
+        """
+        store = self.replicas.get(holder)
+        if store is None:
+            store = self.replicas[holder] = LocalStore()
+        return store
+
     def _write_replicas(self, primary: int, element: StoredElement) -> None:
         holders = self._replica_holders(primary)
         for holder in holders:
-            self.replicas[holder].add(element)
+            self._replica_store(holder).add(element)
             self.stats.replicas_written += 1
             self.stats.messages += 1
         reg = obs_metrics.active()
@@ -201,8 +214,9 @@ class ReplicationManager:
             holders = self._replica_holders(node_id)
             for element in store.all_elements():
                 for holder in holders:
-                    if not _holds(self.replicas[holder], element):
-                        self.replicas[holder].add(element)
+                    holder_store = self._replica_store(holder)
+                    if not _holds(holder_store, element):
+                        holder_store.add(element)
                         written += 1
         self.stats.messages += written
         return written
@@ -241,7 +255,8 @@ class ReplicationManager:
             holders = self._replica_holders(node_id)
             for element in store.all_elements():
                 for holder in holders:
-                    if not _holds(self.replicas[holder], element):
+                    holder_store = self.replicas.get(holder)
+                    if holder_store is None or not _holds(holder_store, element):
                         return False
         return True
 

@@ -25,6 +25,7 @@ __all__ = [
     "LoadBalanceError",
     "WorkloadError",
     "SimulationError",
+    "FaultError",
 ]
 
 
@@ -95,3 +96,7 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """Discrete-event simulation errors."""
+
+
+class FaultError(ReproError):
+    """Fault-injection plane configuration or wiring errors."""

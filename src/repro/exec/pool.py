@@ -36,6 +36,15 @@ code path, preserving the determinism contract.
 Tracing is per-process state that cannot be merged across workers, so an
 attached :class:`~repro.obs.trace.Tracer` is detached for the duration of a
 batch (results carry ``trace=None``).
+
+An engine carrying an *active* :class:`~repro.faults.FaultPlane` is likewise
+per-process state: the plane's RNG advances with every transmission and its
+crash executor mutates the shared system, so draw order — and therefore which
+messages fail — depends on how chunks interleave across processes.  Batches
+stay deterministic for a *fixed* worker count, but the bit-identical-across-
+worker-counts contract above holds only for fault-free engines; run
+fault-injection studies with ``workers=1`` (as ``extF`` and the ``chaos``
+CLI do).
 """
 
 from __future__ import annotations
@@ -135,6 +144,14 @@ class BatchResult:
 
     def total_matches(self) -> int:
         return sum(r.match_count for r in self.results)
+
+    def incomplete_count(self) -> int:
+        """Queries that returned ``complete=False`` (unresolved index ranges).
+
+        Always 0 on a fault-free system; under an injected fault plane it
+        counts the queries whose results are honest partial answers.
+        """
+        return sum(1 for r in self.results if not r.complete)
 
 
 # ----------------------------------------------------------------------

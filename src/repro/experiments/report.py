@@ -200,6 +200,49 @@ def _check_extE(result: FigureResult) -> list[tuple[str, bool, str]]:
     ]
 
 
+def _check_extF(result: FigureResult) -> list[tuple[str, bool, str]]:
+    by_config = {
+        (r["fault_rate"], r["mitigation"]): r for r in result.rows
+    }
+    rates = sorted({r["fault_rate"] for r in result.rows})
+    zero_exact = all(
+        by_config[(0.0, m)]["recall"] == 1.0
+        and by_config[(0.0, m)]["complete_fraction"] == 1.0
+        for m in ("none", "retry", "retry+replication")
+    )
+    mitigated_exact = all(
+        by_config[(rate, "retry+replication")]["recall"] == 1.0
+        and by_config[(rate, "retry+replication")]["complete_fraction"] == 1.0
+        for rate in rates
+    )
+    unmitigated_hurts = any(
+        by_config[(rate, "none")]["recall"] < 0.9
+        and by_config[(rate, "none")]["complete_fraction"] < 1.0
+        for rate in rates
+        if rate >= 0.2
+    )
+    ladder_ok = all(
+        by_config[(rate, "none")]["recall"]
+        <= by_config[(rate, "retry")]["recall"] + 1e-9
+        <= by_config[(rate, "retry+replication")]["recall"] + 2e-9
+        for rate in rates
+    )
+    return [
+        ("zero fault rate: every mitigation exact and complete", zero_exact, ""),
+        (
+            "retry+replication: recall 1.0 and complete at every fault rate",
+            mitigated_exact,
+            "",
+        ),
+        (
+            "unmitigated faults lose recall and completeness",
+            unmitigated_hurts,
+            "",
+        ),
+        ("mitigation ladder: none <= retry <= retry+replication", ladder_ok, ""),
+    ]
+
+
 SHAPE_CHECKS: dict[str, Callable[[FigureResult], list[tuple[str, bool, str]]]] = {
     "fig09": _check_sweep,
     "fig10": _check_snapshot,
@@ -217,6 +260,7 @@ SHAPE_CHECKS: dict[str, Callable[[FigureResult], list[tuple[str, bool, str]]]] =
     "extC": _check_extC,
     "extD": _check_extD,
     "extE": _check_extE,
+    "extF": _check_extF,
 }
 
 _PAPER_CLAIMS = {
@@ -225,6 +269,8 @@ _PAPER_CLAIMS = {
     "extC": "Future work (geographic locality): PNS cuts query latency.",
     "extD": "Future work quantified (dynamism): exactness survives churn.",
     "extE": "Future work (attacks): retry + replication restore recall.",
+    "extF": "Robustness: retry + replication keep queries exact and complete "
+    "under injected message faults; unmitigated faults are reported honestly.",
     "fig09": "Q1 2D: processing/data nodes are a small, sublinearly growing "
     "fraction of the system; data tracks processing; cost not monotone in matches.",
     "fig10": "All metrics 2D: routing >> processing ~= data; messages ~ 2x processing.",

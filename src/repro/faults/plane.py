@@ -1,0 +1,278 @@
+"""The fault-injection plane: seeded, deterministic message-level faults.
+
+A :class:`FaultPlane` sits between engine dispatch and overlay routing and
+decides, per *physical* message, whether the transmission is dropped,
+delayed, duplicated, or whether it kills its destination outright
+(crash-during-query).  It also models persistently slow peers and —
+for the adversarial threat model of :mod:`repro.core.adversary` — a fixed
+set of *dropper* nodes that discard every message addressed to them.
+
+Determinism is the design center: every decision comes from one seeded
+:class:`numpy.random.Generator` owned by the plane, so a (system seed,
+plane seed, query sequence) triple replays the exact same fault schedule.
+An **inert** plane (all rates zero, no droppers) consumes no randomness and
+the engines bypass it entirely, which is what makes the zero-fault
+bit-identity guarantee against the plain :class:`~repro.core.engine.OptimizedEngine`
+testable (see ``tests/faults/``).
+
+Crashes need to mutate the live system, which the plane does not own; wire
+it with :meth:`FaultPlane.attach_system` before enabling ``crash_rate``.
+With a :class:`~repro.core.replication.ReplicationManager` attached the
+crash promotes the victim's replicas (data survives); without one it uses
+the simulator's lossy crash (keys gone), matching
+:class:`~repro.sim.churn.ChurnProcess`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.obs import metrics as obs_metrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.replication import ReplicationManager
+    from repro.core.system import SquidSystem
+
+__all__ = ["FaultConfig", "FaultOutcome", "FaultStats", "FaultPlane"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault probabilities and shape parameters, all per physical message.
+
+    All rates are probabilities in ``[0, 1]``.  ``slow_fraction`` selects a
+    deterministic subset of nodes (a per-node hash of ``seed``) whose local
+    processing takes ``slow_factor`` times longer; it affects timing only,
+    never correctness.
+    """
+
+    drop_rate: float = 0.0
+    crash_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: Mean of the exponential delay added when a message is delayed.
+    delay_mean: float = 1.0
+    slow_fraction: float = 0.0
+    slow_factor: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "crash_rate", "duplicate_rate", "delay_rate",
+                     "slow_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultError(f"{name} must be in [0, 1], got {value}")
+        if self.delay_mean <= 0:
+            raise FaultError(f"delay_mean must be > 0, got {self.delay_mean}")
+        if self.slow_factor < 1.0:
+            raise FaultError(f"slow_factor must be >= 1, got {self.slow_factor}")
+
+    @property
+    def active(self) -> bool:
+        """True when any fault can actually fire under this configuration."""
+        return (
+            self.drop_rate > 0
+            or self.crash_rate > 0
+            or self.duplicate_rate > 0
+            or self.delay_rate > 0
+            or self.slow_fraction > 0
+        )
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """What happened to one transmission through the plane."""
+
+    #: The message never arrived (random drop, or the destination is a dropper).
+    dropped: bool = False
+    #: The destination node crashed while handling the message; the message
+    #: died with it and the node is no longer in the overlay.
+    crashed: bool = False
+    #: The message arrived twice (the duplicate costs one extra direct send).
+    duplicated: bool = False
+    #: Extra in-flight latency charged to the delivery (latency-model units).
+    delay: float = 0.0
+
+
+@dataclass
+class FaultStats:
+    """Running totals of what the plane actually did."""
+
+    messages: int = 0
+    dropped: int = 0
+    crashed: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    #: Node identifiers the plane crashed, in crash order.
+    crashed_nodes: list[int] = field(default_factory=list)
+
+
+class FaultPlane:
+    """Deterministic, seeded fault injector for engine-to-overlay messages.
+
+    ``droppers`` are nodes that *always* discard messages addressed to them
+    (the adversarial threat model); the probabilistic faults come from
+    ``config``.  Both may be combined.  The plane is shared state: one
+    instance injected into an engine applies to every query that engine
+    runs, and its RNG stream advances across queries.
+    """
+
+    def __init__(
+        self,
+        config: FaultConfig | None = None,
+        droppers: Iterable[int] = (),
+    ) -> None:
+        self.config = config if config is not None else FaultConfig()
+        self.droppers = frozenset(int(d) for d in droppers)
+        self.rng = np.random.default_rng(self.config.seed)
+        self.stats = FaultStats()
+        self._crash_executor: Callable[[int], None] | None = None
+        self._system: "SquidSystem | None" = None
+        self._min_live = 2
+        self._protected: int | None = None
+        self._slow_cache: dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when this plane can affect execution at all.
+
+        Engines consult this once per query and take the unmodified fast
+        path when it is False, so an inert plane is bit-identical (results,
+        stats, metrics, RNG consumption) to having no plane.
+        """
+        return bool(self.droppers) or self.config.active
+
+    def always_drops(self, node_id: int) -> bool:
+        """True when ``node_id`` discards every message (retrying is futile)."""
+        return node_id in self.droppers
+
+    def attach_system(
+        self,
+        system: "SquidSystem",
+        replication: "ReplicationManager | None" = None,
+        min_live: int = 2,
+    ) -> "FaultPlane":
+        """Wire crash execution to a live system; returns ``self``.
+
+        With ``replication`` the crash runs the manager's promote-and-repair
+        protocol (the victim's data survives on its successors); without it
+        the crash is lossy, exactly like
+        :class:`~repro.sim.churn.ChurnProcess`.  ``min_live`` bounds the
+        destruction: the plane never crashes below that many live nodes.
+        """
+        self._system = system
+        self._min_live = max(1, min_live)
+        if replication is not None:
+            def executor(node_id: int) -> None:
+                successor = system.overlay.successor_id(node_id)
+                replication.crash(node_id)
+                if successor != node_id and successor in system.overlay.nodes:
+                    replication.repair_around(successor)
+        else:
+            def executor(node_id: int) -> None:
+                system.overlay.fail(node_id)
+                system.stores.pop(node_id, None)
+        self._crash_executor = executor
+        return self
+
+    def begin_query(self, origin_id: int) -> None:
+        """Mark the query origin as protected (the plane never crashes it)."""
+        self._protected = origin_id
+
+    # ------------------------------------------------------------------
+    # The fault decision
+    # ------------------------------------------------------------------
+    def transmit(self, sender_id: int, dest_id: int) -> FaultOutcome:
+        """Decide the fate of one physical message ``sender -> dest``.
+
+        Consumes randomness only for fault families whose rate is non-zero,
+        so e.g. a droppers-only plane is fully deterministic and two planes
+        with the same seed and config replay identical schedules regardless
+        of which other fault families exist in the code.
+        """
+        cfg = self.config
+        rng = self.rng
+        self.stats.messages += 1
+        if dest_id in self.droppers:
+            self._count("dropped")
+            return FaultOutcome(dropped=True)
+        if cfg.crash_rate > 0 and rng.random() < cfg.crash_rate:
+            if self._try_crash(dest_id):
+                return FaultOutcome(crashed=True)
+        if cfg.drop_rate > 0 and rng.random() < cfg.drop_rate:
+            self._count("dropped")
+            return FaultOutcome(dropped=True)
+        delay = 0.0
+        if cfg.delay_rate > 0 and rng.random() < cfg.delay_rate:
+            delay = float(rng.exponential(cfg.delay_mean))
+            self._count("delayed")
+        duplicated = False
+        if cfg.duplicate_rate > 0 and rng.random() < cfg.duplicate_rate:
+            duplicated = True
+            self._count("duplicated")
+        return FaultOutcome(duplicated=duplicated, delay=delay)
+
+    def crash_node(self, node_id: int) -> bool:
+        """Crash ``node_id`` through the attached executor (public hook).
+
+        Used by :class:`~repro.sim.churn.ChurnProcess` to crash nodes while
+        queries are in flight.  Respects the ``min_live`` floor and origin
+        protection; returns True when the crash actually happened.
+        """
+        return self._try_crash(node_id)
+
+    def slow_factor(self, node_id: int) -> float:
+        """Processing-time multiplier for ``node_id`` (1.0 for normal peers).
+
+        Slow-node membership is a deterministic per-node hash of the plane
+        seed — independent of query order, so timing experiments replay.
+        """
+        cfg = self.config
+        if cfg.slow_fraction <= 0:
+            return 1.0
+        slow = self._slow_cache.get(node_id)
+        if slow is None:
+            draw = np.random.default_rng((cfg.seed, 0x51, node_id)).random()
+            slow = bool(draw < cfg.slow_fraction)
+            self._slow_cache[node_id] = slow
+        return cfg.slow_factor if slow else 1.0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _try_crash(self, node_id: int) -> bool:
+        if self._crash_executor is None or self._system is None:
+            raise FaultError(
+                "crash faults require a wired system; call "
+                "FaultPlane.attach_system(system, replication=...) first"
+            )
+        overlay = self._system.overlay
+        if (
+            node_id == self._protected
+            or node_id not in overlay.nodes
+            or len(overlay) <= self._min_live
+        ):
+            return False
+        self._crash_executor(node_id)
+        self.stats.crashed_nodes.append(node_id)
+        self._count("crashed")
+        return True
+
+    def _count(self, kind: str) -> None:
+        setattr(self.stats, kind, getattr(self.stats, kind) + 1)
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter(f"faults.{kind}").inc()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlane(config={self.config!r}, droppers={len(self.droppers)}, "
+            f"stats={self.stats!r})"
+        )

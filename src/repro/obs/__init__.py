@@ -35,6 +35,7 @@ from repro.obs.profile import (
 )
 from repro.obs.trace import (
     Aggregated,
+    BranchLost,
     ClusterRefined,
     KeyMoved,
     LocalScan,
@@ -56,6 +57,7 @@ __all__ = [
     "Pruned",
     "Aggregated",
     "LocalScan",
+    "BranchLost",
     "KeyMoved",
     "NodeJoined",
     "NodeLeft",

@@ -13,7 +13,10 @@ linked to the span that dispatched it — each carrying typed events:
 * :class:`Pruned` — the query tree terminated at this span (the node owned
   the whole remainder, the remainder was empty, or discovery mode stopped);
 * :class:`Aggregated` — sibling sub-clusters travelled as one batch;
-* :class:`LocalScan` — a node searched its local store.
+* :class:`LocalScan` — a node searched its local store;
+* :class:`BranchLost` — fault injection defeated the retry policy and the
+  sub-query was abandoned (its curve ranges appear in
+  ``QueryResult.unresolved_ranges``).
 
 System-lifecycle events (:class:`KeyMoved`, :class:`NodeJoined`,
 :class:`NodeLeft`) are recorded on the :class:`Tracer` itself, outside any
@@ -41,6 +44,7 @@ __all__ = [
     "Pruned",
     "Aggregated",
     "LocalScan",
+    "BranchLost",
     "KeyMoved",
     "NodeJoined",
     "NodeLeft",
@@ -116,6 +120,22 @@ class LocalScan:
 
 
 @dataclass(frozen=True)
+class BranchLost:
+    """Fault injection swallowed this sub-query despite the retry policy.
+
+    ``node_id`` is the destination that could not be reached; ``ranges``
+    counts the unresolved index ranges recorded for the lost cluster.  A
+    span carrying this event is a *lost* branch, not a discovery-mode abort:
+    its message really travelled (and is counted), but its work never
+    happened and never will.
+    """
+
+    node_id: int
+    level: int
+    ranges: int
+
+
+@dataclass(frozen=True)
 class KeyMoved:
     """``count`` keys moved between stores (join/leave/load-balancing)."""
 
@@ -139,7 +159,7 @@ class NodeLeft:
 
 
 #: Events that may appear inside a query trace span.
-SpanEvent = ClusterRefined | MessageSent | Pruned | Aggregated | LocalScan
+SpanEvent = ClusterRefined | MessageSent | Pruned | Aggregated | LocalScan | BranchLost
 #: Events recorded on the tracer itself (system lifecycle).
 SystemEvent = KeyMoved | NodeJoined | NodeLeft
 
@@ -185,6 +205,16 @@ class QueryTrace:
 
     def emit(self, span_id: int, event: SpanEvent) -> None:
         self.spans[span_id].events.append(event)
+
+    def reassign(self, span_id: int, node_id: int) -> None:
+        """Repoint a span at a different processing node.
+
+        Used by resilient execution when a queued sub-query's destination
+        crashed before processing it and the work was redelivered to the
+        new owner — the span was opened at dispatch time, before the crash
+        was known.
+        """
+        self.spans[span_id].node_id = node_id
 
     # -- reconstruction -------------------------------------------------
     @property
@@ -238,6 +268,7 @@ class QueryTrace:
             found = sum(e.found for e in scans)
             msgs = len(span.events_of(MessageSent))
             pruned = span.events_of(Pruned)
+            lost = span.events_of(BranchLost)
             tags = []
             if found:
                 tags.append(f"found={found}")
@@ -245,6 +276,8 @@ class QueryTrace:
                 tags.append(f"msgs={msgs}")
             if pruned:
                 tags.append(f"pruned:{pruned[0].reason}")
+            if lost:
+                tags.append("lost")
             suffix = f"  [{', '.join(tags)}]" if tags else ""
             lines.append(
                 f"{'  ' * depth}- node {span.node_id} (level {span.level})"
@@ -275,6 +308,7 @@ class QueryTrace:
         pruned = 0
         batches = 0
         aborted = 0
+        lost = 0
         for span, event in self.iter_events():
             if isinstance(event, MessageSent):
                 messages += 1
@@ -291,12 +325,15 @@ class QueryTrace:
         for span in self.spans:
             routing.add(span.node_id)
             # A span whose node never scanned or refined was dispatched but
-            # abandoned (discovery-mode early exit): its message is counted,
-            # its processing never happened.
+            # abandoned: a fault-injected *lost* branch when it carries a
+            # BranchLost event, a discovery-mode early exit otherwise.  Its
+            # message is counted either way; its processing never happened.
             if any(
                 isinstance(e, (LocalScan, ClusterRefined)) for e in span.events
             ):
                 processing.add(span.node_id)
+            elif any(isinstance(e, BranchLost) for e in span.events):
+                lost += 1
             else:
                 aborted += 1
         return {
@@ -308,6 +345,7 @@ class QueryTrace:
             "pruned_branches": pruned,
             "aggregated_batches": batches,
             "aborted_in_flight": aborted,
+            "lost_branches": lost,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -52,12 +52,20 @@ class ChurnProcess:
         system: SquidSystem,
         config: ChurnConfig,
         rng: RandomLike = None,
+        crash_hook=None,
     ) -> None:
         self.sim = sim
         self.system = system
         self.config = config
         self.rng = as_generator(rng)
         self.stats = ChurnStats()
+        #: Optional callable invoked with the victim's id instead of the
+        #: default lossy crash — wire :meth:`FaultPlane.crash_node` (crashes
+        #: coordinated with in-flight queries, replication-aware recovery)
+        #: or :meth:`ReplicationManager.crash` here.  It should return a
+        #: falsy value when the crash was vetoed (e.g. the plane's
+        #: ``min_live`` floor); vetoed crashes are not counted.
+        self.crash_hook = crash_hook
         self._arm("join", config.join_rate)
         self._arm("leave", config.leave_rate)
         self._arm("crash", config.crash_rate)
@@ -87,6 +95,10 @@ class ChurnProcess:
             if kind == "leave":
                 self.stats.messages += self.system.remove_node(victim)
                 self.stats.leaves += 1
+            elif self.crash_hook is not None:
+                outcome = self.crash_hook(victim)
+                if outcome is None or outcome:
+                    self.stats.crashes += 1
             else:
                 # Crash: keys on the victim are lost; no notifications.
                 overlay.fail(victim)

@@ -116,6 +116,38 @@ class TestMembership:
         assert manager.verify_degree()
         assert system.check_placement_invariant()
 
+    def test_publish_after_direct_join_creates_replica_store(self):
+        """Regression: replica stores must spring into existence for nodes
+        that joined *behind the manager's back* (``SquidSystem.add_node``
+        or the churn simulator, not :meth:`ReplicationManager.add_node`).
+        Writing a replica to such a node used to raise ``KeyError`` from
+        the frozen-at-init ``self.replicas`` dict."""
+        system, manager = managed_system(degree=2, seed=14)
+        rng = np.random.default_rng(99)
+        for _ in range(40):
+            node_id = int(rng.integers(0, system.overlay.space))
+            if node_id not in system.overlay.nodes:
+                system.add_node(node_id)  # bypasses the manager on purpose
+        for i in range(60):
+            manager.publish(("network", "storage"), payload=f"late-{i}")
+        assert manager.repair() >= 0
+        assert manager.verify_degree()
+
+    def test_repair_around_handles_unknown_holder(self):
+        """repair_around must also tolerate replica holders it has never
+        seen (nodes joined after construction), and re-establish the
+        invariant in the joined node's neighborhood."""
+        system, manager = managed_system(degree=2, seed=15)
+        joined = None
+        rng = np.random.default_rng(7)
+        while joined is None:
+            candidate = int(rng.integers(0, system.overlay.space))
+            if candidate not in system.overlay.nodes:
+                system.add_node(candidate)  # bypasses the manager on purpose
+                joined = candidate
+        manager.repair_around(joined)
+        assert manager.verify_degree()
+
     def test_repair_idempotent(self):
         system, manager = managed_system(degree=2, seed=12)
         first = manager.repair()

@@ -18,7 +18,7 @@ SCALES.setdefault(
 
 class TestRegistry:
     def test_extensions_registered(self):
-        assert set(EXTENSIONS) == {"extA", "extB", "extC", "extD", "extE"}
+        assert set(EXTENSIONS) == {"extA", "extB", "extC", "extD", "extE", "extF"}
 
     def test_run_figure_dispatches_extensions(self):
         result = run_figure("extB", scale="tiny")
@@ -99,6 +99,45 @@ class TestAttackExperiment:
             if r["dropper_fraction"] >= 0.2 and r["mitigation"] == "none"
         ]
         assert any(r["recall"] < 0.9 for r in worst)
+
+
+class TestFaultExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure("extF", scale="tiny")
+
+    def test_zero_rate_is_exact_and_complete(self, result):
+        clean = [r for r in result.rows if r["fault_rate"] == 0.0]
+        assert clean and all(
+            r["recall"] == 1.0 and r["complete_fraction"] == 1.0 for r in clean
+        )
+
+    def test_full_mitigation_stays_exact(self, result):
+        rows = [r for r in result.rows if r["mitigation"] == "retry+replication"]
+        assert rows and all(
+            r["recall"] == 1.0 and r["complete_fraction"] == 1.0 for r in rows
+        )
+
+    def test_unmitigated_faults_are_reported_honestly(self, result):
+        hurt = [
+            r
+            for r in result.rows
+            if r["fault_rate"] >= 0.2 and r["mitigation"] == "none"
+        ]
+        assert any(r["recall"] < 1.0 for r in hurt)
+        # Lost recall must never be silent: incompleteness is surfaced.
+        assert all(
+            r["complete_fraction"] < 1.0 or r["recall"] == 1.0 for r in hurt
+        )
+        assert any(r["lost_branches"] > 0 for r in hurt)
+
+    def test_mitigation_ladder(self, result):
+        for rate in {r["fault_rate"] for r in result.rows}:
+            rows = {
+                r["mitigation"]: r for r in result.rows if r["fault_rate"] == rate
+            }
+            assert rows["none"]["recall"] <= rows["retry"]["recall"] + 1e-9
+            assert rows["retry"]["recall"] <= rows["retry+replication"]["recall"] + 1e-9
 
 
 class TestChurnExperiment:

@@ -1,0 +1,1 @@
+"""Tests for the fault-injection plane and resilient query execution."""

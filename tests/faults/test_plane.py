@@ -1,0 +1,168 @@
+"""Unit tests for :class:`repro.faults.FaultPlane` and its configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core.replication import ReplicationManager
+from repro.errors import FaultError
+from repro.faults import FaultConfig, FaultOutcome, FaultPlane, RetryPolicy
+from repro.obs import collecting
+from tests.core.conftest import fresh_storage_system
+
+
+class TestFaultConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop_rate": -0.1},
+            {"drop_rate": 1.5},
+            {"crash_rate": 2.0},
+            {"duplicate_rate": -1.0},
+            {"delay_rate": 1.01},
+            {"slow_fraction": -0.5},
+            {"delay_mean": 0.0},
+            {"slow_factor": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(FaultError):
+            FaultConfig(**kwargs)
+
+    def test_active(self):
+        assert not FaultConfig().active
+        assert FaultConfig(drop_rate=0.1).active
+        assert FaultConfig(crash_rate=0.1).active
+        assert FaultConfig(slow_fraction=0.1).active
+
+    def test_plane_active_includes_droppers(self):
+        assert not FaultPlane().active
+        assert FaultPlane(droppers=[3]).active
+        assert FaultPlane(FaultConfig(delay_rate=0.2)).active
+
+
+class TestTransmit:
+    def test_deterministic_schedule(self):
+        config = FaultConfig(
+            drop_rate=0.2, duplicate_rate=0.1, delay_rate=0.15, seed=11
+        )
+        a, b = FaultPlane(config), FaultPlane(config)
+        outcomes_a = [a.transmit(0, i) for i in range(200)]
+        outcomes_b = [b.transmit(0, i) for i in range(200)]
+        assert outcomes_a == outcomes_b
+        assert any(o.dropped for o in outcomes_a)
+        assert any(o.duplicated for o in outcomes_a)
+        assert any(o.delay > 0 for o in outcomes_a)
+
+    def test_droppers_consume_no_randomness(self):
+        plane = FaultPlane(droppers=[5, 9])
+        state = plane.rng.bit_generator.state
+        for dest in (5, 9, 5):
+            assert plane.transmit(0, dest) == FaultOutcome(dropped=True)
+        assert plane.transmit(0, 7) == FaultOutcome()
+        assert plane.rng.bit_generator.state == state
+        assert plane.stats.messages == 4
+        assert plane.stats.dropped == 3
+
+    def test_always_drops(self):
+        plane = FaultPlane(droppers=[5])
+        assert plane.always_drops(5)
+        assert not plane.always_drops(6)
+
+    def test_counters_published(self):
+        plane = FaultPlane(FaultConfig(drop_rate=1.0, seed=1))
+        with collecting() as registry:
+            plane.transmit(0, 1)
+            plane.transmit(0, 2)
+        assert registry.snapshot()["counters"]["faults.dropped"] == 2
+
+
+class TestCrash:
+    def test_crash_requires_wired_system(self):
+        plane = FaultPlane(FaultConfig(crash_rate=1.0))
+        with pytest.raises(FaultError, match="attach_system"):
+            plane.transmit(0, 1)
+
+    def test_crash_node_removes_victim(self):
+        system = fresh_storage_system(n_nodes=16, n_keys=50, seed=3)
+        plane = FaultPlane().attach_system(system)
+        victim = system.overlay.node_ids()[4]
+        assert plane.crash_node(victim)
+        assert victim not in system.overlay.nodes
+        assert victim in plane.stats.crashed_nodes
+        assert plane.stats.crashed == 1
+
+    def test_origin_is_protected(self):
+        system = fresh_storage_system(n_nodes=16, n_keys=50, seed=3)
+        plane = FaultPlane().attach_system(system)
+        origin = system.overlay.node_ids()[0]
+        plane.begin_query(origin)
+        assert not plane.crash_node(origin)
+        assert origin in system.overlay.nodes
+
+    def test_min_live_floor(self):
+        system = fresh_storage_system(n_nodes=4, n_keys=20, seed=5)
+        plane = FaultPlane().attach_system(system, min_live=3)
+        ids = system.overlay.node_ids()
+        assert plane.crash_node(ids[0])
+        # Now at the floor: no further crashes fire.
+        assert not plane.crash_node(system.overlay.node_ids()[0])
+        assert len(system.overlay) == 3
+
+    def test_replicated_crash_preserves_data(self):
+        system = fresh_storage_system(n_nodes=16, n_keys=120, seed=9)
+        manager = ReplicationManager(system, degree=2)
+        plane = FaultPlane().attach_system(system, replication=manager)
+        total = sum(s.element_count for s in system.stores.values())
+        for _ in range(3):
+            plane.crash_node(system.overlay.node_ids()[1])
+        assert sum(s.element_count for s in system.stores.values()) == total
+        assert manager.stats.elements_lost == 0
+
+
+class TestSlowNodes:
+    def test_membership_is_deterministic_and_order_free(self):
+        config = FaultConfig(slow_fraction=0.3, slow_factor=5.0, seed=2)
+        a, b = FaultPlane(config), FaultPlane(config)
+        nodes = list(range(64))
+        forward = {n: a.slow_factor(n) for n in nodes}
+        backward = {n: b.slow_factor(n) for n in reversed(nodes)}
+        assert forward == backward
+        assert set(forward.values()) == {1.0, 5.0}
+
+    def test_zero_fraction_is_identity(self):
+        plane = FaultPlane()
+        assert all(plane.slow_factor(n) == 1.0 for n in range(10))
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FaultError):
+            RetryPolicy(budget=0)
+        with pytest.raises(FaultError):
+            RetryPolicy(timeout=-1.0)
+        with pytest.raises(FaultError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(FaultError):
+            RetryPolicy(max_jitter=-0.1)
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(timeout=1.0, backoff=2.0, max_jitter=0.0)
+        rng = np.random.default_rng(0)
+        waits = [policy.wait_for(a, rng) for a in (1, 2, 3)]
+        assert waits == [1.0, 2.0, 4.0]
+
+    def test_zero_jitter_consumes_no_randomness(self):
+        policy = RetryPolicy(max_jitter=0.0)
+        rng = np.random.default_rng(0)
+        state = rng.bit_generator.state
+        policy.wait_for(1, rng)
+        assert rng.bit_generator.state == state
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(timeout=1.0, backoff=1.0, max_jitter=0.5)
+        rng = np.random.default_rng(4)
+        for attempt in (1, 2, 3):
+            wait = policy.wait_for(attempt, rng)
+            assert 1.0 <= wait <= 1.5

@@ -1,0 +1,65 @@
+"""The overlay route cache must never serve a stale path across a crash.
+
+A mid-query crash mutates routing state while cached paths from earlier in
+the very same query may still reference the victim.  ``ChordRing.fail`` (and
+the replication manager's crash protocol built on it) invalidates the memo;
+these tests drive crashes *through the fault plane while queries are in
+flight* and assert no cached path ever contains a dead node — and that
+post-crash routes resolve to live owners only.
+"""
+
+import numpy as np
+
+from repro.core.engine import OptimizedEngine
+from repro.core.replication import ReplicationManager
+from repro.faults import FaultConfig, FaultPlane, RetryPolicy
+from tests.core.conftest import fresh_storage_system
+
+QUERIES = ["(comp*, *)", "(*, net*)", "(data, *)", "(s*, *)"] * 3
+
+
+def _assert_cache_live(system):
+    cache = system.overlay.route_cache
+    live = set(system.overlay.nodes)
+    for (source, owner), path in cache._paths.items():
+        assert source in live and owner in live, "stale cache key survives crash"
+        assert set(path) <= live, f"cached path {path} contains a dead node"
+
+
+def test_mid_query_crashes_never_leave_stale_paths():
+    system = fresh_storage_system(n_nodes=24, n_keys=250, seed=21)
+    manager = ReplicationManager(system, degree=2)
+    plane = FaultPlane(FaultConfig(crash_rate=0.06, drop_rate=0.1, seed=22))
+    plane.attach_system(system, replication=manager)
+    engine = OptimizedEngine(
+        fault_plane=plane, retry=RetryPolicy(), replication=manager
+    )
+    rng = np.random.default_rng(23)
+    ids = system.overlay.node_ids()
+    for i, query in enumerate(QUERIES):
+        origin_pool = system.overlay.node_ids()
+        engine.execute(
+            system, query, origin=origin_pool[(i * 3) % len(origin_pool)], rng=rng
+        )
+        _assert_cache_live(system)
+    assert plane.stats.crashed >= 1, "seed must exercise at least one crash"
+    assert set(plane.stats.crashed_nodes).isdisjoint(system.overlay.nodes)
+    # The cache still works after the dust settles: a fresh query both
+    # fills it and routes exclusively over live nodes.
+    engine.execute(system, QUERIES[0], origin=system.overlay.node_ids()[0], rng=rng)
+    assert len(system.overlay.route_cache) > 0
+    _assert_cache_live(system)
+
+
+def test_crash_invalidates_whole_memo():
+    system = fresh_storage_system(n_nodes=16, n_keys=100, seed=25)
+    overlay = system.overlay
+    # Warm the cache with real routes.
+    ids = overlay.node_ids()
+    for key in (5, 1000, 40_000):
+        overlay.route(ids[0], key)
+    assert len(overlay.route_cache) > 0
+    plane = FaultPlane().attach_system(system)
+    assert plane.crash_node(ids[4])
+    assert len(overlay.route_cache) == 0, "fail() must invalidate the memo"
+    _assert_cache_live(system)

@@ -56,6 +56,44 @@ class TestChurnProcess:
         result = system.overlay.route(ids[0], 123)
         assert result.destination == system.overlay.owner(123)
 
+    def test_crash_hook_routes_crashes_through_fault_plane(self):
+        from repro.core.replication import ReplicationManager
+        from repro.faults import FaultPlane
+
+        system = small_system()
+        before = system.total_elements()
+        manager = ReplicationManager(system, degree=2)
+        plane = FaultPlane().attach_system(system, replication=manager, min_live=8)
+        sim = Simulator()
+        churn = ChurnProcess(
+            sim,
+            system,
+            ChurnConfig(crash_rate=1.0, min_nodes=8),
+            rng=3,
+            crash_hook=plane.crash_node,
+        )
+        sim.run_until(10.0)
+        assert churn.stats.crashes > 0
+        assert churn.stats.crashes == plane.stats.crashed
+        assert churn.stats.crashes == len(plane.stats.crashed_nodes)
+        # Crashes went through the replication protocol: nothing lost.
+        assert system.total_elements() == before
+        assert manager.stats.elements_lost == 0
+
+    def test_crash_hook_veto_is_not_counted(self):
+        system = small_system()
+        sim = Simulator()
+        churn = ChurnProcess(
+            sim,
+            system,
+            ChurnConfig(crash_rate=1.0, min_nodes=2),
+            rng=3,
+            crash_hook=lambda victim: False,  # veto everything
+        )
+        sim.run_until(10.0)
+        assert churn.stats.crashes == 0
+        assert len(system.overlay) == 24  # nobody actually crashed
+
     def test_mixed_churn_queries_remain_exact(self):
         system = small_system(n_nodes=30, n_keys=200, seed=4)
         sim = Simulator()

@@ -34,6 +34,10 @@ PARALLEL_KEYS = {
     "serial_s", "parallel_s", "speedup", "total_matches",
     "route_cache_hits", "route_cache_misses",
 }
+RESILIENCE_KEYS = {
+    "fault_rate", "mitigation", "queries", "recall", "complete_fraction",
+    "retries", "failovers", "lost_branches", "per_query_s",
+}
 
 
 @pytest.fixture(scope="module")
@@ -48,7 +52,9 @@ def test_document_envelope(quick_result):
     assert quick_result["schema"] == SCHEMA
     assert quick_result["seed"] == 7
     assert quick_result["quick"] is True
-    assert set(quick_result["suites"]) == {"encode", "refine", "e2e", "parallel"}
+    assert set(quick_result["suites"]) == {
+        "encode", "refine", "e2e", "parallel", "resilience",
+    }
     env = quick_result["environment"]
     assert {"python", "numpy", "platform", "cpus"} <= set(env)
 
@@ -91,6 +97,23 @@ def test_parallel_rows(quick_result):
     assert row["queries"] > 0 and row["chunks"] > 0
     assert row["serial_s"] > 0 and row["parallel_s"] > 0
     assert row["route_cache_hits"] > 0  # repeated owners within the batch
+
+
+def test_resilience_rows(quick_result):
+    rows = quick_result["suites"]["resilience"]
+    # Reaching these rows means the zero-fault bit-identity guard inside
+    # the suite passed (plain engine vs. armed-but-idle fault plane).
+    assert [row["mitigation"] for row in rows] == [
+        "none", "retry", "retry+replication",
+    ]
+    for row in rows:
+        assert set(row) == RESILIENCE_KEYS
+        assert 0.0 <= row["recall"] <= 1.0
+        assert 0.0 <= row["complete_fraction"] <= 1.0
+    by_mitigation = {row["mitigation"]: row for row in rows}
+    full = by_mitigation["retry+replication"]
+    assert full["recall"] == 1.0 and full["complete_fraction"] == 1.0
+    assert by_mitigation["none"]["recall"] <= full["recall"]
 
 
 def test_summary_shape(quick_result):

@@ -66,7 +66,8 @@ class TestRepoDocuments:
     @pytest.mark.parametrize(
         "filename",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md", "CHANGELOG.md",
-         "docs/protocol.md", "docs/api.md", "docs/internals.md"],
+         "docs/protocol.md", "docs/api.md", "docs/internals.md",
+         "docs/resilience.md"],
     )
     def test_document_exists(self, filename):
         path = REPO_ROOT / filename
@@ -82,7 +83,7 @@ class TestRepoDocuments:
         text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
         for i in range(9, 20):
             assert f"| {i} " in text or f"fig{i:02d}" in text
-        for ext in ("extA", "extB", "extC", "extD", "extE"):
+        for ext in ("extA", "extB", "extC", "extD", "extE", "extF"):
             assert ext in text
 
     def test_readme_points_at_experiments(self):
