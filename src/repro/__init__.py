@@ -59,7 +59,15 @@ from repro.obs import (
 )
 from repro.overlay import CanOverlay, ChordRing, LatencyModel, ProximityChordRing
 from repro.sfc import GrayCurve, HilbertCurve, MortonCurve, make_curve
-from repro.store import LocalStore, StoredElement
+from repro.store import (
+    ColumnarStore,
+    LocalStore,
+    NodeStore,
+    SQLiteStore,
+    StoredElement,
+    StoreSpec,
+    get_store,
+)
 
 __version__ = "1.0.0"
 
@@ -92,6 +100,11 @@ __all__ = [
     "CachingQueryLayer",
     "HotspotMonitor",
     "LocalStore",
+    "ColumnarStore",
+    "SQLiteStore",
+    "NodeStore",
+    "StoreSpec",
+    "get_store",
     "StoredElement",
     "VirtualNodeManager",
     "ReplicationManager",

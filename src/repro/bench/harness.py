@@ -32,6 +32,14 @@ Three suites, each deterministic given a seed:
     Then one row per mitigation (none / retry / retry+replication) at a
     fixed message-drop rate, recording recall, completeness, and the
     retry/failover accounting.
+``store``
+    The data plane: one row per node-store backend (``local`` /
+    ``columnar`` / ``sqlite``), publishing a seeded corpus into a ring
+    (5k nodes and 10^6 keys at full scale) and range-scanning it back —
+    publish and scan throughput, process RSS, and the stores' own
+    footprint accounting.  A window-scan guard asserts every backend
+    returns byte-identical scan output (elements *and* order) to
+    ``local``, the contract-defining backend.
 
 Timings use ``time.perf_counter`` best-of-``repeats``; the harness is not a
 statistics package — it exists so a regression (or a win) in the hot path
@@ -64,6 +72,7 @@ __all__ = [
     "bench_e2e",
     "bench_parallel",
     "bench_resilience",
+    "bench_store",
     "run_bench",
     "write_bench_json",
 ]
@@ -458,6 +467,137 @@ def bench_resilience(seed: int, quick: bool = False) -> list[dict[str, Any]]:
 
 
 # ----------------------------------------------------------------------
+# Suite: node-store data plane (local / columnar / sqlite)
+# ----------------------------------------------------------------------
+def _rss_mb() -> float | None:
+    """Current resident set size in MiB (Linux), peak RSS as a fallback."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes there
+            peak_kb /= 1024.0
+        return peak_kb / 1024.0
+    except Exception:  # pragma: no cover - resource module missing
+        return None
+
+
+def bench_store(seed: int, quick: bool = False) -> list[dict[str, Any]]:
+    """Publish/scan throughput and footprint, one row per store backend.
+
+    Each backend gets a fresh seeded ring and the same seeded corpus
+    (5k nodes / 10^6 keys at full scale), published through the real
+    system path so every backend pays identical encode/route cost and
+    the rows differ only in the data plane.  Scans are a full index-space
+    sweep over every node store (throughput) plus a set of seeded index
+    windows whose concatenated output — node, index, key, payload, *in
+    yield order* — must be byte-identical to the ``local`` backend's,
+    the contract-defining reference.  SQLite runs file-backed (one
+    database per node in a temp directory) so the bench covers the
+    persistent path, not just ``:memory:``.
+    """
+    import gc
+    import shutil
+    import tempfile
+
+    from repro.core.system import SquidSystem
+    from repro.store import StoreSpec
+
+    n_nodes = 48 if quick else 5_000
+    n_keys = 4_000 if quick else 1_000_000
+    n_windows = 8 if quick else 16
+    bits = 8 if quick else 12
+    space = KeywordSpace(
+        [WordDimension("keyword"), NumericDimension("size", 1, 1024)], bits=bits
+    )
+    rng = random.Random(seed * 13 + 5)
+    keys = [
+        (rng.choice(_WORD_STEMS), float(rng.randrange(1, 1025)))
+        for _ in range(n_keys)
+    ]
+    payloads = list(range(n_keys))
+
+    rows: list[dict[str, Any]] = []
+    reference: list[tuple[int, int, tuple, Any]] | None = None
+    for backend in ("local", "columnar", "sqlite"):
+        tmpdir = None
+        store_arg: str | StoreSpec = backend
+        if backend == "sqlite":
+            tmpdir = tempfile.mkdtemp(prefix="squid-bench-store-")
+            store_arg = StoreSpec("sqlite", {"path": tmpdir})
+        system = SquidSystem.create(
+            space, n_nodes=n_nodes, seed=seed, store=store_arg
+        )
+        gc.collect()
+        t0 = perf_counter()
+        system.publish_many(keys, payloads=payloads)
+        publish_s = perf_counter() - t0
+        rss_mb = _rss_mb()
+        store_memory = sum(s.memory_bytes() for s in system.stores.values())
+
+        stores = [system.stores[nid] for nid in sorted(system.stores)]
+        index_size = 1 << system.curve.index_bits
+        sweep = [(0, index_size - 1)]
+        t0 = perf_counter()
+        scanned = 0
+        for store in stores:
+            for _ in store.scan_ranges(sweep):
+                scanned += 1
+        scan_s = perf_counter() - t0
+        if scanned != n_keys:  # pragma: no cover - exactness guard
+            raise AssertionError(
+                f"{backend}: full sweep returned {scanned} of {n_keys} elements"
+            )
+
+        window = max(1, index_size // (n_windows * 4))
+        wrng = random.Random(seed * 17 + 3)
+        window_out: list[tuple[int, int, tuple, Any]] = []
+        for _ in range(n_windows):
+            lo = wrng.randrange(index_size - window)
+            ranges = [(lo, lo + window - 1)]
+            for node_id in sorted(system.stores):
+                for e in system.stores[node_id].scan_ranges(ranges):
+                    window_out.append((node_id, e.index, tuple(e.key), e.payload))
+        if backend == "local":
+            reference = window_out
+        elif window_out != reference:  # pragma: no cover - exactness guard
+            raise AssertionError(
+                f"{backend} window scans diverged from the local reference"
+            )
+
+        rows.append(
+            {
+                "backend": backend,
+                "nodes": n_nodes,
+                "keys": n_keys,
+                "publish_s": publish_s,
+                "publish_keys_per_s": n_keys / publish_s if publish_s > 0 else None,
+                "scan_s": scan_s,
+                "scanned_elements": scanned,
+                "scan_elements_per_s": scanned / scan_s if scan_s > 0 else None,
+                "windows": n_windows,
+                "window_elements": len(window_out),
+                "rss_mb": rss_mb,
+                "store_memory_mb": store_memory / (1024 * 1024),
+            }
+        )
+        for store in stores:
+            store.close()
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+        del system, stores
+        gc.collect()
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def run_bench(
@@ -478,6 +618,7 @@ def run_bench(
     e2e_rows = bench_e2e(seed, quick)
     parallel_rows = bench_parallel(seed, quick, workers=workers)
     resilience_rows = bench_resilience(seed, quick)
+    store_rows = bench_store(seed, quick)
 
     refine_speedups = [r["speedup"] for r in refine_rows if r["speedup"]]
     e2e_by_class: dict[str, list[float]] = {}
@@ -500,6 +641,7 @@ def run_bench(
             "e2e": e2e_rows,
             "parallel": parallel_rows,
             "resilience": resilience_rows,
+            "store": store_rows,
         },
         "summary": {
             "refine_min_speedup": min(refine_speedups) if refine_speedups else None,
@@ -511,6 +653,12 @@ def run_bench(
             "parallel_workers": parallel_rows[0]["workers"],
             "resilience_recall_by_mitigation": {
                 row["mitigation"]: row["recall"] for row in resilience_rows
+            },
+            "store_publish_keys_per_s_by_backend": {
+                row["backend"]: row["publish_keys_per_s"] for row in store_rows
+            },
+            "store_scan_elements_per_s_by_backend": {
+                row["backend"]: row["scan_elements_per_s"] for row in store_rows
             },
         },
     }
@@ -556,6 +704,15 @@ def render_summary(result: dict[str, Any]) -> str:
             f"recall={row['recall']:.3f} complete={row['complete_fraction']:.2f} "
             f"retries={row['retries']} failovers={row['failovers']} "
             f"lost={row['lost_branches']} ({row['per_query_s'] * 1e3:.2f}ms/query)"
+        )
+    lines.append("store (data-plane backends, window-scan identity guard passed):")
+    for row in result["suites"]["store"]:
+        rss = f"{row['rss_mb']:.0f}MB rss" if row["rss_mb"] is not None else "rss n/a"
+        lines.append(
+            f"  {row['backend']:8s} {row['nodes']} nodes, {row['keys']} keys: "
+            f"publish {row['publish_keys_per_s']:,.0f} keys/s, "
+            f"scan {row['scan_elements_per_s']:,.0f} elems/s "
+            f"({rss}, stores {row['store_memory_mb']:.1f}MB)"
         )
     summary = result["summary"]
     lines.append(

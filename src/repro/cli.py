@@ -28,7 +28,10 @@ Commands
 phases and print the per-phase table after the run.  ``run``, ``report``,
 ``replicate``, and ``bench`` accept ``--workers N`` to execute query
 batches across N worker processes (results are identical for any N; only
-wall-clock time changes).
+wall-clock time changes).  ``run``, ``bench``, and ``chaos`` accept
+``--store {local,columnar,sqlite}`` to select the node-store backend the
+systems are built on (results are identical for any backend; only
+throughput and memory footprint change — see ``docs/storage.md``).
 """
 
 from __future__ import annotations
@@ -58,6 +61,7 @@ def main(argv: list[str] | None = None) -> int:
         "--profile", action="store_true", help="time hot phases and print the table"
     )
     _add_workers_flag(run_p)
+    _add_store_flag(run_p)
 
     repl_p = sub.add_parser("replicate", help="run a figure across several seeds")
     repl_p.add_argument("figure", help="figure id, e.g. fig09")
@@ -100,6 +104,7 @@ def main(argv: list[str] | None = None) -> int:
         help="path of the JSON result document",
     )
     _add_workers_flag(bench_p)
+    _add_store_flag(bench_p)
 
     chaos_p = sub.add_parser(
         "chaos", help="run seeded queries under an injected fault plane"
@@ -125,6 +130,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 unless recall is 1.0 and every result is complete",
     )
+    _add_store_flag(chaos_p)
 
     args = parser.parse_args(argv)
 
@@ -132,6 +138,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.exec import set_default_workers
 
         set_default_workers(args.workers)
+
+    if getattr(args, "store", None) is not None:
+        from repro.store import set_default_store
+
+        set_default_store(args.store)
 
     if args.command == "figures":
         return _cmd_figures()
@@ -159,6 +170,16 @@ def _add_workers_flag(subparser) -> None:
         default=None,
         metavar="N",
         help="worker processes for query batches (results identical for any N)",
+    )
+
+
+def _add_store_flag(subparser) -> None:
+    subparser.add_argument(
+        "--store",
+        default=None,
+        choices=["local", "columnar", "sqlite"],
+        help="node-store backend (default: REPRO_STORE env var or 'local'; "
+        "results identical for any backend)",
     )
 
 

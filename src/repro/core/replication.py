@@ -20,7 +20,7 @@ from typing import Any, Sequence
 from repro.core.system import SquidSystem
 from repro.errors import ReproError
 from repro.obs import metrics as obs_metrics
-from repro.store.local import LocalStore, StoredElement
+from repro.store import NodeStore, StoredElement
 
 __all__ = ["ReplicationManager"]
 
@@ -42,7 +42,10 @@ class ReplicationManager:
 
     Replicas live in per-node *replica stores*, separate from the primary
     stores the query engine scans — queries keep returning each element
-    exactly once.  The invariant maintained (and checked by
+    exactly once.  Replica stores are built from the system's
+    :class:`~repro.store.base.StoreSpec`, so they use the same backend as
+    the primaries (a columnar system keeps columnar replicas, a SQLite
+    system SQLite ones).  The invariant maintained (and checked by
     :meth:`verify_degree`):
 
         every element is stored at its primary (the successor of its index)
@@ -54,8 +57,11 @@ class ReplicationManager:
             raise ReplicationError(f"degree must be >= 1, got {degree}")
         self.system = system
         self.degree = degree
-        self.replicas: dict[int, LocalStore] = {
-            node_id: LocalStore() for node_id in system.overlay.node_ids()
+        # node_id=None: replica stores get process-unique labels so they
+        # never collide with the holder's primary store in a shared
+        # resource (e.g. a shared SQLite file's node column).
+        self.replicas: dict[int, NodeStore] = {
+            node_id: system.store_spec.create() for node_id in system.overlay.node_ids()
         }
         self.stats = ReplicationStats()
         self._replicate_existing()
@@ -80,7 +86,7 @@ class ReplicationManager:
             for element in store.all_elements():
                 self._write_replicas(node_id, element)
 
-    def _replica_store(self, holder: int) -> LocalStore:
+    def _replica_store(self, holder: int) -> NodeStore:
         """The replica store of ``holder``, created on demand.
 
         Nodes can join the overlay after this manager was constructed (e.g.
@@ -90,7 +96,7 @@ class ReplicationManager:
         """
         store = self.replicas.get(holder)
         if store is None:
-            store = self.replicas[holder] = LocalStore()
+            store = self.replicas[holder] = self.system.store_spec.create()
         return store
 
     def _write_replicas(self, primary: int, element: StoredElement) -> None:
@@ -119,7 +125,7 @@ class ReplicationManager:
     def add_node(self, node_id: int) -> None:
         """Join a node and rebuild affected replica placement."""
         self.system.add_node(node_id)
-        self.replicas[node_id] = LocalStore()
+        self.replicas[node_id] = self.system.store_spec.create()
         self.repair()
 
     def crash(self, node_id: int) -> int:
@@ -236,13 +242,15 @@ class ReplicationManager:
                 for holder in self._replica_holders(node_id):
                     desired[holder].append(element)
         written = 0
-        fresh: dict[int, LocalStore] = {}
+        fresh: dict[int, NodeStore] = {}
         for node_id, elements in desired.items():
-            store = LocalStore()
+            store = self.system.store_spec.create()
             store.add_sorted_bulk(elements)
             fresh[node_id] = store
             written += len(elements)
-        self.replicas = fresh
+        retired, self.replicas = self.replicas, fresh
+        for store in retired.values():
+            store.close()
         self.stats.messages += written
         return written
 
@@ -264,7 +272,7 @@ class ReplicationManager:
         return sum(store.element_count for store in self.replicas.values())
 
 
-def _holds(store: LocalStore, element: StoredElement) -> bool:
+def _holds(store: NodeStore, element: StoredElement) -> bool:
     for candidate in store.scan_range(element.index, element.index):
         if candidate.key == element.key and candidate.payload == element.payload:
             return True

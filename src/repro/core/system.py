@@ -6,7 +6,10 @@
 * the :class:`~repro.sfc.base.SpaceFillingCurve` (Hilbert by default) whose
   index space doubles as the overlay identifier space,
 * a :class:`~repro.overlay.chord.ChordRing` of peers,
-* one :class:`~repro.store.local.LocalStore` per peer,
+* one :class:`~repro.store.base.NodeStore` per peer — the backend is chosen
+  by name (``store="local"`` / ``"columnar"`` / ``"sqlite"``, see
+  :mod:`repro.store`), and every store the system ever builds (initial
+  ring, later joins) comes from the same :class:`~repro.store.base.StoreSpec`,
 
 and exposes ``publish`` / ``query`` plus the membership operations
 (`add_node`, `remove_node`) that move keys the way the protocol would.
@@ -40,7 +43,7 @@ from repro.overlay.base import ring_contains_open_closed
 from repro.overlay.chord import ChordRing
 from repro.sfc import make_curve
 from repro.sfc.base import SpaceFillingCurve
-from repro.store.local import LocalStore, StoredElement
+from repro.store import NodeStore, StoredElement, StoreSpec, as_spec
 from repro.util.rng import RandomLike, as_generator
 
 __all__ = ["SquidSystem"]
@@ -56,6 +59,7 @@ class SquidSystem:
         curve: SpaceFillingCurve | None = None,
         default_engine: QueryEngine | str | None = None,
         rng: RandomLike = None,
+        store: str | StoreSpec | None = None,
     ) -> None:
         self.space = space
         self.curve = curve if curve is not None else make_curve(
@@ -73,8 +77,12 @@ class SquidSystem:
                 f"curve index width ({self.curve.index_bits})"
             )
         self.overlay = overlay
-        self.stores: dict[int, LocalStore] = {
-            node_id: LocalStore() for node_id in overlay.node_ids()
+        #: Recipe every per-node store is built from (initial ring and later
+        #: joins alike); picklable, so spawn workers rebuild the same backend.
+        self.store_spec: StoreSpec = as_spec(store)
+        self.stores: dict[int, NodeStore] = {
+            node_id: self.store_spec.create(node_id=node_id)
+            for node_id in overlay.node_ids()
         }
         if isinstance(default_engine, str):
             default_engine = make_engine(default_engine)
@@ -98,17 +106,22 @@ class SquidSystem:
         curve: str = "hilbert",
         seed: RandomLike = None,
         engine: QueryEngine | str | None = None,
+        store: str | StoreSpec | None = None,
     ) -> "SquidSystem":
         """Build a system of ``n_nodes`` peers with random identifiers.
 
-        ``curve`` and ``engine`` are symmetric: both accept a registry name
-        (``curve="hilbert"``, ``engine="optimized"``/``"naive"``) or a
-        ready instance; ``engine`` sets the system's default query engine.
+        ``curve``, ``engine``, and ``store`` are symmetric: each accepts a
+        registry name (``curve="hilbert"``, ``engine="optimized"``/``"naive"``,
+        ``store="local"``/``"columnar"``/``"sqlite"``) — ``curve`` and
+        ``engine`` also take ready instances, ``store`` a
+        :class:`~repro.store.base.StoreSpec` carrying backend options.
+        ``store=None`` uses the process default (CLI ``--store`` flag or the
+        ``REPRO_STORE`` environment variable; ``"local"`` otherwise).
         """
         gen = as_generator(seed)
         sfc = make_curve(curve, space.dims, space.bits)
         ring = ChordRing.with_random_ids(sfc.index_bits, n_nodes, rng=gen)
-        return cls(space, ring, curve=sfc, default_engine=engine, rng=gen)
+        return cls(space, ring, curve=sfc, default_engine=engine, rng=gen, store=store)
 
     # ------------------------------------------------------------------
     # Observability
@@ -317,7 +330,7 @@ class SquidSystem:
         if node_id in self.stores:
             raise DuplicateNodeError(f"node {node_id} already present")
         cost = self.overlay.join(node_id)
-        store = LocalStore()
+        store = self.store_spec.create(node_id=node_id)
         self.stores[node_id] = store
         successor = self.overlay.successor_id(node_id)
         moved = 0
@@ -349,6 +362,7 @@ class SquidSystem:
                 target.add(element)
                 moved += 1
             cost += 1 if departing.element_count else 0
+        departing.close()
         if self.tracer is not None:
             self.tracer.record(NodeLeft(node_id))
             if moved:

@@ -21,6 +21,7 @@ __all__ = [
     "NodeNotFoundError",
     "DuplicateNodeError",
     "StoreError",
+    "ConfigError",
     "EngineError",
     "LoadBalanceError",
     "WorkloadError",
@@ -80,6 +81,10 @@ class DuplicateNodeError(OverlayError):
 
 class StoreError(ReproError):
     """Local data store errors."""
+
+
+class ConfigError(ReproError):
+    """A by-name component selection named something the registry lacks."""
 
 
 class EngineError(ReproError):

@@ -22,13 +22,13 @@ difference rather than hiding it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.keywords.space import KeywordSpace
 from repro.overlay.chord import ChordRing
 from repro.sfc import make_curve
-from repro.store.local import StoredElement
+from repro.store import StoredElement, StoreSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.system import SquidSystem
@@ -45,10 +45,13 @@ class SystemSpec:
     node_ids: list[int]
     elements: list[StoredElement]
     default_engine: Any = None
+    #: Store backend recipe; workers rebuild per-node stores from it, so a
+    #: columnar/SQLite parent gets columnar/SQLite workers.
+    store: StoreSpec = field(default_factory=StoreSpec)
 
     @classmethod
     def from_system(cls, system: "SquidSystem") -> "SystemSpec":
-        """Capture a system's geometry, membership, data, and engine."""
+        """Capture a system's geometry, membership, data, engine, and store."""
         elements: list[StoredElement] = []
         for node_id in sorted(system.stores):
             elements.extend(system.stores[node_id].all_elements())
@@ -58,6 +61,7 @@ class SystemSpec:
             node_ids=system.overlay.node_ids(),
             elements=elements,
             default_engine=system.default_engine,
+            store=system.store_spec,
         )
 
     def build(self) -> "SquidSystem":
@@ -67,7 +71,12 @@ class SystemSpec:
         curve = make_curve(self.curve_name, self.space.dims, self.space.bits)
         ring = ChordRing.build(curve.index_bits, self.node_ids)
         system = SquidSystem(
-            self.space, ring, curve=curve, default_engine=self.default_engine, rng=0
+            self.space,
+            ring,
+            curve=curve,
+            default_engine=self.default_engine,
+            rng=0,
+            store=self.store,
         )
         if self.elements:
             owners = ring.owner_many([e.index for e in self.elements])

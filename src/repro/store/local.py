@@ -1,209 +1,24 @@
-"""Per-node local data store.
+"""Deprecated import path — use :mod:`repro.store` instead.
 
-Each overlay node stores the data elements whose curve index falls in its
-``(predecessor, node]`` range.  The store keeps elements sorted by index so
-cluster processing can range-scan exactly the candidate indices; exact-match
-filtering against the original keyword tuples happens above, in the engine.
+``LocalStore`` moved to :mod:`repro.store.memory` when the data plane became
+pluggable; this shim keeps ``from repro.store.local import LocalStore``
+working (same class, same constructor) while steering imports to the
+package root, where backends are selected by name via
+:func:`repro.store.get_store`.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
-from dataclasses import dataclass, field
-from typing import Any, Iterator
+import warnings
 
-from repro.errors import StoreError
-from repro.obs import metrics as obs_metrics
+from repro.store.base import StoredElement
+from repro.store.memory import LocalStore
 
-__all__ = ["StoredElement", "LocalStore"]
+__all__ = ["LocalStore", "StoredElement"]
 
-
-@dataclass(frozen=True)
-class StoredElement:
-    """A data element at rest: its curve index, keyword tuple, and payload."""
-
-    index: int
-    key: tuple[Any, ...]
-    payload: Any = None
-
-
-class LocalStore:
-    """Sorted multimap ``index -> {key -> [elements]}``.
-
-    *Keys* (unique keyword combinations, the paper's load unit) may collide
-    on an index (quantization); *elements* (documents/resources) may share a
-    key.  Load-balancing moves whole index ranges between stores.
-    """
-
-    def __init__(self) -> None:
-        self._by_index: dict[int, dict[tuple, list[StoredElement]]] = {}
-        self._sorted_indices: list[int] = []
-        self._key_count = 0
-        self._element_count = 0
-
-    # ------------------------------------------------------------------
-    # Mutation
-    # ------------------------------------------------------------------
-    def add(self, element: StoredElement) -> None:
-        """Insert one element (O(log n) on a new index)."""
-        bucket = self._by_index.get(element.index)
-        if bucket is None:
-            bucket = {}
-            self._by_index[element.index] = bucket
-            insort(self._sorted_indices, element.index)
-        per_key = bucket.get(element.key)
-        if per_key is None:
-            bucket[element.key] = [element]
-            self._key_count += 1
-        else:
-            per_key.append(element)
-        self._element_count += 1
-        reg = obs_metrics.active()
-        if reg is not None:
-            reg.counter("store.elements_added").inc()
-
-    def add_sorted_bulk(self, elements: list[StoredElement]) -> None:
-        """Bulk insert; amortizes the sorted-index maintenance."""
-        for element in elements:
-            bucket = self._by_index.get(element.index)
-            if bucket is None:
-                bucket = {}
-                self._by_index[element.index] = bucket
-            per_key = bucket.get(element.key)
-            if per_key is None:
-                bucket[element.key] = [element]
-                self._key_count += 1
-            else:
-                per_key.append(element)
-            self._element_count += 1
-        self._sorted_indices = sorted(self._by_index)
-        reg = obs_metrics.active()
-        if reg is not None:
-            reg.counter("store.elements_added").inc(len(elements))
-
-    def pop_range(self, low: int, high: int) -> list[StoredElement]:
-        """Remove and return every element with index in ``[low, high]``.
-
-        Used when keys are handed to another node (join splits, runtime load
-        balancing, virtual-node migration).
-        """
-        if low > high:
-            raise StoreError(f"invalid range [{low}, {high}]")
-        lo_pos = bisect_left(self._sorted_indices, low)
-        hi_pos = bisect_right(self._sorted_indices, high)
-        moved: list[StoredElement] = []
-        for index in self._sorted_indices[lo_pos:hi_pos]:
-            bucket = self._by_index.pop(index)
-            for per_key in bucket.values():
-                moved.extend(per_key)
-                self._key_count -= 1
-                self._element_count -= len(per_key)
-        del self._sorted_indices[lo_pos:hi_pos]
-        reg = obs_metrics.active()
-        if reg is not None:
-            reg.counter("store.elements_moved").inc(len(moved))
-        return moved
-
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-    def scan_range(self, low: int, high: int) -> Iterator[StoredElement]:
-        """Yield elements with index in ``[low, high]`` in index order."""
-        if low > high:
-            return
-        reg = obs_metrics.active()
-        if reg is not None:
-            reg.counter("store.range_scans").inc()
-        lo_pos = bisect_left(self._sorted_indices, low)
-        hi_pos = bisect_right(self._sorted_indices, high)
-        for index in self._sorted_indices[lo_pos:hi_pos]:
-            for per_key in self._by_index[index].values():
-                yield from per_key
-
-    def scan_ranges(self, ranges) -> Iterator[StoredElement]:
-        """Yield elements across several index ranges in one sorted pass.
-
-        ``ranges`` must be sorted by ``low`` — as a cluster's piece list
-        always is — so each bisection can resume from the previous range's
-        end position instead of restarting from the front of the index
-        list.  Overlapping ranges are tolerated (an element is yielded once
-        per range containing it, matching repeated :meth:`scan_range`
-        calls); the common disjoint-ranges case never rescans an index.
-        Counts a single ``store.range_scans`` metric for the whole batch.
-        """
-        si = self._sorted_indices
-        counted = False
-        pos = 0
-        prev_high: int | None = None
-        reg = obs_metrics.active()
-        for low, high in ranges:
-            if low > high:
-                continue
-            if not counted:
-                counted = True
-                if reg is not None:
-                    reg.counter("store.range_scans").inc()
-            # Resuming at the previous end position is sound only when every
-            # index before it is < low, i.e. when the ranges don't overlap.
-            hint = pos if prev_high is not None and low > prev_high else 0
-            lo_pos = bisect_left(si, low, hint)
-            hi_pos = bisect_right(si, high, lo_pos)
-            for index in si[lo_pos:hi_pos]:
-                for per_key in self._by_index[index].values():
-                    yield from per_key
-            pos = hi_pos
-            prev_high = high if prev_high is None else max(prev_high, high)
-
-    def has_any_in_range(self, low: int, high: int) -> bool:
-        """True if any element index falls in ``[low, high]``."""
-        pos = bisect_left(self._sorted_indices, low)
-        return pos < len(self._sorted_indices) and self._sorted_indices[pos] <= high
-
-    def all_elements(self) -> Iterator[StoredElement]:
-        for index in self._sorted_indices:
-            for per_key in self._by_index[index].values():
-                yield from per_key
-
-    def indices(self) -> list[int]:
-        """Sorted distinct indices present in the store."""
-        return list(self._sorted_indices)
-
-    def key_count_at(self, index: int) -> int:
-        """Number of distinct keys stored at ``index``."""
-        bucket = self._by_index.get(index)
-        return len(bucket) if bucket else 0
-
-    def split_point_by_load(self) -> int | None:
-        """Index below which about half the keys live (for boundary shifts).
-
-        Returns the index such that handing ``[min_index, result]`` away
-        moves roughly half this store's keys; ``None`` when the store holds
-        fewer than two distinct indices.
-        """
-        if len(self._sorted_indices) < 2:
-            return None
-        counted = 0
-        half = self._key_count / 2
-        for index in self._sorted_indices[:-1]:
-            counted += len(self._by_index[index])
-            if counted >= half:
-                return index
-        return self._sorted_indices[-2]
-
-    # ------------------------------------------------------------------
-    # Accounting
-    # ------------------------------------------------------------------
-    @property
-    def key_count(self) -> int:
-        """Distinct keyword combinations stored (the paper's load measure)."""
-        return self._key_count
-
-    @property
-    def element_count(self) -> int:
-        return self._element_count
-
-    def __len__(self) -> int:
-        return self._element_count
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"LocalStore(keys={self._key_count}, elements={self._element_count})"
+warnings.warn(
+    "repro.store.local is deprecated; import LocalStore/StoredElement from "
+    "repro.store (or select backends by name via repro.store.get_store)",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,0 +1,166 @@
+"""The array-of-buckets in-memory backend (registry name ``"local"``).
+
+This is the original per-node store: a sorted multimap
+``index -> {key -> [elements]}``.  It *defines* the scan contract the other
+backends are tested against (see :mod:`repro.store.base`) and remains the
+default — fastest for paper-scale figures, with every element resident as a
+Python object.
+"""
+
+from __future__ import annotations
+
+import sys
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterator
+
+from repro.store.base import NodeStore, StoredElement
+
+__all__ = ["LocalStore", "StoredElement"]
+
+
+class LocalStore(NodeStore):
+    """Sorted multimap ``index -> {key -> [elements]}``.
+
+    *Keys* (unique keyword combinations, the paper's load unit) may collide
+    on an index (quantization); *elements* (documents/resources) may share a
+    key.  Load-balancing moves whole index ranges between stores.
+    """
+
+    backend_name = "local"
+
+    def __init__(self, node_id: int | None = None) -> None:
+        self._node_id = node_id
+        self._by_index: dict[int, dict[tuple, list[StoredElement]]] = {}
+        self._sorted_indices: list[int] = []
+        self._key_count = 0
+        self._element_count = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, element: StoredElement) -> None:
+        """Insert one element (O(log n) on a new index)."""
+        bucket = self._by_index.get(element.index)
+        if bucket is None:
+            bucket = {}
+            self._by_index[element.index] = bucket
+            insort(self._sorted_indices, element.index)
+        per_key = bucket.get(element.key)
+        if per_key is None:
+            bucket[element.key] = [element]
+            self._key_count += 1
+        else:
+            per_key.append(element)
+        self._element_count += 1
+        self._count_added(1)
+
+    def add_sorted_bulk(self, elements: list[StoredElement]) -> None:
+        """Bulk insert; amortizes the sorted-index maintenance."""
+        for element in elements:
+            bucket = self._by_index.get(element.index)
+            if bucket is None:
+                bucket = {}
+                self._by_index[element.index] = bucket
+            per_key = bucket.get(element.key)
+            if per_key is None:
+                bucket[element.key] = [element]
+                self._key_count += 1
+            else:
+                per_key.append(element)
+            self._element_count += 1
+        self._sorted_indices = sorted(self._by_index)
+        self._count_added(len(elements))
+
+    def pop_range(self, low: int, high: int) -> list[StoredElement]:
+        """Remove and return every element with index in ``[low, high]``.
+
+        Used when keys are handed to another node (join splits, runtime load
+        balancing, virtual-node migration).  Returned in scan order.
+        """
+        self._check_range(low, high)
+        lo_pos = bisect_left(self._sorted_indices, low)
+        hi_pos = bisect_right(self._sorted_indices, high)
+        moved: list[StoredElement] = []
+        for index in self._sorted_indices[lo_pos:hi_pos]:
+            bucket = self._by_index.pop(index)
+            for per_key in bucket.values():
+                moved.extend(per_key)
+                self._key_count -= 1
+                self._element_count -= len(per_key)
+        del self._sorted_indices[lo_pos:hi_pos]
+        self._count_moved(len(moved))
+        return moved
+
+    def clear(self) -> None:
+        self._by_index.clear()
+        self._sorted_indices.clear()
+        self._key_count = 0
+        self._element_count = 0
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _scan_span(self, low: int, high: int) -> Iterator[StoredElement]:
+        lo_pos = bisect_left(self._sorted_indices, low)
+        hi_pos = bisect_right(self._sorted_indices, high, lo_pos)
+        for index in self._sorted_indices[lo_pos:hi_pos]:
+            for per_key in self._by_index[index].values():
+                yield from per_key
+
+    def has_any_in_range(self, low: int, high: int) -> bool:
+        """True if any element index falls in ``[low, high]``."""
+        pos = bisect_left(self._sorted_indices, low)
+        return pos < len(self._sorted_indices) and self._sorted_indices[pos] <= high
+
+    def all_elements(self) -> Iterator[StoredElement]:
+        for index in self._sorted_indices:
+            for per_key in self._by_index[index].values():
+                yield from per_key
+
+    def indices(self) -> list[int]:
+        """Sorted distinct indices present in the store."""
+        return list(self._sorted_indices)
+
+    def key_count_at(self, index: int) -> int:
+        """Number of distinct keys stored at ``index``."""
+        bucket = self._by_index.get(index)
+        return len(bucket) if bucket else 0
+
+    def split_point_by_load(self) -> int | None:
+        """Index below which about half the keys live (for boundary shifts)."""
+        if len(self._sorted_indices) < 2:
+            return None
+        counted = 0
+        half = self._key_count / 2
+        for index in self._sorted_indices[:-1]:
+            counted += len(self._by_index[index])
+            if counted >= half:
+                return index
+        return self._sorted_indices[-2]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def key_count(self) -> int:
+        """Distinct keyword combinations stored (the paper's load measure)."""
+        return self._key_count
+
+    @property
+    def element_count(self) -> int:
+        return self._element_count
+
+    def memory_bytes(self) -> int:
+        """Container-structure estimate: dicts, index list, per-key lists.
+
+        Payload objects are not deep-sized (uniform across backends); the
+        per-entry constant approximates dict-entry + list-slot overhead.
+        """
+        size = sys.getsizeof(self._by_index) + sys.getsizeof(self._sorted_indices)
+        size += len(self._sorted_indices) * 96  # bucket dict per distinct index
+        size += self._key_count * 120  # dict entry + per-key list header
+        size += self._element_count * 64  # list slot + element object header
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocalStore(keys={self._key_count}, elements={self._element_count})"

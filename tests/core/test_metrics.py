@@ -1,7 +1,7 @@
 """Unit tests for the query metrics accumulator."""
 
 from repro.core.metrics import QueryResult, QueryStats
-from repro.store.local import StoredElement
+from repro.store import StoredElement
 
 
 class TestQueryStats:

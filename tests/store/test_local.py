@@ -5,7 +5,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import StoreError
-from repro.store.local import LocalStore, StoredElement
+from repro.store import LocalStore, StoredElement
+from repro.store.base import normalize_ranges
 
 
 def element(index, key=("a",), payload=None):
@@ -87,12 +88,14 @@ class TestScanRanges:
         assert list(store.scan_ranges([(9, 2)])) == []
         assert [e.index for e in store.scan_ranges([(9, 2), (5, 5)])] == [5]
 
-    def test_overlapping_ranges_match_repeated_scans(self):
+    def test_overlapping_ranges_select_exactly_once(self):
         store = self._store([1, 4, 4, 8, 15])
         ranges = [(0, 10), (3, 20)]  # sorted by low, overlapping
         batched = [e.index for e in store.scan_ranges(ranges)]
-        sequential = [e.index for lo, hi in ranges for e in store.scan_range(lo, hi)]
-        assert batched == sequential
+        # Overlapping ranges are coalesced before scanning: each element is
+        # selected exactly once, as if the covered span were scanned directly.
+        union = [e.index for e in store.scan_range(0, 20)]
+        assert batched == union == [1, 4, 4, 8, 15]
 
     def test_single_metric_per_batch(self):
         from repro.obs import collecting
@@ -114,12 +117,16 @@ class TestScanRanges:
         ),
     )
     @settings(max_examples=100)
-    def test_equivalent_to_repeated_scan_range(self, indices, ranges):
+    def test_equivalent_to_scanning_normalized_ranges(self, indices, ranges):
         ranges = sorted(ranges)  # cluster piece lists arrive sorted by low
         store = self._store(indices)
         batched = [(e.index, e.key) for e in store.scan_ranges(ranges)]
+        # The contract: scan_ranges ≡ repeated scan_range over the
+        # *normalized* (sorted, coalesced) ranges — exactly-once selection.
         sequential = [
-            (e.index, e.key) for lo, hi in ranges for e in store.scan_range(lo, hi)
+            (e.index, e.key)
+            for lo, hi in normalize_ranges(ranges)
+            for e in store.scan_range(lo, hi)
         ]
         assert batched == sequential
 

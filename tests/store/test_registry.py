@@ -1,0 +1,135 @@
+"""The store registry: by-name selection, specs, defaults, deprecation."""
+
+from __future__ import annotations
+
+import importlib
+import pickle
+import sys
+import warnings
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.store import (
+    REGISTRY,
+    ColumnarStore,
+    LocalStore,
+    SQLiteStore,
+    StoreSpec,
+    as_spec,
+    get_default_store,
+    get_store,
+    set_default_store,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_default():
+    yield
+    set_default_store(None)
+
+
+class TestGetStore:
+    def test_registry_names(self):
+        assert set(REGISTRY) == {"local", "columnar", "sqlite"}
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("local", LocalStore), ("columnar", ColumnarStore), ("sqlite", SQLiteStore)],
+    )
+    def test_by_name(self, name, cls):
+        store = get_store(name)
+        assert type(store) is cls
+        assert store.backend_name == name
+        store.close()
+
+    def test_options_forwarded(self, tmp_path):
+        store = get_store("sqlite", path=str(tmp_path), batch_size=7)
+        assert store._batch_size == 7
+        store.close()
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ConfigError) as exc:
+            get_store("redis")
+        message = str(exc.value)
+        assert "redis" in message
+        for name in ("local", "columnar", "sqlite"):
+            assert name in message
+
+
+class TestDefaults:
+    def test_builtin_default_is_local(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert get_default_store() == "local"
+
+    def test_env_variable_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "sqlite")
+        assert get_default_store() == "sqlite"
+        assert as_spec(None).name == "sqlite"
+
+    def test_set_default_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "sqlite")
+        set_default_store("columnar")
+        assert get_default_store() == "columnar"
+        set_default_store(None)  # reset: env visible again
+        assert get_default_store() == "sqlite"
+
+    def test_set_default_validates(self):
+        with pytest.raises(ConfigError):
+            set_default_store("bogus")
+
+    def test_system_create_uses_default(self, monkeypatch):
+        from repro.core.system import SquidSystem
+        from repro.keywords import KeywordSpace, WordDimension
+
+        set_default_store("columnar")
+        space = KeywordSpace([WordDimension("a"), WordDimension("b")], bits=4)
+        system = SquidSystem.create(space, n_nodes=4, seed=1)
+        assert system.store_spec.name == "columnar"
+        assert all(
+            isinstance(s, ColumnarStore) for s in system.stores.values()
+        )
+
+
+class TestStoreSpec:
+    def test_as_spec_coercions(self):
+        assert as_spec("columnar") == StoreSpec("columnar")
+        spec = StoreSpec("sqlite", {"batch_size": 9})
+        assert as_spec(spec) is spec
+
+    def test_as_spec_rejects_bad_input(self):
+        with pytest.raises(ConfigError):
+            as_spec("bogus")
+        with pytest.raises(ConfigError):
+            as_spec(42)
+        with pytest.raises(ConfigError):
+            as_spec(StoreSpec("bogus"))
+
+    def test_create_builds_backend_with_options(self, tmp_path):
+        spec = StoreSpec("sqlite", {"path": str(tmp_path), "batch_size": 5})
+        store = spec.create(node_id=3)
+        assert isinstance(store, SQLiteStore)
+        assert store._batch_size == 5
+        store.close()
+
+    def test_pickle_round_trip(self):
+        spec = StoreSpec("columnar", {"merge_every": 128})
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        store = clone.create()
+        assert isinstance(store, ColumnarStore)
+
+
+class TestDeprecatedImportPath:
+    def test_legacy_module_warns_and_aliases(self):
+        sys.modules.pop("repro.store.local", None)
+        with pytest.warns(DeprecationWarning, match="repro.store.local"):
+            legacy = importlib.import_module("repro.store.local")
+        assert legacy.LocalStore is LocalStore
+
+    def test_new_paths_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            importlib.reload(importlib.import_module("repro.store.memory"))
+            store = get_store("local")
+            assert isinstance(store, LocalStore)

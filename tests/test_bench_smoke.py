@@ -38,6 +38,11 @@ RESILIENCE_KEYS = {
     "fault_rate", "mitigation", "queries", "recall", "complete_fraction",
     "retries", "failovers", "lost_branches", "per_query_s",
 }
+STORE_KEYS = {
+    "backend", "nodes", "keys", "publish_s", "publish_keys_per_s",
+    "scan_s", "scanned_elements", "scan_elements_per_s", "windows",
+    "window_elements", "rss_mb", "store_memory_mb",
+}
 
 
 @pytest.fixture(scope="module")
@@ -53,7 +58,7 @@ def test_document_envelope(quick_result):
     assert quick_result["seed"] == 7
     assert quick_result["quick"] is True
     assert set(quick_result["suites"]) == {
-        "encode", "refine", "e2e", "parallel", "resilience",
+        "encode", "refine", "e2e", "parallel", "resilience", "store",
     }
     env = quick_result["environment"]
     assert {"python", "numpy", "platform", "cpus"} <= set(env)
@@ -116,11 +121,31 @@ def test_resilience_rows(quick_result):
     assert by_mitigation["none"]["recall"] <= full["recall"]
 
 
+def test_store_rows(quick_result):
+    rows = quick_result["suites"]["store"]
+    # One row per backend; reaching them means the window-scan identity
+    # guard inside the suite passed (columnar/sqlite vs. local reference).
+    assert [row["backend"] for row in rows] == ["local", "columnar", "sqlite"]
+    for row in rows:
+        assert set(row) == STORE_KEYS
+        assert row["publish_s"] > 0 and row["scan_s"] > 0
+        assert row["scanned_elements"] == row["keys"]
+        assert row["store_memory_mb"] > 0
+    # Every backend scanned the identical window workload.
+    assert len({row["window_elements"] for row in rows}) == 1
+
+
 def test_summary_shape(quick_result):
     summary = quick_result["summary"]
     assert summary["refine_min_speedup"] <= summary["refine_max_speedup"]
     assert set(summary["e2e_median_speedup_by_class"]) == {
         "exact", "prefix", "wildcard", "range",
+    }
+    assert set(summary["store_publish_keys_per_s_by_backend"]) == {
+        "local", "columnar", "sqlite",
+    }
+    assert set(summary["store_scan_elements_per_s_by_backend"]) == {
+        "local", "columnar", "sqlite",
     }
 
 
