@@ -32,6 +32,7 @@ from repro.core.loadbalance import (
 )
 from repro.core.metrics import QueryResult, QueryStats
 from repro.core.replication import ReplicationManager
+from repro.core.resultcache import ResultCache, set_default_result_cache
 from repro.core.system import SquidSystem
 from repro.keywords import (
     CategoricalDimension,
@@ -99,6 +100,8 @@ __all__ = [
     "make_curve",
     "CachingQueryLayer",
     "HotspotMonitor",
+    "ResultCache",
+    "set_default_result_cache",
     "LocalStore",
     "ColumnarStore",
     "SQLiteStore",

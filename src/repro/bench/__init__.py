@@ -9,11 +9,14 @@ convention) so successive PRs can compare numbers; see
 
 from repro.bench.harness import (
     SCHEMA,
+    SUITES,
     bench_e2e,
     bench_encode,
     bench_parallel,
     bench_refine,
     bench_resilience,
+    bench_store,
+    bench_trace,
     render_summary,
     run_bench,
     write_bench_json,
@@ -21,11 +24,14 @@ from repro.bench.harness import (
 
 __all__ = [
     "SCHEMA",
+    "SUITES",
     "bench_encode",
     "bench_refine",
     "bench_e2e",
     "bench_parallel",
     "bench_resilience",
+    "bench_store",
+    "bench_trace",
     "render_summary",
     "run_bench",
     "write_bench_json",

@@ -40,6 +40,13 @@ Three suites, each deterministic given a seed:
     footprint accounting.  A window-scan guard asserts every backend
     returns byte-identical scan output (elements *and* order) to
     ``local``, the contract-defining backend.
+``trace``
+    Skewed trace replay: a Zipf-popularity query trace with bursts and a
+    1% publish mix (:mod:`repro.workloads.trace`) replayed op-for-op on
+    twin systems — result cache off vs on.  Every query op's match set is
+    asserted identical between the twins (publishes invalidate, so a
+    cached run must never serve a stale answer), and the row records the
+    hit rate, messages saved, and the median per-query speedup.
 
 Timings use ``time.perf_counter`` best-of-``repeats``; the harness is not a
 statistics package — it exists so a regression (or a win) in the hot path
@@ -73,8 +80,10 @@ __all__ = [
     "bench_parallel",
     "bench_resilience",
     "bench_store",
+    "bench_trace",
     "run_bench",
     "write_bench_json",
+    "SUITES",
 ]
 
 #: Version tag of the JSON document layout; bump on breaking changes.
@@ -598,33 +607,206 @@ def bench_store(seed: int, quick: bool = False) -> list[dict[str, Any]]:
 
 
 # ----------------------------------------------------------------------
+# Suite: skewed trace replay (result cache off vs on)
+# ----------------------------------------------------------------------
+def bench_trace(seed: int, quick: bool = False) -> list[dict[str, Any]]:
+    """Zipf trace replay on twin systems: result cache off vs on.
+
+    Both twins start from the same seeded corpus and replay the same trace
+    op-for-op in lockstep — publishes land on both, queries run on both.
+    Three guards are hard assertions (they make the CI leg a plain bench
+    invocation):
+
+    * **zero stale** — every query op's sorted match payloads are identical
+      between the cached and uncached twin, even right after a publish into
+      a hot region (the uncached twin is exact by construction, so equality
+      proves the cache never served a stale entry);
+    * **hit rate** — the Zipf(1.0) trace must produce a hit rate > 0
+      (quick) / >= 0.6 (full scale);
+    * **speedup** (full scale only) — median per-query wall time must drop
+      >= 5x with the cache on.
+    """
+    from repro.core.resultcache import ResultCache
+    from repro.workloads.trace import synthetic_trace
+
+    n_ops = 300 if quick else 2_000
+    pool_size = 30 if quick else 50
+    zipf_exponent = 1.0
+    publish_mix = 0.01
+    burstiness = 0.2
+
+    system_off = _build_system(seed, quick, "optimized")
+    system_on = _build_system(seed, quick, "optimized")
+    system_on.result_cache = ResultCache(capacity=128)
+
+    queries = _batch_queries(seed * 5 + 2, pool_size)
+    rng = random.Random(seed * 19 + 7)
+    publish_keys = [
+        (rng.choice(_WORD_STEMS), float(rng.choice([128, 256, 300, 512, 640, 1024])))
+        for _ in range(64)
+    ]
+    trace = synthetic_trace(
+        queries,
+        length=n_ops,
+        zipf_exponent=zipf_exponent,
+        burstiness=burstiness,
+        publish_mix=publish_mix,
+        publish_keys=publish_keys,
+        rng=np.random.default_rng(seed * 23 + 11),
+    )
+
+    off_times: list[float] = []
+    on_times: list[float] = []
+    messages_off = messages_on = publishes = 0
+    origin_off = np.random.default_rng(seed * 29 + 1)
+    origin_on = np.random.default_rng(seed * 29 + 1)
+    for op in trace:
+        if op.kind == "publish":
+            system_off.publish(op.key, payload=op.payload)
+            system_on.publish(op.key, payload=op.payload)
+            publishes += 1
+            continue
+        t0 = perf_counter()
+        res_off = system_off.query(op.query, rng=origin_off)
+        off_times.append(perf_counter() - t0)
+        t0 = perf_counter()
+        res_on = system_on.query(op.query, rng=origin_on)
+        on_times.append(perf_counter() - t0)
+        messages_off += res_off.stats.messages
+        messages_on += res_on.stats.messages
+        got_off = sorted(str(e.payload) for e in res_off.matches)
+        got_on = sorted(str(e.payload) for e in res_on.matches)
+        if got_on != got_off:  # pragma: no cover - zero-stale guard
+            raise AssertionError(
+                f"result cache served a stale/incorrect answer for {op.query!r}"
+            )
+
+    cache = system_on.result_cache
+    hit_rate = cache.hit_rate
+    median_off = sorted(off_times)[len(off_times) // 2]
+    median_on = sorted(on_times)[len(on_times) // 2]
+    median_speedup = median_off / median_on if median_on > 0 else None
+    if hit_rate <= 0.0:  # pragma: no cover - hit-rate guard
+        raise AssertionError("Zipf trace produced no result-cache hits")
+    if not quick:  # pragma: no cover - full-scale acceptance guards
+        if hit_rate < 0.6:
+            raise AssertionError(
+                f"trace hit rate {hit_rate:.3f} below the 0.6 acceptance floor"
+            )
+        if median_speedup is not None and median_speedup < 5.0:
+            raise AssertionError(
+                f"trace median speedup {median_speedup:.1f}x below the 5x floor"
+            )
+    return [
+        {
+            "ops": len(trace),
+            "queries": trace.query_count,
+            "distinct_queries": trace.distinct_queries(),
+            "publishes": publishes,
+            "zipf_exponent": zipf_exponent,
+            "publish_mix": publish_mix,
+            "burstiness": burstiness,
+            "cache_capacity": cache.capacity,
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "invalidations": cache.invalidations,
+            "hit_rate": hit_rate,
+            "messages_off": messages_off,
+            "messages_on": messages_on,
+            "messages_saved": messages_off - messages_on,
+            "median_uncached_s": median_off,
+            "median_cached_s": median_on,
+            "median_speedup": median_speedup,
+            "stale_results": 0,
+        }
+    ]
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
+#: Suite registry, in run/report order.  ``parallel`` takes the workers
+#: knob; every other suite is ``fn(seed, quick)``.
+SUITES = ("encode", "refine", "e2e", "parallel", "resilience", "store", "trace")
+
+
 def run_bench(
-    seed: int = 42, quick: bool = False, workers: int | None = None
+    seed: int = 42,
+    quick: bool = False,
+    workers: int | None = None,
+    suites: "list[str] | tuple[str, ...] | None" = None,
 ) -> dict[str, Any]:
-    """Run every suite and assemble the versioned result document.
+    """Run the selected suites and assemble the versioned result document.
 
     ``workers`` sets the pooled side of the ``parallel`` suite; ``None``
     uses the process-wide default (CLI ``--workers``), floored at 2 so the
-    suite always exercises the multiprocess path.
+    suite always exercises the multiprocess path.  ``suites`` selects a
+    subset by name (CLI ``--suites``); ``None`` runs everything.  The
+    summary only carries entries whose source suite ran.
     """
     from repro.exec import get_default_workers
 
     if workers is None:
         workers = max(2, get_default_workers())
-    encode_rows = bench_encode(seed, quick)
-    refine_rows = bench_refine(seed, quick)
-    e2e_rows = bench_e2e(seed, quick)
-    parallel_rows = bench_parallel(seed, quick, workers=workers)
-    resilience_rows = bench_resilience(seed, quick)
-    store_rows = bench_store(seed, quick)
+    selected = tuple(suites) if suites else SUITES
+    unknown = [name for name in selected if name not in SUITES]
+    if unknown:
+        raise ValueError(f"unknown bench suite(s) {unknown}; choose from {SUITES}")
 
-    refine_speedups = [r["speedup"] for r in refine_rows if r["speedup"]]
-    e2e_by_class: dict[str, list[float]] = {}
-    for row in e2e_rows:
-        if row["speedup"]:
-            e2e_by_class.setdefault(row["class"], []).append(row["speedup"])
+    suite_rows: dict[str, list[dict[str, Any]]] = {}
+    for name in SUITES:
+        if name not in selected:
+            continue
+        if name == "parallel":
+            suite_rows[name] = bench_parallel(seed, quick, workers=workers)
+        else:
+            fn = {
+                "encode": bench_encode,
+                "refine": bench_refine,
+                "e2e": bench_e2e,
+                "resilience": bench_resilience,
+                "store": bench_store,
+                "trace": bench_trace,
+            }[name]
+            suite_rows[name] = fn(seed, quick)
+
+    summary: dict[str, Any] = {}
+    if "refine" in suite_rows:
+        refine_speedups = [r["speedup"] for r in suite_rows["refine"] if r["speedup"]]
+        summary["refine_min_speedup"] = (
+            min(refine_speedups) if refine_speedups else None
+        )
+        summary["refine_max_speedup"] = (
+            max(refine_speedups) if refine_speedups else None
+        )
+    if "e2e" in suite_rows:
+        e2e_by_class: dict[str, list[float]] = {}
+        for row in suite_rows["e2e"]:
+            if row["speedup"]:
+                e2e_by_class.setdefault(row["class"], []).append(row["speedup"])
+        summary["e2e_median_speedup_by_class"] = {
+            cls: sorted(vals)[len(vals) // 2] for cls, vals in e2e_by_class.items()
+        }
+    if "parallel" in suite_rows:
+        summary["parallel_speedup"] = suite_rows["parallel"][0]["speedup"]
+        summary["parallel_workers"] = suite_rows["parallel"][0]["workers"]
+    if "resilience" in suite_rows:
+        summary["resilience_recall_by_mitigation"] = {
+            row["mitigation"]: row["recall"] for row in suite_rows["resilience"]
+        }
+    if "store" in suite_rows:
+        summary["store_publish_keys_per_s_by_backend"] = {
+            row["backend"]: row["publish_keys_per_s"] for row in suite_rows["store"]
+        }
+        summary["store_scan_elements_per_s_by_backend"] = {
+            row["backend"]: row["scan_elements_per_s"] for row in suite_rows["store"]
+        }
+    if "trace" in suite_rows:
+        trace_row = suite_rows["trace"][0]
+        summary["trace_hit_rate"] = trace_row["hit_rate"]
+        summary["trace_median_speedup"] = trace_row["median_speedup"]
+        summary["trace_messages_saved"] = trace_row["messages_saved"]
+
     return {
         "schema": SCHEMA,
         "seed": seed,
@@ -635,32 +817,8 @@ def run_bench(
             "platform": sys.platform,
             "cpus": os.cpu_count(),
         },
-        "suites": {
-            "encode": encode_rows,
-            "refine": refine_rows,
-            "e2e": e2e_rows,
-            "parallel": parallel_rows,
-            "resilience": resilience_rows,
-            "store": store_rows,
-        },
-        "summary": {
-            "refine_min_speedup": min(refine_speedups) if refine_speedups else None,
-            "refine_max_speedup": max(refine_speedups) if refine_speedups else None,
-            "e2e_median_speedup_by_class": {
-                cls: sorted(vals)[len(vals) // 2] for cls, vals in e2e_by_class.items()
-            },
-            "parallel_speedup": parallel_rows[0]["speedup"],
-            "parallel_workers": parallel_rows[0]["workers"],
-            "resilience_recall_by_mitigation": {
-                row["mitigation"]: row["recall"] for row in resilience_rows
-            },
-            "store_publish_keys_per_s_by_backend": {
-                row["backend"]: row["publish_keys_per_s"] for row in store_rows
-            },
-            "store_scan_elements_per_s_by_backend": {
-                row["backend"]: row["scan_elements_per_s"] for row in store_rows
-            },
-        },
+        "suites": suite_rows,
+        "summary": summary,
     }
 
 
@@ -672,54 +830,83 @@ def write_bench_json(result: dict[str, Any], path: str) -> None:
 
 
 def render_summary(result: dict[str, Any]) -> str:
-    """Human-readable digest of one bench run (printed by the CLI)."""
+    """Human-readable digest of one bench run (printed by the CLI).
+
+    Tolerates partial documents: with ``--suites`` only the blocks whose
+    suite actually ran are rendered.
+    """
+    suites = result["suites"]
     lines = [f"bench {result['schema']} (seed={result['seed']}, quick={result['quick']})"]
-    lines.append("refine (scalar vs vectorized resolve):")
-    for row in result["suites"]["refine"]:
+    if "refine" in suites:
+        lines.append("refine (scalar vs vectorized resolve):")
+        for row in suites["refine"]:
+            lines.append(
+                f"  d={row['dims']} order={row['order']:2d} {row['region']:14s} "
+                f"{row['scalar_s'] * 1e3:8.2f}ms -> {row['vectorized_s'] * 1e3:7.2f}ms "
+                f"({row['speedup']:.1f}x, {row['clusters']} clusters)"
+            )
+    if "e2e" in suites:
+        lines.append("e2e (baseline vs vectorized+plan-cache, per query):")
+        for row in suites["e2e"]:
+            lines.append(
+                f"  {row['engine']:9s} {row['class']:8s} {row['query']:16s} "
+                f"{row['baseline_s'] * 1e3:8.2f}ms -> {row['optimized_s'] * 1e3:7.2f}ms "
+                f"({row['speedup']:.1f}x, {row['matches']} matches)"
+            )
+    if "parallel" in suites:
+        lines.append("parallel (serial vs pooled batch):")
+        for row in suites["parallel"]:
+            lines.append(
+                f"  {row['queries']} queries, {row['chunks']} chunks, "
+                f"workers={row['workers']} ({row['start_method']}): "
+                f"{row['serial_s'] * 1e3:8.2f}ms -> {row['parallel_s'] * 1e3:8.2f}ms "
+                f"({row['speedup']:.2f}x on {result['environment']['cpus']} cpu(s), "
+                f"{row['route_cache_hits']} route-cache hits)"
+            )
+    if "resilience" in suites:
         lines.append(
-            f"  d={row['dims']} order={row['order']:2d} {row['region']:14s} "
-            f"{row['scalar_s'] * 1e3:8.2f}ms -> {row['vectorized_s'] * 1e3:7.2f}ms "
-            f"({row['speedup']:.1f}x, {row['clusters']} clusters)"
+            "resilience (mitigations at fixed drop rate, zero-fault guard passed):"
         )
-    lines.append("e2e (baseline vs vectorized+plan-cache, per query):")
-    for row in result["suites"]["e2e"]:
-        lines.append(
-            f"  {row['engine']:9s} {row['class']:8s} {row['query']:16s} "
-            f"{row['baseline_s'] * 1e3:8.2f}ms -> {row['optimized_s'] * 1e3:7.2f}ms "
-            f"({row['speedup']:.1f}x, {row['matches']} matches)"
-        )
-    lines.append("parallel (serial vs pooled batch):")
-    for row in result["suites"]["parallel"]:
-        lines.append(
-            f"  {row['queries']} queries, {row['chunks']} chunks, "
-            f"workers={row['workers']} ({row['start_method']}): "
-            f"{row['serial_s'] * 1e3:8.2f}ms -> {row['parallel_s'] * 1e3:8.2f}ms "
-            f"({row['speedup']:.2f}x on {result['environment']['cpus']} cpu(s), "
-            f"{row['route_cache_hits']} route-cache hits)"
-        )
-    lines.append("resilience (mitigations at fixed drop rate, zero-fault guard passed):")
-    for row in result["suites"]["resilience"]:
-        lines.append(
-            f"  drop={row['fault_rate']} {row['mitigation']:18s} "
-            f"recall={row['recall']:.3f} complete={row['complete_fraction']:.2f} "
-            f"retries={row['retries']} failovers={row['failovers']} "
-            f"lost={row['lost_branches']} ({row['per_query_s'] * 1e3:.2f}ms/query)"
-        )
-    lines.append("store (data-plane backends, window-scan identity guard passed):")
-    for row in result["suites"]["store"]:
-        rss = f"{row['rss_mb']:.0f}MB rss" if row["rss_mb"] is not None else "rss n/a"
-        lines.append(
-            f"  {row['backend']:8s} {row['nodes']} nodes, {row['keys']} keys: "
-            f"publish {row['publish_keys_per_s']:,.0f} keys/s, "
-            f"scan {row['scan_elements_per_s']:,.0f} elems/s "
-            f"({rss}, stores {row['store_memory_mb']:.1f}MB)"
-        )
+        for row in suites["resilience"]:
+            lines.append(
+                f"  drop={row['fault_rate']} {row['mitigation']:18s} "
+                f"recall={row['recall']:.3f} complete={row['complete_fraction']:.2f} "
+                f"retries={row['retries']} failovers={row['failovers']} "
+                f"lost={row['lost_branches']} ({row['per_query_s'] * 1e3:.2f}ms/query)"
+            )
+    if "store" in suites:
+        lines.append("store (data-plane backends, window-scan identity guard passed):")
+        for row in suites["store"]:
+            rss = f"{row['rss_mb']:.0f}MB rss" if row["rss_mb"] is not None else "rss n/a"
+            lines.append(
+                f"  {row['backend']:8s} {row['nodes']} nodes, {row['keys']} keys: "
+                f"publish {row['publish_keys_per_s']:,.0f} keys/s, "
+                f"scan {row['scan_elements_per_s']:,.0f} elems/s "
+                f"({rss}, stores {row['store_memory_mb']:.1f}MB)"
+            )
+    if "trace" in suites:
+        lines.append("trace (Zipf replay, cache off vs on, zero-stale guard passed):")
+        for row in suites["trace"]:
+            lines.append(
+                f"  {row['queries']} queries ({row['distinct_queries']} distinct) + "
+                f"{row['publishes']} publishes, zipf={row['zipf_exponent']}: "
+                f"hit-rate {row['hit_rate']:.2f} "
+                f"({row['hits']} hits, {row['invalidations']} invalidations), "
+                f"{row['median_uncached_s'] * 1e3:.2f}ms -> "
+                f"{row['median_cached_s'] * 1e3:.3f}ms median "
+                f"({row['median_speedup']:.1f}x), "
+                f"{row['messages_saved']} messages saved"
+            )
     summary = result["summary"]
-    lines.append(
-        f"refine speedup min/max: {summary['refine_min_speedup']:.1f}x / "
-        f"{summary['refine_max_speedup']:.1f}x"
-    )
-    by_class = summary["e2e_median_speedup_by_class"]
-    classes = ", ".join(f"{cls}={spd:.1f}x" for cls, spd in sorted(by_class.items()))
-    lines.append(f"e2e median speedup by class: {classes}")
+    if "refine_min_speedup" in summary and summary["refine_min_speedup"] is not None:
+        lines.append(
+            f"refine speedup min/max: {summary['refine_min_speedup']:.1f}x / "
+            f"{summary['refine_max_speedup']:.1f}x"
+        )
+    if "e2e_median_speedup_by_class" in summary:
+        by_class = summary["e2e_median_speedup_by_class"]
+        classes = ", ".join(
+            f"{cls}={spd:.1f}x" for cls, spd in sorted(by_class.items())
+        )
+        lines.append(f"e2e median speedup by class: {classes}")
     return "\n".join(lines)

@@ -13,11 +13,14 @@ Commands
 ``trace QUERY [--engine E] [--nodes N] [--seed S] [--json]``
     Run one query on a small demo system with a tracer attached and print
     the reconstructed refinement tree, the stats, and the metrics snapshot.
-``bench [--quick] [--seed N] [--workers N] [--output PATH]``
+``bench [--quick] [--seed N] [--workers N] [--suites s1,s2] [--output PATH]``
     Run the seeded query-hot-path benchmark suites (encode throughput,
     refinement kernel scalar vs. vectorized, end-to-end latency by query
-    class, parallel batch execution, resilient execution under faults) and
-    write the versioned JSON document (default ``BENCH_query_path.json``).
+    class, parallel batch execution, resilient execution under faults,
+    store backends, skewed trace replay with the result cache) and write
+    the versioned JSON document (default ``BENCH_query_path.json``).
+    ``--suites`` selects a comma-separated subset (e.g. ``--suites trace``
+    for the CI cache smoke leg).
 ``chaos [--drop-rate R] [--crash-rate R] [--mitigation M] [--assert-complete]``
     Run seeded queries through an injected fault plane and print recall,
     completeness, and retry/failover accounting.  ``--assert-complete``
@@ -31,7 +34,10 @@ batches across N worker processes (results are identical for any N; only
 wall-clock time changes).  ``run``, ``bench``, and ``chaos`` accept
 ``--store {local,columnar,sqlite}`` to select the node-store backend the
 systems are built on (results are identical for any backend; only
-throughput and memory footprint change — see ``docs/storage.md``).
+throughput and memory footprint change — see ``docs/storage.md``), and
+``--result-cache N`` to attach an initiator-side result cache of capacity
+N to every system built during the command (match sets are identical with
+or without it; see ``docs/performance.md`` §7).
 """
 
 from __future__ import annotations
@@ -62,6 +68,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_workers_flag(run_p)
     _add_store_flag(run_p)
+    _add_result_cache_flag(run_p)
 
     repl_p = sub.add_parser("replicate", help="run a figure across several seeds")
     repl_p.add_argument("figure", help="figure id, e.g. fig09")
@@ -99,12 +106,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     bench_p.add_argument("--seed", type=int, default=42)
     bench_p.add_argument(
+        "--suites",
+        default=None,
+        metavar="s1,s2",
+        help="comma-separated suite subset "
+        "(encode,refine,e2e,parallel,resilience,store,trace)",
+    )
+    bench_p.add_argument(
         "--output",
         default="BENCH_query_path.json",
         help="path of the JSON result document",
     )
     _add_workers_flag(bench_p)
     _add_store_flag(bench_p)
+    _add_result_cache_flag(bench_p)
 
     chaos_p = sub.add_parser(
         "chaos", help="run seeded queries under an injected fault plane"
@@ -131,6 +146,7 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 unless recall is 1.0 and every result is complete",
     )
     _add_store_flag(chaos_p)
+    _add_result_cache_flag(chaos_p)
 
     args = parser.parse_args(argv)
 
@@ -143,6 +159,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.store import set_default_store
 
         set_default_store(args.store)
+
+    if getattr(args, "result_cache", None) is not None:
+        from repro.core.resultcache import set_default_result_cache
+
+        set_default_result_cache(args.result_cache)
 
     if args.command == "figures":
         return _cmd_figures()
@@ -180,6 +201,17 @@ def _add_store_flag(subparser) -> None:
         choices=["local", "columnar", "sqlite"],
         help="node-store backend (default: REPRO_STORE env var or 'local'; "
         "results identical for any backend)",
+    )
+
+
+def _add_result_cache_flag(subparser) -> None:
+    subparser.add_argument(
+        "--result-cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attach an initiator-side result cache of capacity N to every "
+        "system (match sets identical with or without; see docs/performance.md)",
     )
 
 
@@ -391,7 +423,14 @@ def _cmd_chaos(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.bench import render_summary, run_bench, write_bench_json
 
-    result = run_bench(seed=args.seed, quick=args.quick, workers=args.workers)
+    suites = (
+        [s.strip() for s in args.suites.split(",") if s.strip()]
+        if args.suites
+        else None
+    )
+    result = run_bench(
+        seed=args.seed, quick=args.quick, workers=args.workers, suites=suites
+    )
     write_bench_json(result, args.output)
     print(render_summary(result))
     print(f"results written to {args.output}")

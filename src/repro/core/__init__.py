@@ -14,6 +14,11 @@ from repro.core.loadbalance import (
 from repro.core.metrics import QueryResult, QueryStats
 from repro.core.plancache import PlanCache, plan_key
 from repro.core.replication import ReplicationManager
+from repro.core.resultcache import (
+    ResultCache,
+    result_key,
+    set_default_result_cache,
+)
 from repro.core.system import SquidSystem
 
 __all__ = [
@@ -26,6 +31,9 @@ __all__ = [
     "QueryStats",
     "PlanCache",
     "plan_key",
+    "ResultCache",
+    "result_key",
+    "set_default_result_cache",
     "sample_join_id",
     "grow_with_join_lb",
     "neighbor_balance_round",

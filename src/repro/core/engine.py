@@ -136,6 +136,18 @@ class QueryEngine(ABC):
           sub-query (abandoned branches are never waited on).
         """
 
+    def result_cache_params(self):
+        """Hashable engine parameters that shape the *answer* of a query.
+
+        Used as the engine component of :func:`repro.core.resultcache.result_key`.
+        Engines whose configuration can change which matches are returned
+        (never the case for the stock engines — only cost varies) still
+        include their plan-shaping parameters so cached entries are reused
+        exactly when the plan cache would reuse a plan.  ``None`` (the base
+        default) opts the engine out of result caching entirely.
+        """
+        return None
+
     def _pick_origin(
         self, system: "SquidSystem", origin: int | None, rng: RandomLike
     ) -> int:
@@ -217,6 +229,10 @@ class OptimizedEngine(QueryEngine):
         #: failover targets serve the unreachable peer's share of a cluster
         #: from its replica store, restoring full recall.
         self.replication = replication
+
+    def result_cache_params(self):
+        """Result-cache key component: name plus plan-shaping knobs."""
+        return ("optimized", self.aggregate, self.local_depth)
 
     def execute(
         self,
@@ -948,6 +964,10 @@ class NaiveEngine(QueryEngine):
         #: Optional refinement cap (the paper's curve approximation order);
         #: None resolves clusters exactly.
         self.max_level = max_level
+
+    def result_cache_params(self):
+        """Result-cache key component: name plus refinement depth."""
+        return ("naive", self.max_level)
 
     def execute(
         self,

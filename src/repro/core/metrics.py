@@ -81,6 +81,10 @@ class QueryStats:
     #: :class:`~repro.core.plancache.PlanCache` instead of being refined
     #: (identical plans either way — the cache only skips the geometry work).
     plan_cache_hit: bool = False
+    #: True when the whole result was served from the system's
+    #: :class:`~repro.core.resultcache.ResultCache` — no sub-queries were
+    #: sent, so the wire-cost fields are all zero for this query.
+    result_cache_hit: bool = False
     #: Resilient execution only (all zero on a fault-free run): transmissions
     #: re-sent after a timeout (to the same destination, or re-routed to the
     #: new owner after a crash).
@@ -186,6 +190,7 @@ class QueryStats:
                     self.time_to_first_match, other.time_to_first_match
                 )
         self.plan_cache_hit = self.plan_cache_hit or other.plan_cache_hit
+        self.result_cache_hit = self.result_cache_hit or other.result_cache_hit
         return self
 
     @classmethod
@@ -235,6 +240,7 @@ class QueryStats:
             "completion_time": self.completion_time,
             "time_to_first_match": self.time_to_first_match,
             "plan_cache_hit": self.plan_cache_hit,
+            "result_cache_hit": self.result_cache_hit,
             "retries": self.retries,
             "failovers": self.failovers,
             "messages_dropped": self.messages_dropped,

@@ -139,6 +139,11 @@ class ReplicationManager:
         if node_id not in overlay.nodes:
             raise ReplicationError(f"node {node_id} is not alive")
         lost_primaries = list(self.system.stores[node_id].all_elements())
+        # Segments the victim owned, computed while the ring still knows it:
+        # cached query results overlapping them are invalidated below (even
+        # full replica recovery re-homes the elements, and recovery may be
+        # partial).
+        lost_segments = self.system._owned_segments(node_id)
         pred_id = overlay.predecessor_id(node_id)
         succ_id = overlay.successor_id(node_id)
         overlay.fail(node_id)
@@ -154,6 +159,7 @@ class ReplicationManager:
                 succ_id if succ_id != node_id else pred_id
             )
         self.system.stores.pop(node_id)
+        self.system._invalidate_segments(lost_segments)
         crashed_replicas = self.replicas.pop(node_id)
 
         recovered = 0

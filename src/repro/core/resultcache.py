@@ -1,0 +1,381 @@
+"""Result cache: memoized complete query results at the initiator.
+
+The plan cache (:mod:`repro.core.plancache`) memoizes pure geometry and
+therefore never invalidates.  One tier above it sits this module's
+:class:`ResultCache`: an initiator-side LRU+TTL cache of *complete*
+:class:`~repro.core.metrics.QueryResult` match sets.  Unlike a plan, a
+result depends on the stored data — so the hard part is invalidation, and
+the contract here is strict:
+
+* **Publishes** into a cached region drop exactly the overlapping entries.
+  Each entry keeps a coarse interval cover of its region (the inclusive
+  curve-index ranges from :func:`~repro.sfc.clusters.resolve_clusters`
+  capped at ``invalidation_level``, a safe over-approximation) for a cheap
+  prefilter, then confirms with the exact coordinate-space test
+  (:meth:`~repro.sfc.regions.Region.contains_point`) so a publish only
+  evicts entries whose answer could actually change.
+* **Membership churn** (joins, graceful leaves, identifier moves, crashes)
+  invalidates by curve-index segment: any entry whose cover overlaps the
+  moved or lost segment is dropped.  Graceful movement preserves the global
+  data set, but crashes do not, and the segment test is the conservative
+  common denominator both need.
+* **Partial results** (``QueryResult.complete == False``, produced by the
+  fault plane) are never cached — a stale-guard counter
+  (``result_cache.partial_skipped``) records each refusal.
+
+Entries expire after ``ttl`` seconds when a TTL is configured; the clock is
+injectable so simulations can run on logical time.  Hits, misses,
+evictions, expirations, invalidations, and the messages a hit avoided
+re-sending are published to the active metrics registry under
+``result_cache.*``, and each :class:`~repro.core.metrics.QueryStats`
+records whether its query was served from cache (``result_cache_hit``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Sequence
+
+from repro.obs import metrics as obs_metrics
+from repro.sfc.base import SpaceFillingCurve
+from repro.sfc.regions import Region
+
+__all__ = [
+    "ResultCache",
+    "result_key",
+    "set_default_result_cache",
+    "default_result_cache",
+]
+
+
+def result_key(
+    curve: SpaceFillingCurve,
+    region: Region,
+    engine_name: str,
+    params: Hashable = None,
+    query: Any = None,
+) -> tuple:
+    """Canonical cache key for one query's result.
+
+    Extends :func:`repro.core.plancache.plan_key` with the query's
+    canonical text.  The plan cache can key on the region alone — plans
+    are pure geometry — but a *result* also reflects the engine's exact
+    match filter: at coarse bit resolutions two textually different
+    queries (``(computer, *)`` vs ``(comp*, *)``) can quantize to the same
+    canonical region yet keep different subsets of the scanned elements,
+    so the key must separate them.
+    """
+    return (
+        engine_name,
+        params,
+        str(query),
+        curve.name,
+        curve.dims,
+        curve.order,
+        region.canonical_key(),
+    )
+
+
+@dataclass
+class _Entry:
+    """One cached result: the match tuple plus its invalidation footprint."""
+
+    matches: tuple
+    #: Coarse inclusive curve-index cover of ``region`` — the invalidation
+    #: prefilter.  Over-approximating by construction (capped refinement),
+    #: never under-approximating.
+    ranges: tuple[tuple[int, int], ...]
+    #: Exact coordinate-space geometry, for point-precise publish checks.
+    region: Region
+    stored_at: float
+    #: Messages the original (uncached) execution spent; credited to the
+    #: ``result_cache.messages_saved`` counter on every hit.
+    messages: int
+
+
+class ResultCache:
+    """LRU+TTL cache of complete query results with interval invalidation.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum entries before LRU eviction.
+    ttl:
+        Seconds (by ``clock``) an entry stays valid, or None for no expiry.
+    invalidation_level:
+        Refinement depth of the per-entry interval cover.  Lower is coarser:
+        fewer, wider ranges — cheaper to build and test, but more collateral
+        invalidation.  Capped at the curve order.
+    clock:
+        Monotonic time source; injectable so tests and simulations can drive
+        TTL on logical time.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        ttl: float | None = None,
+        invalidation_level: int = 4,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive or None, got {ttl}")
+        if invalidation_level < 1:
+            raise ValueError(
+                f"invalidation_level must be >= 1, got {invalidation_level}"
+            )
+        self.capacity = capacity
+        self.ttl = ttl
+        self.invalidation_level = invalidation_level
+        self.clock = clock
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+        self.partial_skipped = 0
+        self.messages_saved = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def spawn_empty(self) -> "ResultCache":
+        """A fresh cache with the same configuration and zeroed counters.
+
+        Used by :class:`~repro.exec.pool.QueryPool` to give every chunk its
+        own cache (mirroring the plan/route cache swap) so batch results are
+        bit-identical for any worker count.
+        """
+        return ResultCache(
+            capacity=self.capacity,
+            ttl=self.ttl,
+            invalidation_level=self.invalidation_level,
+            clock=self.clock,
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup / install
+    # ------------------------------------------------------------------
+    def get(self, key: tuple) -> tuple | None:
+        """The cached match tuple for ``key``, or None; counts the lookup.
+
+        TTL is enforced here: an expired entry is dropped and reported as a
+        miss (plus ``result_cache.expirations``).
+        """
+        entry = self._entries.get(key)
+        reg = obs_metrics.active()
+        if entry is not None and self.ttl is not None:
+            if self.clock() - entry.stored_at >= self.ttl:
+                del self._entries[key]
+                self.expirations += 1
+                if reg is not None:
+                    reg.counter("result_cache.expirations").inc()
+                entry = None
+        if entry is None:
+            self.misses += 1
+            if reg is not None:
+                reg.counter("result_cache.misses").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self.messages_saved += entry.messages
+        if reg is not None:
+            reg.counter("result_cache.hits").inc()
+            reg.counter("result_cache.messages_saved").inc(entry.messages)
+        return entry.matches
+
+    def put(
+        self,
+        key: tuple,
+        result: Any,
+        curve: SpaceFillingCurve,
+        region: Region,
+    ) -> bool:
+        """Install a *complete* result; refuses partial ones.
+
+        Returns True when the entry was cached.  The stale guard: a result
+        with ``complete == False`` holds a certain *subset* of the exact
+        answer, so caching it would replay the faults of one execution into
+        every later lookup — it is counted (``result_cache.partial_skipped``)
+        and dropped instead.
+        """
+        if not getattr(result, "complete", True):
+            self.partial_skipped += 1
+            reg = obs_metrics.active()
+            if reg is not None:
+                reg.counter("result_cache.partial_skipped").inc()
+            return False
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = _Entry(
+            matches=tuple(result.matches),
+            ranges=self._cover(curve, region),
+            region=region,
+            stored_at=self.clock(),
+            messages=result.stats.messages,
+        )
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+            reg = obs_metrics.active()
+            if reg is not None:
+                reg.counter("result_cache.evictions").inc()
+        return True
+
+    def _cover(
+        self, curve: SpaceFillingCurve, region: Region
+    ) -> tuple[tuple[int, int], ...]:
+        """Coarse inclusive index cover of ``region`` over ``curve``.
+
+        Capping :func:`resolve_clusters` at ``invalidation_level`` keeps
+        unresolved cells as their *full* cell ranges, so the cover contains
+        every index the exact resolution would — overlap with it is a
+        necessary condition for a data change to affect the entry.
+        """
+        from repro.core.metrics import merge_index_ranges
+        from repro.sfc.clusters import resolve_clusters
+
+        level = min(self.invalidation_level, curve.order)
+        return merge_index_ranges(resolve_clusters(curve, region, max_level=level))
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate_point(
+        self, index: int, coords: Sequence[int] | None = None
+    ) -> int:
+        """Drop entries a publish/remove at ``index`` could affect.
+
+        The interval cover prefilters; when the publish's coordinates are
+        known, :meth:`Region.contains_point` confirms exactly, so a publish
+        outside an entry's region (even one landing inside its coarse cover)
+        leaves the entry alone.  Returns the number of entries dropped.
+        """
+        if not self._entries:
+            return 0
+        stale = []
+        for key, entry in self._entries.items():
+            if not _ranges_contain(entry.ranges, index):
+                continue
+            if coords is not None and not entry.region.contains_point(coords):
+                continue
+            stale.append(key)
+        return self._drop(stale)
+
+    def invalidate_points(
+        self,
+        indices: Sequence[int],
+        coords: Sequence[Sequence[int]] | None = None,
+    ) -> int:
+        """Batch form of :meth:`invalidate_point` (one pass per entry)."""
+        if not self._entries or len(indices) == 0:
+            return 0
+        stale = []
+        for key, entry in self._entries.items():
+            for pos, index in enumerate(indices):
+                if not _ranges_contain(entry.ranges, int(index)):
+                    continue
+                if coords is not None and not entry.region.contains_point(
+                    coords[pos]
+                ):
+                    continue
+                stale.append(key)
+                break
+        return self._drop(stale)
+
+    def invalidate_range(self, low: int, high: int) -> int:
+        """Drop entries whose cover overlaps the inclusive ``[low, high]``.
+
+        Used for membership churn, where a whole curve segment changes hands
+        (or is lost): there is no single point to test exactly, so the
+        coarse cover decides alone.  Returns the number of entries dropped.
+        """
+        if not self._entries or low > high:
+            return 0
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if _ranges_overlap(entry.ranges, low, high)
+        ]
+        return self._drop(stale)
+
+    def invalidate_all(self) -> int:
+        """Drop every entry (counted as invalidations, not evictions)."""
+        stale = list(self._entries)
+        return self._drop(stale)
+
+    def _drop(self, keys: list) -> int:
+        for key in keys:
+            del self._entries[key]
+        if keys:
+            self.invalidations += len(keys)
+            reg = obs_metrics.active()
+            if reg is not None:
+                reg.counter("result_cache.invalidations").inc(len(keys))
+        return len(keys)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved, nothing is counted)."""
+        self._entries.clear()
+
+
+def _ranges_contain(ranges: tuple[tuple[int, int], ...], index: int) -> bool:
+    for low, high in ranges:
+        if low <= index <= high:
+            return True
+        if low > index:
+            return False
+    return False
+
+
+def _ranges_overlap(
+    ranges: tuple[tuple[int, int], ...], low: int, high: int
+) -> bool:
+    for r_low, r_high in ranges:
+        if r_low <= high and low <= r_high:
+            return True
+        if r_low > high:
+            return False
+    return False
+
+
+# ----------------------------------------------------------------------
+# Process-wide default (CLI plumbing, mirrors exec.set_default_workers)
+# ----------------------------------------------------------------------
+_DEFAULT_CAPACITY: int | None = None
+
+
+def set_default_result_cache(capacity: int | None) -> None:
+    """Set the process default for ``SquidSystem(result_cache=None)``.
+
+    ``capacity`` of None turns the default off (systems built without an
+    explicit ``result_cache=`` get no cache, the historical behaviour); a
+    positive integer makes every such system create a
+    :class:`ResultCache` of that capacity.  Wired to the CLI's
+    ``--result-cache`` flag.
+    """
+    global _DEFAULT_CAPACITY
+    if capacity is not None and capacity < 1:
+        raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+    _DEFAULT_CAPACITY = capacity
+
+
+def default_result_cache() -> ResultCache | None:
+    """A fresh cache per the process default, or None when unset."""
+    if _DEFAULT_CAPACITY is None:
+        return None
+    return ResultCache(capacity=_DEFAULT_CAPACITY)

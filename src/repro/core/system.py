@@ -32,8 +32,9 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.core.engine import OptimizedEngine, QueryEngine, make_engine
-from repro.core.metrics import QueryResult
+from repro.core.metrics import QueryResult, QueryStats
 from repro.core.plancache import PlanCache
+from repro.core.resultcache import ResultCache, default_result_cache, result_key
 from repro.errors import DuplicateNodeError, OverlayError
 from repro.keywords.space import KeywordSpace
 from repro.obs import metrics as obs_metrics
@@ -48,6 +49,23 @@ from repro.util.rng import RandomLike, as_generator
 
 __all__ = ["SquidSystem"]
 
+#: Sentinel distinguishing "no payload filter" from ``payload=None``.
+_UNSET = object()
+
+
+def _coerce_result_cache(
+    knob: "ResultCache | int | bool | None",
+) -> ResultCache | None:
+    if knob is None:
+        return default_result_cache()
+    if knob is False:
+        return None
+    if knob is True:
+        return ResultCache()
+    if isinstance(knob, int):
+        return ResultCache(capacity=knob)
+    return knob
+
 
 class SquidSystem:
     """A complete simulated Squid deployment."""
@@ -60,6 +78,7 @@ class SquidSystem:
         default_engine: QueryEngine | str | None = None,
         rng: RandomLike = None,
         store: str | StoreSpec | None = None,
+        result_cache: "ResultCache | int | bool | None" = None,
     ) -> None:
         self.space = space
         self.curve = curve if curve is not None else make_curve(
@@ -94,6 +113,12 @@ class SquidSystem:
         #: Plans are pure functions of (curve, region, engine parameters),
         #: so the cache needs no invalidation; set to None to disable.
         self.plan_cache: PlanCache | None = PlanCache()
+        #: Initiator-side result cache (see :mod:`repro.core.resultcache`).
+        #: Accepts an instance, a capacity (int), True (defaults), False
+        #: (off), or None — None defers to the process default set by
+        #: :func:`repro.core.resultcache.set_default_result_cache` (the CLI
+        #: ``--result-cache`` flag), which is off unless configured.
+        self.result_cache: ResultCache | None = _coerce_result_cache(result_cache)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -107,6 +132,7 @@ class SquidSystem:
         seed: RandomLike = None,
         engine: QueryEngine | str | None = None,
         store: str | StoreSpec | None = None,
+        result_cache: "ResultCache | int | bool | None" = None,
     ) -> "SquidSystem":
         """Build a system of ``n_nodes`` peers with random identifiers.
 
@@ -121,7 +147,15 @@ class SquidSystem:
         gen = as_generator(seed)
         sfc = make_curve(curve, space.dims, space.bits)
         ring = ChordRing.with_random_ids(sfc.index_bits, n_nodes, rng=gen)
-        return cls(space, ring, curve=sfc, default_engine=engine, rng=gen, store=store)
+        return cls(
+            space,
+            ring,
+            curve=sfc,
+            default_engine=engine,
+            rng=gen,
+            store=store,
+            result_cache=result_cache,
+        )
 
     # ------------------------------------------------------------------
     # Observability
@@ -163,9 +197,18 @@ class SquidSystem:
         discoverable by that keyword on any dimension.
         """
         normalized = self.space.pad_key(key) if pad else self.space.validate_key(key)
-        index = self.index_of(normalized)
+        prof = obs_profile.active_profiler()
+        if prof is None:
+            coords = self.space.coordinates(normalized)
+            index = self.curve.encode(coords)
+        else:
+            with prof.phase("sfc.encode"):
+                coords = self.space.coordinates(normalized)
+                index = self.curve.encode(coords)
         element = StoredElement(index=index, key=normalized, payload=payload)
         self.stores[self.overlay.owner(index)].add(element)
+        if self.result_cache is not None:
+            self.result_cache.invalidate_point(index, coords)
         reg = obs_metrics.active()
         if reg is not None:
             reg.counter("system.publishes").inc()
@@ -210,10 +253,44 @@ class SquidSystem:
             )
         for owner, elements in per_node.items():
             self.stores[owner].add_sorted_bulk(elements)
+        if self.result_cache is not None:
+            self.result_cache.invalidate_points(indices, coords)
         reg = obs_metrics.active()
         if reg is not None:
             reg.counter("system.publishes").inc(len(key_list))
         return len(key_list)
+
+    def unpublish(
+        self, key: Sequence[Any], payload: Any = _UNSET, pad: bool = False
+    ) -> int:
+        """Remove published elements matching ``key``; returns count removed.
+
+        With the default ``payload`` every element stored under the exact
+        keyword tuple is removed; passing a payload removes only elements
+        carrying it (multimap semantics — a key may hold many payloads).
+        Removal invalidates overlapping result-cache entries exactly like a
+        publish at the same point would.
+        """
+        normalized = self.space.pad_key(key) if pad else self.space.validate_key(key)
+        coords = self.space.coordinates(normalized)
+        index = self.curve.encode(coords)
+        store = self.stores[self.overlay.owner(index)]
+        popped = list(store.pop_range(index, index))
+        kept = [
+            element
+            for element in popped
+            if element.key != normalized
+            or (payload is not _UNSET and element.payload != payload)
+        ]
+        removed = len(popped) - len(kept)
+        if kept:
+            store.add_sorted_bulk(kept)
+        if removed and self.result_cache is not None:
+            self.result_cache.invalidate_point(index, coords)
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("system.unpublishes").inc(removed)
+        return removed
 
     # ------------------------------------------------------------------
     # Querying
@@ -231,15 +308,42 @@ class SquidSystem:
         ``limit`` enables discovery mode: stop once at least ``limit``
         matches are found (useful when any match will do, e.g. finding *a*
         machine with 512MB rather than all of them).
+
+        When a :attr:`result_cache` is attached and the query is unlimited,
+        a cached complete result is returned without touching the overlay:
+        the hit carries the stored matches, fresh zero-cost stats with
+        ``result_cache_hit=True``, and no trace.  Discovery-mode queries
+        (``limit=``) bypass the cache — their truncated match sets are not
+        canonical answers for the region.
         """
         eng = self._coerce_engine(engine)
-        return eng.execute(
+        cache = self.result_cache
+        key = region = None
+        if cache is not None and limit is None:
+            params = eng.result_cache_params()
+            if params is not None:
+                q = self.space.as_query(query)
+                region = self.space.region(q)
+                key = result_key(self.curve, region, eng.name, params, query=q)
+                cached = cache.get(key)
+                if cached is not None:
+                    return QueryResult(
+                        q,
+                        list(cached),
+                        QueryStats(result_cache_hit=True),
+                        None,
+                        complete=True,
+                    )
+        result = eng.execute(
             self,
             query,
             origin=origin,
             rng=rng if rng is not None else self._rng,
             limit=limit,
         )
+        if key is not None:
+            cache.put(key, result, self.curve, region)
+        return result
 
     def query_many(
         self,
@@ -325,6 +429,32 @@ class SquidSystem:
     # ------------------------------------------------------------------
     # Membership with key movement
     # ------------------------------------------------------------------
+    def _owned_segments(self, node_id: int) -> list[tuple[int, int]]:
+        """The inclusive index segments ``node_id`` owns: ``(pred, id]``."""
+        pred = self.overlay.predecessor_id(node_id)
+        if pred == node_id:  # sole node: owns the whole ring
+            return [(0, self.overlay.space - 1)]
+        if pred < node_id:
+            return [(pred + 1, node_id)]
+        return [(pred + 1, self.overlay.space - 1), (0, node_id)]
+
+    def _invalidate_segments(self, segments: Iterable[tuple[int, int]]) -> None:
+        """Conservatively drop cached results overlapping churned segments.
+
+        Graceful membership changes preserve the global data set, so cached
+        match tuples would in fact stay exact — but the ISSUE-level contract
+        for the result cache is that *any* churn event touching a cached
+        region's index ranges invalidates the overlapping entries, which
+        also makes the crash path (where data really is lost) share one
+        code path with graceful movement.
+        """
+        cache = self.result_cache
+        if cache is None:
+            return
+        for low, high in segments:
+            if low <= high:
+                cache.invalidate_range(low, high)
+
     def add_node(self, node_id: int) -> int:
         """Join a node and hand it the keys it now owns; returns message cost."""
         if node_id in self.stores:
@@ -337,6 +467,7 @@ class SquidSystem:
         if successor != node_id:
             moved = self._transfer_range_from(successor, node_id)
             cost += 1 if moved else 0
+        self._invalidate_segments(self._owned_segments(node_id))
         if self.tracer is not None:
             self.tracer.record(NodeJoined(node_id))
             if moved:
@@ -350,6 +481,7 @@ class SquidSystem:
 
     def remove_node(self, node_id: int) -> int:
         """Gracefully remove a node, handing its keys to its successor."""
+        departing_segments = self._owned_segments(node_id)
         successor = self.overlay.successor_id(node_id)
         cost = self.overlay.leave(node_id)
         departing = self.stores.pop(node_id)
@@ -363,6 +495,7 @@ class SquidSystem:
                 moved += 1
             cost += 1 if departing.element_count else 0
         departing.close()
+        self._invalidate_segments(departing_segments)
         if self.tracer is not None:
             self.tracer.record(NodeLeft(node_id))
             if moved:
@@ -400,6 +533,9 @@ class SquidSystem:
                 store.add(element)
                 moved += 1
             src, dest = succ, new_id
+        self._invalidate_segments(
+            [(new_id + 1, old_id)] if new_id < old_id else [(old_id + 1, new_id)]
+        )
         if moved:
             if self.tracer is not None:
                 self.tracer.record(KeyMoved(src, dest, moved))
@@ -407,6 +543,25 @@ class SquidSystem:
             if reg is not None:
                 reg.counter("system.keys_moved").inc(moved)
         return moved, cost + (1 if moved else 0)
+
+    def fail_node(self, node_id: int) -> None:
+        """Crash a node: its identifier leaves the ring and its keys are lost.
+
+        Unlike :meth:`remove_node` nothing is handed over — this is the
+        lossy failure the fault plane and churn simulator inject when no
+        replication is attached.  The crashed node's owned index segments
+        are computed *before* the ring splices them away and any cached
+        results overlapping them are invalidated (their stored matches may
+        contain elements that no longer exist anywhere).
+        """
+        lost_segments = self._owned_segments(node_id)
+        self.overlay.fail(node_id)
+        self.stores.pop(node_id, None)
+        self._invalidate_segments(lost_segments)
+        reg = obs_metrics.active()
+        if reg is not None:
+            reg.counter("system.nodes_crashed").inc()
+            reg.gauge("system.nodes").set(len(self.overlay))
 
     def _transfer_range_from(self, source_id: int, new_node_id: int) -> int:
         """Move the keys that ``new_node_id`` now owns out of ``source_id``."""

@@ -9,8 +9,11 @@ turns that embarrassingly parallel shape into throughput:
   never on the worker count;
 * each chunk gets its **own seeded RNG** derived from the root seed via
   ``numpy`` ``SeedSequence(root, spawn_key=(chunk_index,))``, its own
-  fresh plan/route caches, and its own metrics registry — so a chunk's
-  results are a pure function of (system state, chunk queries, root seed);
+  fresh plan/route/result caches (the result cache is re-spawned with the
+  same configuration via
+  :meth:`~repro.core.resultcache.ResultCache.spawn_empty`), and its own
+  metrics registry — so a chunk's results are a pure function of
+  (system state, chunk queries, root seed);
 * workers execute chunks and the parent **merges** per-chunk outputs in
   chunk order: per-query :class:`~repro.core.metrics.QueryStats` reduce via
   :meth:`QueryStats.merge`, registries via
@@ -190,11 +193,14 @@ def _execute_chunk(
     """
     rng = _chunk_rng(task.root_seed, task.chunk_index)
     saved_plan = system.plan_cache
+    saved_result = getattr(system, "result_cache", None)
     saved_tracer = system.tracer
     overlay = system.overlay
     saved_route = getattr(overlay, "route_cache", None)
     if saved_plan is not None:
         system.plan_cache = type(saved_plan)()
+    if saved_result is not None:
+        system.result_cache = saved_result.spawn_empty()
     system.tracer = None
     if saved_route is not None:
         overlay.route_cache = type(saved_route)(maxsize=saved_route.maxsize)
@@ -213,6 +219,8 @@ def _execute_chunk(
         return task.chunk_index, results, registry.snapshot()
     finally:
         system.plan_cache = saved_plan
+        if saved_result is not None:
+            system.result_cache = saved_result
         system.tracer = saved_tracer
         if saved_route is not None:
             overlay.route_cache = saved_route

@@ -48,6 +48,12 @@ class SystemSpec:
     #: Store backend recipe; workers rebuild per-node stores from it, so a
     #: columnar/SQLite parent gets columnar/SQLite workers.
     store: StoreSpec = field(default_factory=StoreSpec)
+    #: Result-cache configuration as ``(capacity, ttl, invalidation_level)``,
+    #: or None when the parent system has no result cache.  Only the config
+    #: crosses the process boundary (a custom ``clock`` does not pickle and
+    #: cached entries are per-chunk state anyway — the pool re-spawns an
+    #: empty cache for every chunk regardless of start method).
+    result_cache: tuple | None = None
 
     @classmethod
     def from_system(cls, system: "SquidSystem") -> "SystemSpec":
@@ -55,6 +61,7 @@ class SystemSpec:
         elements: list[StoredElement] = []
         for node_id in sorted(system.stores):
             elements.extend(system.stores[node_id].all_elements())
+        cache = system.result_cache
         return cls(
             space=system.space,
             curve_name=system.curve.name,
@@ -62,14 +69,28 @@ class SystemSpec:
             elements=elements,
             default_engine=system.default_engine,
             store=system.store_spec,
+            result_cache=(
+                (cache.capacity, cache.ttl, cache.invalidation_level)
+                if cache is not None
+                else None
+            ),
         )
 
     def build(self) -> "SquidSystem":
         """Rebuild the system: same owners, same data, converged fingers."""
         from repro.core.system import SquidSystem
 
+        from repro.core.resultcache import ResultCache
+
         curve = make_curve(self.curve_name, self.space.dims, self.space.bits)
         ring = ChordRing.build(curve.index_bits, self.node_ids)
+        if self.result_cache is not None:
+            capacity, ttl, invalidation_level = self.result_cache
+            cache: "ResultCache | bool" = ResultCache(
+                capacity=capacity, ttl=ttl, invalidation_level=invalidation_level
+            )
+        else:
+            cache = False
         system = SquidSystem(
             self.space,
             ring,
@@ -77,6 +98,7 @@ class SystemSpec:
             default_engine=self.default_engine,
             rng=0,
             store=self.store,
+            result_cache=cache,
         )
         if self.elements:
             owners = ring.owner_many([e.index for e in self.elements])

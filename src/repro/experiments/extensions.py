@@ -17,6 +17,10 @@ is runnable via ``python -m repro run extA|extB|extC``.
 * ``extF`` — resilience: recall, completeness, and message cost under a
   seeded fault plane (message drops) at increasing fault rates, none vs
   retry vs retry+replication.
+* ``extG`` — result caching: hit rate, messages saved, and staleness of
+  the initiator-side :class:`~repro.core.resultcache.ResultCache` across
+  query skew x publish mix x TTL (every cached answer is checked against
+  a brute-force scan — the stale column must stay 0).
 """
 
 from __future__ import annotations
@@ -33,7 +37,13 @@ from repro.util.rng import as_generator
 from repro.workloads.documents import DocumentWorkload
 from repro.workloads.queries import q1_queries
 
-__all__ = ["run_replication", "run_hotspots", "run_response_time", "EXTENSIONS"]
+__all__ = [
+    "run_replication",
+    "run_hotspots",
+    "run_response_time",
+    "run_result_cache",
+    "EXTENSIONS",
+]
 
 
 def run_replication(scale: str = "small", seed: int = 30) -> FigureResult:
@@ -62,8 +72,7 @@ def run_replication(scale: str = "small", seed: int = 30) -> FigureResult:
         recovered = 0
         for victim in victims:
             if manager is None:
-                system.overlay.fail(int(victim))
-                system.stores.pop(int(victim))
+                system.fail_node(int(victim))
             else:
                 successor = system.overlay.successor_id(int(victim))
                 recovered += manager.crash(int(victim))
@@ -369,6 +378,110 @@ def run_faults(scale: str = "small", seed: int = 35) -> FigureResult:
     return result
 
 
+def run_result_cache(scale: str = "small", seed: int = 36) -> FigureResult:
+    """Result-cache hit rate and staleness: skew x publish mix x TTL sweep.
+
+    Replays synthetic traces (:func:`~repro.workloads.trace.synthetic_trace`)
+    against a system with an initiator-side
+    :class:`~repro.core.resultcache.ResultCache` driven by a logical-tick
+    clock (one tick per trace operation), so TTL expiry is deterministic.
+    The cache is kept smaller than the query pool so popularity skew — not
+    mere pool exhaustion — determines the hit rate.  Every cache *hit* is
+    verified against :meth:`~repro.core.system.SquidSystem.brute_force_matches`
+    over the live stores; a disagreement is a stale result, and the
+    ``stale`` column must stay 0 across the whole grid.
+    """
+    from repro.core.resultcache import ResultCache
+    from repro.workloads.queries import q1_queries as make_q1
+    from repro.workloads.trace import synthetic_trace
+
+    preset = SCALES[scale]
+    n_nodes = preset.node_counts[0]
+    n_keys = max(200, preset.key_counts[0] // 4)
+    n_ops = 240
+    pool_size = 64
+    capacity = 8
+    gen = as_generator(seed)
+    workload = DocumentWorkload.generate(
+        2, n_keys, vocabulary_size=preset.vocabulary_size, rng=gen
+    )
+    queries = make_q1(workload, count=pool_size, rng=seed + 1)
+    publish_keys = [
+        workload.keys[i]
+        for i in as_generator(seed + 2).choice(len(workload.keys), size=48, replace=False)
+    ]
+    result = FigureResult(
+        figure="extG",
+        title="Result cache: hit rate and staleness vs skew, update mix, TTL",
+        columns=[
+            "skew",
+            "publish_mix",
+            "ttl",
+            "hit_rate",
+            "invalidations",
+            "expirations",
+            "messages_saved",
+            "stale",
+        ],
+    )
+    for skew_pos, skew in enumerate((0.0, 0.6, 1.2)):
+        for mix_pos, mix in enumerate((0.0, 0.10)):
+            # The trace is fixed per (skew, mix) cell so the TTL variants
+            # replay identical operation sequences.
+            trace = synthetic_trace(
+                queries,
+                n_ops,
+                zipf_exponent=skew,
+                burstiness=0.1,
+                publish_mix=mix,
+                publish_keys=publish_keys if mix else None,
+                rng=np.random.default_rng(seed * 100 + skew_pos * 10 + mix_pos),
+            )
+            for ttl in (None, 40):
+                ticks = [0]
+                cache = ResultCache(
+                    capacity=capacity, ttl=ttl, clock=lambda t=ticks: t[0]
+                )
+                system = SquidSystem.create(
+                    workload.space,
+                    n_nodes=n_nodes,
+                    seed=seed + 3,
+                    result_cache=cache,
+                )
+                system.publish_many(workload.keys)
+                origin_rng = as_generator(seed + 4)
+                stale = 0
+                for op in trace:
+                    ticks[0] += 1
+                    if op.kind == "publish":
+                        system.publish(op.key, payload=op.payload)
+                        continue
+                    res = system.query(op.query, rng=origin_rng)
+                    if res.stats.result_cache_hit:
+                        want = sorted(
+                            (e.key, str(e.payload))
+                            for e in system.brute_force_matches(op.query)
+                        )
+                        got = sorted((e.key, str(e.payload)) for e in res.matches)
+                        if got != want:
+                            stale += 1  # pragma: no cover - stale guard
+                result.add_row(
+                    skew=skew,
+                    publish_mix=mix,
+                    ttl=ttl,
+                    hit_rate=round(cache.hit_rate, 3),
+                    invalidations=cache.invalidations,
+                    expirations=cache.expirations,
+                    messages_saved=cache.messages_saved,
+                    stale=stale,
+                )
+    result.notes.append(
+        f"{n_ops}-op traces over a {pool_size}-query pool, cache capacity "
+        f"{capacity}; TTL in logical ticks (1 tick per operation)"
+    )
+    return result
+
+
 EXTENSIONS = {
     "extA": run_replication,
     "extB": run_hotspots,
@@ -376,4 +489,5 @@ EXTENSIONS = {
     "extD": run_churn,
     "extE": run_attack,
     "extF": run_faults,
+    "extG": run_result_cache,
 }

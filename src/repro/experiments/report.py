@@ -243,6 +243,46 @@ def _check_extF(result: FigureResult) -> list[tuple[str, bool, str]]:
     ]
 
 
+def _check_extG(result: FigureResult) -> list[tuple[str, bool, str]]:
+    def rate(skew: float, mix: float, ttl) -> float:
+        return next(
+            r["hit_rate"]
+            for r in result.rows
+            if r["skew"] == skew and r["publish_mix"] == mix and r["ttl"] == ttl
+        )
+
+    skews = sorted({r["skew"] for r in result.rows})
+    mixes = sorted({r["publish_mix"] for r in result.rows})
+    ttls = {r["ttl"] for r in result.rows}
+    finite_ttl = next(t for t in ttls if t is not None)
+    base = [rate(s, mixes[0], None) for s in skews]
+    skew_helps = all(a <= b + 1e-9 for a, b in zip(base, base[1:])) and (
+        base[-1] > base[0] + 0.1
+    )
+    updates_hurt = all(
+        rate(s, mixes[-1], None) <= rate(s, mixes[0], None) + 0.02 for s in skews
+    )
+    ttl_costs = all(
+        rate(s, m, finite_ttl) <= rate(s, m, None) + 0.02
+        for s in skews
+        for m in mixes
+    )
+    return [
+        (
+            "hit rate grows with query skew",
+            skew_helps,
+            f"{base[0]:.2f} -> {base[-1]:.2f}",
+        ),
+        ("publish mix costs hit rate (invalidation)", updates_hurt, ""),
+        ("finite TTL never beats no-TTL", ttl_costs, ""),
+        (
+            "zero stale results across the whole grid",
+            all(r["stale"] == 0 for r in result.rows),
+            "",
+        ),
+    ]
+
+
 SHAPE_CHECKS: dict[str, Callable[[FigureResult], list[tuple[str, bool, str]]]] = {
     "fig09": _check_sweep,
     "fig10": _check_snapshot,
@@ -261,6 +301,7 @@ SHAPE_CHECKS: dict[str, Callable[[FigureResult], list[tuple[str, bool, str]]]] =
     "extD": _check_extD,
     "extE": _check_extE,
     "extF": _check_extF,
+    "extG": _check_extG,
 }
 
 _PAPER_CLAIMS = {
@@ -271,6 +312,8 @@ _PAPER_CLAIMS = {
     "extE": "Future work (attacks): retry + replication restore recall.",
     "extF": "Robustness: retry + replication keep queries exact and complete "
     "under injected message faults; unmitigated faults are reported honestly.",
+    "extG": "Perf: an initiator-side result cache absorbs skewed query streams "
+    "without ever serving a stale answer (interval invalidation + TTL).",
     "fig09": "Q1 2D: processing/data nodes are a small, sublinearly growing "
     "fraction of the system; data tracks processing; cost not monotone in matches.",
     "fig10": "All metrics 2D: routing >> processing ~= data; messages ~ 2x processing.",
@@ -297,6 +340,7 @@ def generate_report(
     figures run (see :mod:`repro.obs.profile`) and a closing "Profile"
     section reports per-phase call counts and wall time.
     """
+    from repro.obs import metrics as obs_metrics
     from repro.obs import profile as obs_profile
 
     names = figures if figures is not None else sorted(FIGURES)
@@ -308,30 +352,53 @@ def generate_report(
         "",
     ]
     profiler = obs_profile.enable_profiling() if profile else None
-    for name in names:
-        start = time.time()
-        result = run_figure(name, scale=scale)
-        elapsed = time.time() - start
-        lines.append(f"## {name} — {result.title}")
-        lines.append("")
-        lines.append(f"*Paper:* {_PAPER_CLAIMS.get(name, '-')}")
-        lines.append("")
-        checks = SHAPE_CHECKS[name](result)
-        for label, ok, detail in checks:
-            mark = "PASS" if ok else "FAIL"
-            suffix = f" ({detail})" if detail else ""
-            lines.append(f"- [{mark}] {label}{suffix}")
-        lines.append("")
-        if name in ("fig18", "fig19"):
-            for note in result.notes:
-                lines.append(f"    {note}")
+    with obs_metrics.collecting() as registry:
+        for name in names:
+            start = time.time()
+            result = run_figure(name, scale=scale)
+            elapsed = time.time() - start
+            lines.append(f"## {name} — {result.title}")
+            lines.append("")
+            lines.append(f"*Paper:* {_PAPER_CLAIMS.get(name, '-')}")
+            lines.append("")
+            checks = SHAPE_CHECKS[name](result)
+            for label, ok, detail in checks:
+                mark = "PASS" if ok else "FAIL"
+                suffix = f" ({detail})" if detail else ""
+                lines.append(f"- [{mark}] {label}{suffix}")
+            lines.append("")
+            if name in ("fig18", "fig19"):
+                for note in result.notes:
+                    lines.append(f"    {note}")
+            else:
+                lines.append("```")
+                lines.append(_condensed_table(result))
+                lines.append("```")
+            lines.append("")
+            lines.append(f"_(ran in {elapsed:.1f}s)_")
+            lines.append("")
+        counters = registry.snapshot()["counters"]
+    lines.append("## Cache hit rates")
+    lines.append("")
+    lines.append(
+        "Plan- and result-cache effectiveness across every figure above "
+        "(process-wide counters; see `docs/performance.md`)."
+    )
+    lines.append("")
+    for label, prefix in (("plan cache", "plan_cache"), ("result cache", "result_cache")):
+        hits = counters.get(f"{prefix}.hits", 0)
+        lookups = hits + counters.get(f"{prefix}.misses", 0)
+        if lookups == 0:
+            lines.append(f"- {label}: off / no lookups")
         else:
-            lines.append("```")
-            lines.append(_condensed_table(result))
-            lines.append("```")
-        lines.append("")
-        lines.append(f"_(ran in {elapsed:.1f}s)_")
-        lines.append("")
+            lines.append(
+                f"- {label}: {hits}/{lookups} lookups hit "
+                f"({hits / lookups:.1%})"
+            )
+    saved = counters.get("result_cache.messages_saved", 0)
+    if saved:
+        lines.append(f"- result cache messages saved: {saved}")
+    lines.append("")
     if profiler is not None:
         obs_profile.disable_profiling()
         lines.append("## Profile")

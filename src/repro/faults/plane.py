@@ -177,8 +177,7 @@ class FaultPlane:
                     replication.repair_around(successor)
         else:
             def executor(node_id: int) -> None:
-                system.overlay.fail(node_id)
-                system.stores.pop(node_id, None)
+                system.fail_node(node_id)
         self._crash_executor = executor
         return self
 

@@ -101,8 +101,9 @@ class ChurnProcess:
                     self.stats.crashes += 1
             else:
                 # Crash: keys on the victim are lost; no notifications.
-                overlay.fail(victim)
-                self.system.stores.pop(victim)
+                # fail_node also invalidates result-cache entries covering
+                # the victim's owned index segments.
+                self.system.fail_node(victim)
                 self.stats.crashes += 1
 
 

@@ -21,9 +21,13 @@ Identity stability (contract point 3 in :mod:`repro.store.base`): a row
 cache keyed by ``seq`` is primed with the *original* element objects when
 the buffer flushes, so scans return the very objects that were published —
 not reconstructions — exactly like the in-memory backends.  Setting
-``memory_budget_bytes`` bounds the cache too; when it is evicted, re-scanned
-rows are unpickled into fresh (equal, but not identical) objects, which is
-the documented trade-off of running truly out-of-core.
+``memory_budget_bytes`` bounds the cache too: entries are evicted
+least-recently-*scanned* first (LRU, scans refresh recency), so a skewed
+access pattern keeps its hot rows resident instead of losing the whole
+cache whenever the budget is crossed.  Evicted rows are unpickled on the
+next scan into fresh (equal, but not identical) objects, which is the
+documented trade-off of running truly out-of-core; hit/miss/eviction
+counts are reported via ``stats()``.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ import os
 import pickle
 import sqlite3
 import tempfile
+from collections import OrderedDict
 from typing import Any, Iterator
 
 from repro.errors import StoreError
@@ -96,8 +101,12 @@ class SQLiteStore(NodeStore):
         self._pending_bytes = 0
         #: (index, key) pairs sitting in the buffer that are new to the store.
         self._pending_new_pairs: set[tuple[int, tuple]] = set()
-        self._row_cache: dict[int, StoredElement] = {}
+        #: seq -> (element, blob bytes), in least-recently-scanned order.
+        self._row_cache: "OrderedDict[int, tuple[StoredElement, int]]" = OrderedDict()
         self._cache_bytes = 0
+        self._row_cache_hits = 0
+        self._row_cache_misses = 0
+        self._row_cache_evictions = 0
         self._key_count = 0
         self._element_count = 0
         if self._db_path != ":memory:":
@@ -132,7 +141,9 @@ class SQLiteStore(NodeStore):
             )
             self._conn.commit()
             for (seq,) in seqs:
-                self._row_cache.pop(seq, None)
+                entry = self._row_cache.pop(seq, None)
+                if entry is not None:
+                    self._cache_bytes -= entry[1]
             self._element_count -= len(moved)
             self._key_count -= len({(e.index, e.key) for e in moved})
         self._count_moved(len(moved))
@@ -211,6 +222,9 @@ class SQLiteStore(NodeStore):
         detail: dict[str, Any] = {
             "pending": len(self._pending),
             "row_cache_entries": len(self._row_cache),
+            "row_cache_hits": self._row_cache_hits,
+            "row_cache_misses": self._row_cache_misses,
+            "row_cache_evictions": self._row_cache_evictions,
             "path": self._db_path,
         }
         if self._db_path != ":memory:":
@@ -314,13 +328,21 @@ class SQLiteStore(NodeStore):
         self._pending_new_pairs.clear()
 
     def _cache_put(self, seq: int, element: StoredElement, blob_bytes: int) -> None:
-        self._row_cache[seq] = element
+        old = self._row_cache.pop(seq, None)
+        if old is not None:
+            self._cache_bytes -= old[1]
+        self._row_cache[seq] = (element, blob_bytes)
         self._cache_bytes += blob_bytes
-        if self._budget is not None and self._cache_bytes > self._budget:
-            # Out-of-core mode: drop the identity cache wholesale rather
-            # than track per-entry ages; see the module docstring.
-            self._row_cache.clear()
-            self._cache_bytes = 0
+        # Out-of-core mode: shed the least-recently-scanned rows until the
+        # identity cache fits the budget again; see the module docstring.
+        while (
+            self._budget is not None
+            and self._cache_bytes > self._budget
+            and self._row_cache
+        ):
+            _, (_, dropped_bytes) = self._row_cache.popitem(last=False)
+            self._cache_bytes -= dropped_bytes
+            self._row_cache_evictions += 1
 
     def _scan_rows(self, low: int | None, high: int | None) -> Iterator[StoredElement]:
         cur = self._cursor()
@@ -342,8 +364,13 @@ class SQLiteStore(NodeStore):
         run: list[StoredElement] = []
         run_idx: int | None = None
         for seq, idx, key_blob, payload_blob in rows:
-            element = self._row_cache.get(seq)
-            if element is None:
+            entry = self._row_cache.get(seq)
+            if entry is not None:
+                element = entry[0]
+                self._row_cache.move_to_end(seq)
+                self._row_cache_hits += 1
+            else:
+                self._row_cache_misses += 1
                 element = StoredElement(
                     index=int(idx),
                     key=pickle.loads(key_blob),

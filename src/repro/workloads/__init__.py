@@ -10,6 +10,15 @@ from repro.workloads.queries import (
 )
 from repro.workloads.resources import GRID_ATTRIBUTES, ResourceWorkload, grid_space
 from repro.workloads.streams import ZipfQueryStream
+from repro.workloads.trace import (
+    Trace,
+    TraceOp,
+    load_aol_trace,
+    load_msmarco_trace,
+    replay,
+    synthetic_trace,
+    text_to_query,
+)
 
 __all__ = [
     "COMMON_STEMS",
@@ -25,4 +34,11 @@ __all__ = [
     "q3_keyword_range_queries",
     "q3_full_range_queries",
     "ZipfQueryStream",
+    "Trace",
+    "TraceOp",
+    "load_aol_trace",
+    "load_msmarco_trace",
+    "replay",
+    "synthetic_trace",
+    "text_to_query",
 ]

@@ -1,0 +1,292 @@
+"""Trace-replay workloads: query-log loaders and skewed synthetic traces.
+
+Every benchmark before this module replayed uniform synthetic sweeps — the
+one distribution real discovery systems never see.  Real query logs are
+heavily skewed (Zipf popularity), bursty (what was just asked is asked
+again immediately), and interleaved with updates.  This module turns such
+logs into executable **traces**: ordered sequences of query / publish /
+unpublish operations against a :class:`~repro.core.system.SquidSystem`.
+
+Two loader families mirror the classic public log formats:
+
+* :func:`load_aol_trace` — AOL-style tab-separated logs
+  (``AnonID\\tQuery\\tQueryTime[\\t...]``, header line optional);
+* :func:`load_msmarco_trace` — MS-MARCO-style ``qid\\tquery text`` files.
+
+Both map free-text queries into a :class:`~repro.keywords.space.KeywordSpace`:
+tokens fill the space's word dimensions in order (long tokens become
+:class:`~repro.keywords.query.Prefix` terms — log queries are rarely exact
+vocabulary words), remaining dimensions are wildcarded.
+
+:func:`synthetic_trace` composes a query pool (loaded or generated) into a
+full trace with Zipf popularity, geometric bursts, and a configurable
+publish:query mix — the workload shape that makes a result cache
+(:mod:`repro.core.resultcache`) measurable and its invalidation necessary.
+:func:`replay` executes a trace and reports per-operation outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.errors import WorkloadError
+from repro.keywords.dimensions import WordDimension
+from repro.keywords.query import Exact, Prefix, Query, Wildcard
+from repro.keywords.space import KeywordSpace
+from repro.util.rng import RandomLike, as_generator
+from repro.workloads.corpus import zipf_weights
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.metrics import QueryResult
+    from repro.core.system import SquidSystem
+
+__all__ = [
+    "TraceOp",
+    "Trace",
+    "load_aol_trace",
+    "load_msmarco_trace",
+    "text_to_query",
+    "synthetic_trace",
+    "replay",
+]
+
+#: Tokens longer than this become prefix terms of this length — free-text
+#: words rarely match a stored vocabulary word exactly, but their stems do.
+_PREFIX_LEN = 4
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One trace operation: a query, a publish, or an unpublish."""
+
+    kind: str  # "query" | "publish" | "unpublish"
+    query: Query | None = None
+    key: tuple | None = None
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("query", "publish", "unpublish"):
+            raise WorkloadError(f"unknown trace op kind {self.kind!r}")
+        if self.kind == "query" and self.query is None:
+            raise WorkloadError("query ops need a query")
+        if self.kind != "query" and self.key is None:
+            raise WorkloadError(f"{self.kind} ops need a key")
+
+
+@dataclass
+class Trace:
+    """An ordered, replayable operation sequence."""
+
+    ops: list[TraceOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    @classmethod
+    def from_queries(cls, queries: Iterable[Query]) -> "Trace":
+        """A pure-query trace (no updates), in the given order."""
+        return cls([TraceOp("query", query=q) for q in queries])
+
+    @property
+    def query_count(self) -> int:
+        return sum(1 for op in self.ops if op.kind == "query")
+
+    @property
+    def update_count(self) -> int:
+        return len(self.ops) - self.query_count
+
+    def distinct_queries(self) -> int:
+        """Number of distinct query strings among the query ops."""
+        return len({str(op.query) for op in self.ops if op.kind == "query"})
+
+
+# ----------------------------------------------------------------------
+# Text -> keyword-space query mapping
+# ----------------------------------------------------------------------
+def text_to_query(text: str, space: KeywordSpace) -> Query | None:
+    """Map one free-text log query into ``space``, or None if untranslatable.
+
+    Tokens (lowercased, alphanumerics only) fill the space's
+    :class:`~repro.keywords.dimensions.WordDimension` slots in order; tokens
+    longer than ``4`` characters become :class:`Prefix` terms, shorter ones
+    :class:`Exact`.  Non-word dimensions and leftover word dimensions get
+    :class:`Wildcard`.  Queries with no usable token return None (callers
+    skip them, as log-replay tools skip malformed lines).
+    """
+    tokens = [
+        "".join(ch for ch in raw.lower() if ch.isalnum())
+        for raw in text.split()
+    ]
+    tokens = [t for t in tokens if t]
+    if not tokens:
+        return None
+    terms: list = []
+    token_iter = iter(tokens)
+    used = 0
+    for dim in space.dimensions:
+        tok = next(token_iter, None) if isinstance(dim, WordDimension) else None
+        if tok is None:
+            terms.append(Wildcard())
+        elif len(tok) > _PREFIX_LEN:
+            terms.append(Prefix(tok[:_PREFIX_LEN]))
+            used += 1
+        else:
+            terms.append(Exact(tok))
+            used += 1
+    if used == 0:
+        return None
+    return Query(tuple(terms))
+
+
+def _iter_lines(source: "str | Path | Iterable[str]") -> Iterable[str]:
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8", errors="replace") as fh:
+            yield from fh
+    else:
+        yield from source
+
+
+def load_aol_trace(
+    source: "str | Path | Iterable[str]",
+    space: KeywordSpace,
+    limit: int | None = None,
+) -> list[Query]:
+    """Load an AOL-style query log: ``AnonID\\tQuery\\tQueryTime[\\t...]``.
+
+    ``source`` is a path or an iterable of lines.  A header line (field
+    named ``Query``) and malformed/empty rows are skipped; click-through
+    duplicates (same user re-listed per clicked result) are kept — the
+    repetition *is* the workload.  Returns at most ``limit`` queries, in
+    log order.
+    """
+    queries: list[Query] = []
+    for line in _iter_lines(source):
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) < 2:
+            continue
+        text = parts[1].strip()
+        if not text or text.lower() == "query":  # header row
+            continue
+        q = text_to_query(text, space)
+        if q is None:
+            continue
+        queries.append(q)
+        if limit is not None and len(queries) >= limit:
+            break
+    return queries
+
+
+def load_msmarco_trace(
+    source: "str | Path | Iterable[str]",
+    space: KeywordSpace,
+    limit: int | None = None,
+) -> list[Query]:
+    """Load an MS-MARCO-style query file: ``qid\\tquery text`` per line."""
+    queries: list[Query] = []
+    for line in _iter_lines(source):
+        parts = line.rstrip("\n").split("\t", 1)
+        if len(parts) < 2:
+            continue
+        text = parts[1].strip()
+        if not text:
+            continue
+        q = text_to_query(text, space)
+        if q is None:
+            continue
+        queries.append(q)
+        if limit is not None and len(queries) >= limit:
+            break
+    return queries
+
+
+# ----------------------------------------------------------------------
+# Synthetic trace generation
+# ----------------------------------------------------------------------
+def synthetic_trace(
+    queries: Sequence[Query],
+    length: int,
+    zipf_exponent: float = 1.0,
+    burstiness: float = 0.0,
+    publish_mix: float = 0.0,
+    publish_keys: Sequence[Sequence[Any]] | None = None,
+    rng: RandomLike = None,
+) -> Trace:
+    """Compose a query pool into a skewed, bursty, update-mixed trace.
+
+    * ``zipf_exponent`` — popularity skew over the pool (rank-frequency
+      exponent; 0 = uniform, 1.0 = classic Zipf).  The pool order defines
+      the ranks.
+    * ``burstiness`` in [0, 1) — probability that the next query repeats
+      the previous one (geometric burst lengths, the memoryless analogue of
+      session re-queries).
+    * ``publish_mix`` in [0, 1) — probability that an operation is a
+      publish of a key drawn uniformly from ``publish_keys`` (required when
+      the mix is nonzero) instead of a query.  Publish payloads are
+      ``"trace-pub-{n}"`` with a per-trace counter, so replays on twin
+      systems insert identical elements.
+    """
+    if length < 0:
+        raise WorkloadError(f"length must be >= 0, got {length}")
+    if not queries and length:
+        raise WorkloadError("synthetic_trace needs a non-empty query pool")
+    if not 0.0 <= burstiness < 1.0:
+        raise WorkloadError(f"burstiness must be in [0, 1), got {burstiness}")
+    if not 0.0 <= publish_mix < 1.0:
+        raise WorkloadError(f"publish_mix must be in [0, 1), got {publish_mix}")
+    if publish_mix > 0.0 and not publish_keys:
+        raise WorkloadError("a nonzero publish_mix needs publish_keys")
+    gen = as_generator(rng)
+    weights = zipf_weights(len(queries), zipf_exponent)
+    ops: list[TraceOp] = []
+    published = 0
+    last_query: Query | None = None
+    for _ in range(length):
+        if publish_mix > 0.0 and gen.random() < publish_mix:
+            key = tuple(publish_keys[int(gen.integers(0, len(publish_keys)))])
+            ops.append(
+                TraceOp("publish", key=key, payload=f"trace-pub-{published}")
+            )
+            published += 1
+            continue
+        if last_query is not None and gen.random() < burstiness:
+            ops.append(TraceOp("query", query=last_query))
+            continue
+        last_query = queries[int(gen.choice(len(queries), p=weights))]
+        ops.append(TraceOp("query", query=last_query))
+    return Trace(ops)
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+def replay(
+    system: "SquidSystem",
+    trace: Trace,
+    seed: RandomLike = 0,
+    engine: Any = None,
+) -> "list[QueryResult | None]":
+    """Execute a trace in order; returns one entry per op (None for updates).
+
+    Query ops run through :meth:`SquidSystem.query` (and therefore through
+    the system's result cache when one is attached); publish/unpublish ops
+    mutate the data set and trigger the cache's invalidation hooks.  The
+    origin-selection RNG is derived from ``seed`` so two replays of the
+    same trace are reproducible.
+    """
+    gen = as_generator(seed)
+    out: "list[QueryResult | None]" = []
+    for op in trace:
+        if op.kind == "query":
+            out.append(system.query(op.query, engine=engine, rng=gen))
+        elif op.kind == "publish":
+            system.publish(op.key, payload=op.payload)
+            out.append(None)
+        else:
+            system.unpublish(op.key, payload=op.payload)
+            out.append(None)
+    return out

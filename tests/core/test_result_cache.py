@@ -1,0 +1,283 @@
+"""Tests for the initiator-side result cache.
+
+The load-bearing property is *freshness*: a cached answer must be the one
+the engine would compute right now.  LRU/TTL bookkeeping is secondary —
+what these tests pin hardest is invalidation precision (only overlapping
+entries drop) and the partial-result stale guard.
+"""
+
+import random
+
+import pytest
+
+from repro.core.metrics import QueryResult, QueryStats
+from repro.core.resultcache import (
+    ResultCache,
+    default_result_cache,
+    result_key,
+    set_default_result_cache,
+)
+from repro.core.system import SquidSystem
+from repro.keywords.dimensions import WordDimension
+from repro.keywords.space import KeywordSpace
+from repro.obs import collecting
+
+WORDS = ["computer", "computation", "network", "netbook", "storage", "memory"]
+
+
+def build_system(seed=11, n_nodes=24, n_docs=120, cache=True, engine="optimized"):
+    space = KeywordSpace([WordDimension("kw1"), WordDimension("kw2")], bits=8)
+    system = SquidSystem.create(
+        space, n_nodes=n_nodes, seed=seed, engine=engine, result_cache=cache
+    )
+    rng = random.Random(seed)
+    for i in range(n_docs):
+        system.publish((rng.choice(WORDS), rng.choice(WORDS)), payload=i)
+    return system
+
+
+def _prepare(system, query):
+    """The (key, region) pair the system's fast path would use."""
+    q = system.space.as_query(query)
+    region = system.space.region(q)
+    engine = system._coerce_engine(None)
+    key = result_key(
+        system.curve, region, engine.name, engine.result_cache_params(), query=q
+    )
+    return key, region
+
+
+def _fake_result(matches=("m",), messages=7, complete=True):
+    stats = QueryStats(messages=messages)
+    return QueryResult(
+        query=None, matches=list(matches), stats=stats, complete=complete
+    )
+
+
+class TestCacheUnit:
+    def test_miss_then_hit(self):
+        system = build_system()
+        cache = ResultCache(capacity=4)
+        key, region = _prepare(system, "(computer, *)")
+        assert cache.get(key) is None
+        assert cache.put(key, _fake_result(), system.curve, region)
+        assert cache.get(key) == ("m",)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+        assert cache.messages_saved == 7
+
+    def test_lru_eviction_order(self):
+        system = build_system()
+        cache = ResultCache(capacity=2)
+        keys = {}
+        for word in ("computer", "network", "storage"):
+            keys[word] = _prepare(system, f"({word}, *)")
+        cache.put(keys["computer"][0], _fake_result(("a",)), system.curve, keys["computer"][1])
+        cache.put(keys["network"][0], _fake_result(("b",)), system.curve, keys["network"][1])
+        cache.get(keys["computer"][0])  # refresh: "network" becomes LRU
+        cache.put(keys["storage"][0], _fake_result(("c",)), system.curve, keys["storage"][1])
+        assert cache.evictions == 1
+        assert cache.get(keys["network"][0]) is None
+        assert cache.get(keys["computer"][0]) == ("a",)
+        assert cache.get(keys["storage"][0]) == ("c",)
+
+    def test_ttl_expiry_on_logical_clock(self):
+        system = build_system()
+        ticks = [0]
+        cache = ResultCache(capacity=4, ttl=10, clock=lambda: ticks[0])
+        key, region = _prepare(system, "(computer, *)")
+        cache.put(key, _fake_result(), system.curve, region)
+        ticks[0] = 9
+        assert cache.get(key) == ("m",)
+        ticks[0] = 10
+        assert cache.get(key) is None
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_partial_results_never_cached(self):
+        system = build_system()
+        cache = ResultCache(capacity=4)
+        key, region = _prepare(system, "(computer, *)")
+        assert not cache.put(key, _fake_result(complete=False), system.curve, region)
+        assert cache.partial_skipped == 1
+        assert len(cache) == 0
+        assert cache.get(key) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl=0)
+        with pytest.raises(ValueError):
+            ResultCache(invalidation_level=0)
+
+    def test_spawn_empty_copies_config_only(self):
+        ticks = [3]
+        cache = ResultCache(capacity=5, ttl=2.5, invalidation_level=3, clock=lambda: ticks[0])
+        cache.hits = 9
+        spawned = cache.spawn_empty()
+        assert (spawned.capacity, spawned.ttl, spawned.invalidation_level) == (5, 2.5, 3)
+        assert spawned.clock is cache.clock
+        assert spawned.hits == 0 and len(spawned) == 0
+
+    def test_result_key_separates_engines_params_and_query_text(self):
+        system = build_system()
+        q = system.space.as_query("(computer, *)")
+        region = system.space.region(q)
+        base = result_key(system.curve, region, "optimized", ("optimized", False, 2), query=q)
+        assert base == result_key(
+            system.curve, region, "optimized", ("optimized", False, 2), query=q
+        )
+        assert base != result_key(system.curve, region, "naive", ("naive", 4), query=q)
+        assert base != result_key(
+            system.curve, region, "optimized", ("optimized", True, 2), query=q
+        )
+        # Same region, different query text (the coarse-quantization trap):
+        other = system.space.as_query("(comp*, *)")
+        assert base != result_key(
+            system.curve, region, "optimized", ("optimized", False, 2), query=other
+        )
+
+
+class TestInvalidationPrecision:
+    def test_publish_inside_region_invalidates(self):
+        system = build_system()
+        first = system.query("(computer, *)")
+        assert not first.stats.result_cache_hit
+        assert system.query("(computer, *)").stats.result_cache_hit
+        system.publish(("computer", "memory"), payload="fresh")
+        res = system.query("(computer, *)")
+        assert not res.stats.result_cache_hit
+        assert "fresh" in [e.payload for e in res.matches]
+
+    def test_publish_outside_region_preserves_entry(self):
+        system = build_system()
+        system.query("(computer, *)")
+        before = len(system.result_cache)
+        system.publish(("network", "memory"), payload="elsewhere")
+        assert len(system.result_cache) == before
+        hit = system.query("(computer, *)")
+        assert hit.stats.result_cache_hit
+        assert "elsewhere" not in [e.payload for e in hit.matches]
+
+    def test_publish_many_invalidates_overlapping_only(self):
+        system = build_system()
+        system.query("(computer, *)")
+        system.query("(storage, *)")
+        assert len(system.result_cache) == 2
+        system.publish_many([("computer", "netbook"), ("netbook", "netbook")])
+        # Only the (computer, *) entry overlaps the batch.
+        assert len(system.result_cache) == 1
+        assert system.query("(storage, *)").stats.result_cache_hit
+        res = system.query("(computer, *)")
+        assert not res.stats.result_cache_hit
+
+    def test_unpublish_invalidates_and_removes(self):
+        system = build_system(n_docs=0)
+        system.publish(("computer", "memory"), payload="keep")
+        system.publish(("computer", "memory"), payload="drop")
+        assert len(system.query("(computer, *)").matches) == 2
+        removed = system.unpublish(("computer", "memory"), payload="drop")
+        assert removed == 1
+        res = system.query("(computer, *)")
+        assert not res.stats.result_cache_hit
+        assert [e.payload for e in res.matches] == ["keep"]
+
+    def test_membership_churn_invalidates_by_segment(self):
+        system = build_system()
+        system.query("(computer, *)")
+        system.query("(storage, *)")
+        assert len(system.result_cache) == 2
+        # A join splits one owner's segment; only entries overlapping the
+        # transferred span may drop — and queries stay exact either way.
+        new_id = next(
+            i for i in range(system.overlay.space) if i not in system.overlay.node_ids()
+        )
+        system.add_node(new_id)
+        for query in ("(computer, *)", "(storage, *)"):
+            got = sorted(str(e.payload) for e in system.query(query).matches)
+            want = sorted(str(e.payload) for e in system.brute_force_matches(query))
+            assert got == want
+
+    def test_failed_node_invalidates_its_segment(self):
+        system = build_system()
+        res = system.query("(computer, *)")
+        assert len(system.result_cache) == 1
+        # Crash every node: whatever owned the region is certainly gone.
+        for node_id in list(system.overlay.node_ids())[:-1]:
+            system.fail_node(node_id)
+        assert len(system.result_cache) == 0
+        fresh = system.query("(computer, *)")
+        assert not fresh.stats.result_cache_hit
+        assert len(fresh.matches) <= len(res.matches)
+
+    def test_invalidate_range_and_all(self):
+        system = build_system()
+        cache = ResultCache(capacity=4)
+        key, region = _prepare(system, "(computer, *)")
+        cache.put(key, _fake_result(), system.curve, region)
+        low = cache._entries[key].ranges[0][0]
+        assert cache.invalidate_range(low, low) == 1
+        assert len(cache) == 0
+        cache.put(key, _fake_result(), system.curve, region)
+        # Inverted and empty ranges drop nothing.
+        assert cache.invalidate_range(5, 2) == 0
+        assert cache.invalidate_all() == 1
+        assert len(cache) == 0
+        assert cache.invalidations == 2
+
+
+class TestSystemWiring:
+    def test_cache_off_by_default(self):
+        system = build_system(cache=False)
+        assert system.result_cache is None
+        res = system.query("(computer, *)")
+        assert not res.stats.result_cache_hit
+
+    def test_process_default_knob(self):
+        try:
+            set_default_result_cache(32)
+            assert default_result_cache().capacity == 32
+            space = KeywordSpace([WordDimension("kw")], bits=6)
+            system = SquidSystem.create(space, n_nodes=4, seed=1)
+            assert system.result_cache is not None
+            assert system.result_cache.capacity == 32
+        finally:
+            set_default_result_cache(None)
+        assert default_result_cache() is None
+        with pytest.raises(ValueError):
+            set_default_result_cache(0)
+
+    def test_limit_queries_bypass_the_cache(self):
+        system = build_system()
+        full = system.query("(computer, *)")
+        assert len(system.result_cache) == 1
+        # Discovery mode truncates; serving it from the complete cached
+        # entry (or caching its truncated answer) would both be wrong.
+        limited = system.query("(computer, *)", limit=1)
+        assert not limited.stats.result_cache_hit
+        assert len(limited.matches) < len(full.matches)
+        assert system.query("(computer, *)").stats.result_cache_hit
+
+    def test_hit_is_identical_and_saves_messages(self):
+        system = build_system()
+        with collecting() as registry:
+            cold = system.query("(comp*, *)")
+            warm = system.query("(comp*, *)")
+        assert warm.stats.result_cache_hit and not cold.stats.result_cache_hit
+        assert warm.complete
+        assert [id(e) for e in warm.matches] == [id(e) for e in cold.matches]
+        assert warm.stats.messages == 0  # a hit costs no wire traffic
+        counters = registry.snapshot()["counters"]
+        assert counters["result_cache.misses"] == 1
+        assert counters["result_cache.hits"] == 1
+        assert counters["result_cache.messages_saved"] == cold.stats.messages
+
+    def test_naive_engine_also_cached(self):
+        system = build_system(engine="naive")
+        cold = system.query("(computer, *)")
+        warm = system.query("(computer, *)")
+        assert warm.stats.result_cache_hit
+        assert sorted(str(e.payload) for e in warm.matches) == sorted(
+            str(e.payload) for e in cold.matches
+        )

@@ -1,0 +1,122 @@
+"""Property test: result caching never changes what a query returns.
+
+The ISSUE's correctness bar: two identically-built systems, one with a
+result cache and one without, are driven through the *same* interleaved
+sequence of publishes, removals, membership churn (joins, graceful leaves,
+crashes), and queries — and every query must return the identical match
+set on both.  Runs across all three curve families and both engines, with
+a deliberately tiny cache and a coarse invalidation cover so eviction,
+collateral invalidation, and segment math are all exercised.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.resultcache import ResultCache
+from repro.core.system import SquidSystem
+from repro.keywords.dimensions import WordDimension
+from repro.keywords.space import KeywordSpace
+
+WORDS = ["computer", "computation", "network", "netbook", "storage", "memory"]
+
+QUERIES = [
+    "(computer, *)",
+    "(comp*, *)",
+    "(*, storage)",
+    "(net*, mem*)",
+    "(*, *)",
+    "(storage, network)",
+]
+
+_op = st.one_of(
+    st.tuples(st.just("query"), st.integers(0, len(QUERIES) - 1)),
+    st.tuples(
+        st.just("publish"),
+        st.integers(0, len(WORDS) - 1),
+        st.integers(0, len(WORDS) - 1),
+    ),
+    st.tuples(
+        st.just("unpublish"),
+        st.integers(0, len(WORDS) - 1),
+        st.integers(0, len(WORDS) - 1),
+    ),
+    st.tuples(st.just("join"), st.integers(0, 255)),
+    st.tuples(st.just("leave"), st.integers(0, 7)),
+    st.tuples(st.just("crash"), st.integers(0, 7)),
+)
+
+
+def _build(space, curve, engine, seed, cached):
+    cache = (
+        ResultCache(capacity=4, invalidation_level=2) if cached else False
+    )
+    system = SquidSystem.create(
+        space,
+        n_nodes=6,
+        curve=curve,
+        seed=seed,
+        engine=engine,
+        result_cache=cache,
+    )
+    for i, word in enumerate(WORDS):
+        system.publish((word, WORDS[(i * 3 + 1) % len(WORDS)]), payload=f"seed-{i}")
+    return system
+
+
+def _apply(system, op, publishes):
+    kind = op[0]
+    if kind == "query":
+        res = system.query(QUERIES[op[1]], origin=system.overlay.node_ids()[0])
+        return sorted((e.index, e.key, str(e.payload)) for e in res.matches)
+    if kind == "publish":
+        system.publish((WORDS[op[1]], WORDS[op[2]]), payload=f"pub-{publishes}")
+    elif kind == "unpublish":
+        system.unpublish((WORDS[op[1]], WORDS[op[2]]))
+    elif kind == "join":
+        if op[1] not in system.overlay.node_ids():
+            system.add_node(op[1])
+    elif kind == "leave":
+        ids = system.overlay.node_ids()
+        if len(ids) > 2:
+            system.remove_node(ids[op[1] % len(ids)])
+    else:  # crash
+        ids = system.overlay.node_ids()
+        if len(ids) > 2:
+            system.fail_node(ids[op[1] % len(ids)])
+            # Crashes leave stale routing state; querying an unstabilized
+            # ring can cycle (pre-existing overlay behaviour, same repair
+            # as tests/overlay/test_route_cache.py and the churn sim).
+            for node in system.overlay.node_ids():
+                system.overlay.stabilize_node(node)
+    return None
+
+
+@pytest.mark.parametrize("curve", ["hilbert", "zorder", "gray"])
+@pytest.mark.parametrize("engine", ["optimized", "naive"])
+@given(ops=st.lists(_op, min_size=1, max_size=14))
+@settings(max_examples=15, deadline=None)
+def test_cached_equals_uncached_under_interleaved_mutation(curve, engine, ops):
+    space = KeywordSpace([WordDimension("kw1"), WordDimension("kw2")], bits=4)
+    cached = _build(space, curve, engine, seed=7, cached=True)
+    plain = _build(space, curve, engine, seed=7, cached=False)
+    assert cached.overlay.node_ids() == plain.overlay.node_ids()
+    publishes = 0
+    for op in ops:
+        got = _apply(cached, op, publishes)
+        want = _apply(plain, op, publishes)
+        if op[0] == "publish":
+            publishes += 1
+        if op[0] == "query":
+            assert got == want, f"stale cached answer after {op}"
+    # Final sweep: every pool query agrees, cached and brute-force.
+    for query in QUERIES:
+        final = _apply(cached, ("query", QUERIES.index(query)), publishes)
+        assert final == _apply(plain, ("query", QUERIES.index(query)), publishes)
+        brute = sorted(
+            (e.index, e.key, str(e.payload))
+            for e in cached.brute_force_matches(query)
+        )
+        assert final == brute

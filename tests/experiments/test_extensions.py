@@ -18,7 +18,9 @@ SCALES.setdefault(
 
 class TestRegistry:
     def test_extensions_registered(self):
-        assert set(EXTENSIONS) == {"extA", "extB", "extC", "extD", "extE", "extF"}
+        assert set(EXTENSIONS) == {
+            "extA", "extB", "extC", "extD", "extE", "extF", "extG",
+        }
 
     def test_run_figure_dispatches_extensions(self):
         result = run_figure("extB", scale="tiny")
@@ -159,3 +161,32 @@ class TestChurnExperiment:
                 if r["churn_rate"] == rate and r["stabilized"]
             )
             assert on["stale_fingers"] <= off["stale_fingers"]
+
+
+class TestResultCacheExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure("extG", scale="tiny")
+
+    def test_grid_shape(self, result):
+        assert result.figure == "extG"
+        assert len(result.rows) == 12  # 3 skews x 2 mixes x 2 TTLs
+        assert {row["ttl"] for row in result.rows} == {None, 40}
+
+    def test_every_hit_was_verified_exact(self, result):
+        # extG re-checks each cache hit against brute force as it runs;
+        # a nonzero count here means a stale answer was actually served.
+        assert all(row["stale"] == 0 for row in result.rows)
+
+    def test_skew_raises_hit_rate(self, result):
+        base = [
+            row["hit_rate"]
+            for row in sorted(
+                (
+                    r for r in result.rows
+                    if r["publish_mix"] == 0.0 and r["ttl"] is None
+                ),
+                key=lambda r: r["skew"],
+            )
+        ]
+        assert base == sorted(base)

@@ -1,0 +1,38 @@
+"""Regression tests for the deprecated ``repro.store.local`` import path.
+
+The shim must keep old code working (same classes as the package root)
+while warning once per import.  The warning fires at module import time,
+so the tests reload the module to observe it deterministically regardless
+of import order across the suite.
+"""
+
+import importlib
+import warnings
+
+import pytest
+
+
+def _reload_shim():
+    import repro.store.local as shim
+
+    return importlib.reload(shim)
+
+
+def test_import_fires_deprecation_warning():
+    with pytest.warns(DeprecationWarning, match="repro.store.local is deprecated"):
+        _reload_shim()
+
+
+def test_reexported_symbols_stay_importable():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shim = _reload_shim()
+    from repro.store import LocalStore, StoredElement
+
+    assert shim.LocalStore is LocalStore
+    assert shim.StoredElement is StoredElement
+    assert shim.__all__ == ["LocalStore", "StoredElement"]
+    # The shim's class is the real one: instances interoperate.
+    store = shim.LocalStore()
+    store.add(shim.StoredElement(index=3, key=("a",), payload=None))
+    assert store.element_count == 1

@@ -1,0 +1,115 @@
+"""Pinning tests for the SQLiteStore LRU row cache.
+
+The previous behaviour dropped the whole identity cache the moment the
+byte budget was crossed, so *any* cold scan destroyed the hot set.  These
+tests pin the LRU contract: a skewed scan sequence keeps its hot rows
+resident (and identical — the very objects published), cold sweeps evict
+only least-recently-scanned entries, and the byte accounting survives
+evictions and ``pop_range``.
+"""
+
+from __future__ import annotations
+
+from repro.store.base import StoredElement
+from repro.store.sqlite import SQLiteStore
+
+
+def _element(i):
+    return StoredElement(index=i, key=(f"key-{i}",), payload=f"payload-{i}")
+
+
+def _fill(store, n=100):
+    store.add_sorted_bulk([_element(i) for i in range(n)])
+
+
+def _blob_budget(rows):
+    """A budget that holds about ``rows`` of this test's elements."""
+    probe = SQLiteStore()
+    _fill(probe, 4)
+    list(probe.scan_range(0, 3))
+    per_row = probe._cache_bytes // 4
+    probe.close()
+    return per_row * rows
+
+
+def test_hot_rows_survive_cold_sweeps():
+    budget = _blob_budget(20)
+    store = SQLiteStore(memory_budget_bytes=budget)
+    _fill(store)
+    hot = [list(store.scan_range(0, 9))]  # prime the hot window
+    # Skewed sequence: 10 rounds of (hot scan, disjoint cold scan).  The
+    # cold windows are each smaller than the budget, so LRU keeps the
+    # freshly-rescanned hot rows while shedding the previous cold window.
+    for round_no in range(10):
+        low = 10 + round_no * 9
+        list(store.scan_range(low, low + 8))
+        hot.append(list(store.scan_range(0, 9)))
+    # Every hot re-scan after priming returned the *same objects*: all hits.
+    for scan in hot[1:]:
+        assert [id(e) for e in scan] == [id(e) for e in hot[0]]
+    stats = store.stats().detail
+    assert stats["row_cache_evictions"] > 0  # the budget did bite
+    # 11 hot scans x 10 rows: only the priming scan may miss.
+    assert stats["row_cache_hits"] >= 100
+    hit_rate = stats["row_cache_hits"] / (
+        stats["row_cache_hits"] + stats["row_cache_misses"]
+    )
+    assert hit_rate >= 0.5, f"skewed sequence should mostly hit, got {hit_rate:.2f}"
+    store.close()
+
+
+def test_wholesale_drop_would_have_lost_the_hot_set():
+    """The regression the LRU rewrite fixes: crossing the budget mid-scan
+    no longer empties the cache — part of the hot window keeps hitting."""
+    budget = _blob_budget(20)
+    store = SQLiteStore(memory_budget_bytes=budget)
+    _fill(store)
+    first = list(store.scan_range(0, 9))
+    # The cache sits at its budget after the fill, so even this small cold
+    # scan crosses it — the old wholesale drop fired at the crossing and
+    # lost every hot row; LRU sheds only stale fill-time leftovers.
+    list(store.scan_range(10, 14))
+    second = list(store.scan_range(0, 9))
+    hits = store.stats().detail["row_cache_hits"]
+    assert [e.key for e in second] == [e.key for e in first]
+    assert [id(e) for e in second] == [id(e) for e in first]  # identity kept
+    assert store._cache_bytes <= budget
+    assert hits == 10  # the whole hot window survived the cold scan
+    store.close()
+
+
+def test_eviction_keeps_byte_accounting_exact():
+    budget = _blob_budget(10)
+    store = SQLiteStore(memory_budget_bytes=budget)
+    _fill(store, 50)
+    list(store.scan_range(0, 49))
+    assert store._cache_bytes == sum(b for _, b in store._row_cache.values())
+    assert store._cache_bytes <= budget
+    store.close()
+
+
+def test_pop_range_releases_cached_bytes():
+    store = SQLiteStore()  # unbounded: everything stays cached
+    _fill(store, 30)
+    list(store.scan_range(0, 29))
+    before = store._cache_bytes
+    assert before > 0
+    moved = store.pop_range(10, 19)
+    assert len(moved) == 10
+    assert store._cache_bytes < before
+    assert store._cache_bytes == sum(b for _, b in store._row_cache.values())
+    store.clear()
+    assert store._cache_bytes == 0
+    store.close()
+
+
+def test_rebuffered_row_replaces_stale_cache_entry():
+    """Same seq re-cached (re-scan after eviction) must not double-count."""
+    budget = _blob_budget(5)
+    store = SQLiteStore(memory_budget_bytes=budget)
+    _fill(store, 20)
+    for _ in range(3):
+        list(store.scan_range(0, 19))  # each sweep cycles the small cache
+    assert store._cache_bytes == sum(b for _, b in store._row_cache.values())
+    assert store._cache_bytes <= budget
+    store.close()

@@ -43,6 +43,13 @@ STORE_KEYS = {
     "scan_s", "scanned_elements", "scan_elements_per_s", "windows",
     "window_elements", "rss_mb", "store_memory_mb",
 }
+TRACE_KEYS = {
+    "ops", "queries", "distinct_queries", "publishes", "zipf_exponent",
+    "publish_mix", "burstiness", "cache_capacity", "hits", "misses",
+    "invalidations", "hit_rate", "messages_off", "messages_on",
+    "messages_saved", "median_uncached_s", "median_cached_s",
+    "median_speedup", "stale_results",
+}
 
 
 @pytest.fixture(scope="module")
@@ -58,7 +65,7 @@ def test_document_envelope(quick_result):
     assert quick_result["seed"] == 7
     assert quick_result["quick"] is True
     assert set(quick_result["suites"]) == {
-        "encode", "refine", "e2e", "parallel", "resilience", "store",
+        "encode", "refine", "e2e", "parallel", "resilience", "store", "trace",
     }
     env = quick_result["environment"]
     assert {"python", "numpy", "platform", "cpus"} <= set(env)
@@ -135,6 +142,22 @@ def test_store_rows(quick_result):
     assert len({row["window_elements"] for row in rows}) == 1
 
 
+def test_trace_rows(quick_result):
+    rows = quick_result["suites"]["trace"]
+    assert len(rows) == 1
+    row = rows[0]
+    assert set(row) == TRACE_KEYS
+    # Reaching this row means the lockstep twin-replay equality guard
+    # inside the suite passed: every cached answer matched the uncached
+    # twin exactly, through every publish into hot regions.
+    assert row["stale_results"] == 0
+    assert row["hits"] > 0 and row["hit_rate"] > 0.0
+    assert row["hits"] + row["misses"] == row["queries"]
+    assert row["publishes"] > 0  # the mix really interleaved updates
+    assert row["messages_saved"] > 0
+    assert row["messages_on"] + row["messages_saved"] == row["messages_off"]
+
+
 def test_summary_shape(quick_result):
     summary = quick_result["summary"]
     assert summary["refine_min_speedup"] <= summary["refine_max_speedup"]
@@ -147,6 +170,11 @@ def test_summary_shape(quick_result):
     assert set(summary["store_scan_elements_per_s_by_backend"]) == {
         "local", "columnar", "sqlite",
     }
+    assert summary["trace_hit_rate"] > 0.0
+    assert summary["trace_messages_saved"] > 0
+    assert summary["trace_median_speedup"] is None or (
+        summary["trace_median_speedup"] > 0
+    )
 
 
 def test_run_bench_is_reproducible_in_shape():

@@ -1,0 +1,162 @@
+"""Tests for trace-replay workloads: loaders, mapping, synthesis, replay."""
+
+import pytest
+
+from repro.core.resultcache import ResultCache
+from repro.core.system import SquidSystem
+from repro.errors import WorkloadError
+from repro.keywords.dimensions import WordDimension
+from repro.keywords.space import KeywordSpace
+from repro.workloads.trace import (
+    Trace,
+    TraceOp,
+    load_aol_trace,
+    load_msmarco_trace,
+    replay,
+    synthetic_trace,
+    text_to_query,
+)
+
+
+@pytest.fixture
+def space():
+    return KeywordSpace([WordDimension("kw1"), WordDimension("kw2")], bits=8)
+
+
+class TestTextToQuery:
+    def test_long_tokens_become_prefixes(self, space):
+        q = text_to_query("Computers Networking", space)
+        assert str(q) == "(comp*, netw*)"
+
+    def test_short_tokens_stay_exact(self, space):
+        q = text_to_query("cpu ram", space)
+        assert str(q) == "(cpu, ram)"
+
+    def test_leftover_dimensions_wildcarded(self, space):
+        q = text_to_query("storage", space)
+        assert str(q) == "(stor*, *)"
+
+    def test_extra_tokens_dropped(self, space):
+        q = text_to_query("one two three four", space)
+        assert str(q) == "(one, two)"
+
+    def test_punctuation_and_case_normalized(self, space):
+        q = text_to_query('  "Memory!"   GRID? ', space)
+        assert str(q) == "(memo*, grid)"
+
+    def test_untranslatable_text_returns_none(self, space):
+        assert text_to_query("   ", space) is None
+        assert text_to_query("!!! ...", space) is None
+
+
+class TestLoaders:
+    def test_aol_format_with_header_and_junk(self, space):
+        lines = [
+            "AnonID\tQuery\tQueryTime",
+            "142\tdistributed storage\t2006-03-01 07:17:12",
+            "malformed-line-without-tabs",
+            "142\t\t2006-03-01 07:18:00",  # empty query
+            "217\tgrid computing\t2006-03-04 11:02:43\thttp://x",  # clickthrough
+        ]
+        queries = load_aol_trace(lines, space)
+        assert [str(q) for q in queries] == ["(dist*, stor*)", "(grid, comp*)"]
+
+    def test_aol_limit(self, space):
+        lines = [f"1\tquery {i} words\tt" for i in range(10)]
+        assert len(load_aol_trace(lines, space, limit=3)) == 3
+
+    def test_msmarco_format(self, space):
+        lines = ["1048585\twhat is a distributed hash table", "2\t   "]
+        queries = load_msmarco_trace(lines, space)
+        assert [str(q) for q in queries] == ["(what, is)"]
+
+    def test_loader_from_file(self, tmp_path, space):
+        path = tmp_path / "log.tsv"
+        path.write_text("7\tpeer discovery\tt\n", encoding="utf-8")
+        assert [str(q) for q in load_aol_trace(path, space)] == ["(peer, disc*)"]
+
+
+class TestSyntheticTrace:
+    def _pool(self, space):
+        return [text_to_query(w, space) for w in ("alpha", "beta", "gamma", "delta")]
+
+    def test_length_and_kinds(self, space):
+        trace = synthetic_trace(self._pool(space), 50, rng=1)
+        assert len(trace) == 50
+        assert trace.query_count == 50 and trace.update_count == 0
+
+    def test_determinism(self, space):
+        pool = self._pool(space)
+        a = synthetic_trace(pool, 40, zipf_exponent=1.2, burstiness=0.3, rng=7)
+        b = synthetic_trace(pool, 40, zipf_exponent=1.2, burstiness=0.3, rng=7)
+        assert [str(op.query) for op in a] == [str(op.query) for op in b]
+
+    def test_skew_concentrates_popularity(self, space):
+        pool = self._pool(space)
+        skewed = synthetic_trace(pool, 400, zipf_exponent=2.5, rng=3)
+        top = str(pool[0])
+        share = sum(1 for op in skewed if str(op.query) == top) / 400
+        assert share > 0.5
+        assert skewed.distinct_queries() <= len(pool)
+
+    def test_publish_mix_inserts_updates(self, space):
+        pool = self._pool(space)
+        trace = synthetic_trace(
+            pool, 200, publish_mix=0.2, publish_keys=[("alpha", "beta")], rng=5
+        )
+        publishes = [op for op in trace if op.kind == "publish"]
+        assert 0 < len(publishes) < 100
+        assert trace.update_count == len(publishes)
+        assert all(op.key == ("alpha", "beta") for op in publishes)
+        # deterministic payload counter: replays insert identical elements
+        assert [op.payload for op in publishes] == [
+            f"trace-pub-{i}" for i in range(len(publishes))
+        ]
+
+    def test_validation(self, space):
+        pool = self._pool(space)
+        with pytest.raises(WorkloadError):
+            synthetic_trace(pool, -1)
+        with pytest.raises(WorkloadError):
+            synthetic_trace([], 5)
+        with pytest.raises(WorkloadError):
+            synthetic_trace(pool, 5, burstiness=1.0)
+        with pytest.raises(WorkloadError):
+            synthetic_trace(pool, 5, publish_mix=0.5)  # no publish_keys
+        with pytest.raises(WorkloadError):
+            TraceOp("nonsense")
+        with pytest.raises(WorkloadError):
+            TraceOp("query")
+        with pytest.raises(WorkloadError):
+            TraceOp("publish")
+
+
+class TestReplay:
+    def test_replay_executes_ops_in_order(self, space):
+        system = SquidSystem.create(space, n_nodes=8, seed=3)
+        system.publish(("alpha", "beta"), payload="seed")
+        trace = Trace(
+            [
+                TraceOp("query", query=text_to_query("alpha beta", space)),
+                TraceOp("publish", key=("alpha", "beta"), payload="added"),
+                TraceOp("query", query=text_to_query("alpha beta", space)),
+                TraceOp("unpublish", key=("alpha", "beta"), payload="added"),
+                TraceOp("query", query=text_to_query("alpha beta", space)),
+            ]
+        )
+        results = replay(system, trace, seed=1)
+        assert [r is None for r in results] == [False, True, False, True, False]
+        assert len(results[0].matches) == 1
+        assert len(results[2].matches) == 2
+        assert len(results[4].matches) == 1
+
+    def test_replay_drives_the_result_cache(self, space):
+        system = SquidSystem.create(
+            space, n_nodes=8, seed=3, result_cache=ResultCache(capacity=8)
+        )
+        system.publish(("alpha", "beta"), payload="seed")
+        q = text_to_query("alpha beta", space)
+        trace = Trace.from_queries([q, q, q])
+        results = replay(system, trace, seed=1)
+        assert [r.stats.result_cache_hit for r in results] == [False, True, True]
+        assert system.result_cache.hit_rate == pytest.approx(2 / 3)
