@@ -47,6 +47,15 @@ Three suites, each deterministic given a seed:
     asserted identical between the twins (publishes invalidate, so a
     cached run must never serve a stale answer), and the row records the
     hit rate, messages saved, and the median per-query speedup.
+``serve``
+    The serving layer end to end: a :class:`~repro.net.server.QueryServer`
+    on an :class:`~repro.net.transport.AsyncioTransport` (with a simulated
+    per-message wire delay) replays the same skewed request list closed-loop
+    with 1 client and with 16 concurrent clients, recording QPS and
+    p50/p95/p99 latency.  Two hard guards: every served answer must be
+    bit-identical to the in-process :meth:`SquidSystem.query` answer on a
+    twin system (JSON-canonical compare of matches + completeness), and the
+    16-client run must beat the 1-client run's throughput.
 
 Timings use ``time.perf_counter`` best-of-``repeats``; the harness is not a
 statistics package — it exists so a regression (or a win) in the hot path
@@ -71,6 +80,7 @@ from repro.keywords.space import KeywordSpace
 from repro.sfc import make_curve
 from repro.sfc.clusters import resolve_clusters, vectorized_refinement
 from repro.sfc.regions import Region
+from repro.util.stats import percentile
 
 __all__ = [
     "SCHEMA",
@@ -81,6 +91,7 @@ __all__ = [
     "bench_resilience",
     "bench_store",
     "bench_trace",
+    "bench_serve",
     "run_bench",
     "write_bench_json",
     "SUITES",
@@ -683,8 +694,8 @@ def bench_trace(seed: int, quick: bool = False) -> list[dict[str, Any]]:
 
     cache = system_on.result_cache
     hit_rate = cache.hit_rate
-    median_off = sorted(off_times)[len(off_times) // 2]
-    median_on = sorted(on_times)[len(on_times) // 2]
+    median_off = percentile(off_times, 50)
+    median_on = percentile(on_times, 50)
     median_speedup = median_off / median_on if median_on > 0 else None
     if hit_rate <= 0.0:  # pragma: no cover - hit-rate guard
         raise AssertionError("Zipf trace produced no result-cache hits")
@@ -723,11 +734,130 @@ def bench_trace(seed: int, quick: bool = False) -> list[dict[str, Any]]:
 
 
 # ----------------------------------------------------------------------
+# Suite: served queries (HTTP front-end over the asyncio transport)
+# ----------------------------------------------------------------------
+def bench_serve(seed: int, quick: bool = False) -> list[dict[str, Any]]:
+    """Served-query throughput and latency, 1 client vs 16 concurrent.
+
+    Starts a :class:`~repro.net.server.QueryServer` on an ephemeral port
+    with a small simulated per-message wire delay (0.5ms — without one, a
+    single-core host hides the concurrency win behind pure CPU time) and
+    replays the same skewed request list twice in closed loop: one client,
+    then 16.  Guards, both fatal:
+
+    * **answer identity** — every served answer (matches in engine order,
+      completeness, unresolved ranges) must be JSON-byte-identical to the
+      in-process ``SquidSystem.query`` answer for the same query and origin
+      on an independently built twin system, in both the serial and the
+      concurrent run;
+    * **concurrency wins** — the 16-client run's QPS must exceed the
+      1-client run's (in-flight queries overlap their wire delays; a
+      serial client pays them back to back).
+    """
+    import asyncio
+
+    from repro.net import (
+        QueryServer,
+        build_demo_system,
+        demo_requests,
+        encode_result,
+    )
+    from repro.net.loadgen import run_pool
+
+    n_nodes = 16 if quick else 64
+    n_docs = 200 if quick else 2_000
+    bits = 8 if quick else 12
+    n_requests = 48 if quick else 200
+    clients = 16
+    per_message_delay = 0.0005
+
+    system = build_demo_system(seed=seed, n_nodes=n_nodes, n_docs=n_docs, bits=bits)
+    reference = build_demo_system(
+        seed=seed, n_nodes=n_nodes, n_docs=n_docs, bits=bits
+    )
+    requests = demo_requests(system, seed, n_requests)
+    expected = [
+        json.dumps(
+            encode_result(reference.query(r["query"], origin=r["origin"])),
+            sort_keys=True,
+        )
+        for r in requests
+    ]
+
+    async def _measure():
+        async with QueryServer(
+            system,
+            per_message_delay=per_message_delay,
+            max_inflight=max(64, clients),
+        ) as server:
+            serial = await run_pool(
+                server.host, server.port, requests,
+                mode="closed", concurrency=1, collect=True,
+            )
+            concurrent = await run_pool(
+                server.host, server.port, requests,
+                mode="closed", concurrency=clients, collect=True,
+            )
+            return serial, concurrent
+
+    serial, concurrent = asyncio.run(_measure())
+
+    rows: list[dict[str, Any]] = []
+    for report in (serial, concurrent):
+        if report.errors:  # pragma: no cover - zero-error guard
+            raise AssertionError(
+                f"serve bench had {report.errors} errors at "
+                f"concurrency {report.concurrency}"
+            )
+        served = [
+            json.dumps(resp["result"], sort_keys=True)
+            for resp in report.responses
+        ]
+        if served != expected:  # pragma: no cover - identity guard
+            bad = next(
+                i for i, (s, e) in enumerate(zip(served, expected)) if s != e
+            )
+            raise AssertionError(
+                f"served answer diverged from in-process answer at "
+                f"concurrency {report.concurrency}, request {bad}: "
+                f"{requests[bad]['query']!r}"
+            )
+        rows.append(
+            {
+                "mode": report.mode,
+                "clients": report.concurrency,
+                "requests": report.sent,
+                "errors": report.errors,
+                "duration_s": report.duration_s,
+                "qps": report.qps,
+                "p50_ms": report.latency_s["p50"] * 1e3,
+                "p95_ms": report.latency_s["p95"] * 1e3,
+                "p99_ms": report.latency_s["p99"] * 1e3,
+                "nodes": n_nodes,
+                "per_message_delay_s": per_message_delay,
+                "identity": True,
+            }
+        )
+    speedup = rows[1]["qps"] / rows[0]["qps"] if rows[0]["qps"] else None
+    if speedup is None or speedup <= 1.0:  # pragma: no cover - throughput guard
+        raise AssertionError(
+            f"{clients} concurrent clients did not beat 1 client: "
+            f"{rows[1]['qps']:.1f} vs {rows[0]['qps']:.1f} qps"
+        )
+    for row in rows:
+        row["concurrency_speedup"] = speedup
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 #: Suite registry, in run/report order.  ``parallel`` takes the workers
 #: knob; every other suite is ``fn(seed, quick)``.
-SUITES = ("encode", "refine", "e2e", "parallel", "resilience", "store", "trace")
+SUITES = (
+    "encode", "refine", "e2e", "parallel", "resilience", "store", "trace",
+    "serve",
+)
 
 
 def run_bench(
@@ -767,6 +897,7 @@ def run_bench(
                 "resilience": bench_resilience,
                 "store": bench_store,
                 "trace": bench_trace,
+                "serve": bench_serve,
             }[name]
             suite_rows[name] = fn(seed, quick)
 
@@ -785,7 +916,7 @@ def run_bench(
             if row["speedup"]:
                 e2e_by_class.setdefault(row["class"], []).append(row["speedup"])
         summary["e2e_median_speedup_by_class"] = {
-            cls: sorted(vals)[len(vals) // 2] for cls, vals in e2e_by_class.items()
+            cls: percentile(vals, 50) for cls, vals in e2e_by_class.items()
         }
     if "parallel" in suite_rows:
         summary["parallel_speedup"] = suite_rows["parallel"][0]["speedup"]
@@ -806,6 +937,13 @@ def run_bench(
         summary["trace_hit_rate"] = trace_row["hit_rate"]
         summary["trace_median_speedup"] = trace_row["median_speedup"]
         summary["trace_messages_saved"] = trace_row["messages_saved"]
+    if "serve" in suite_rows:
+        serial_row, concurrent_row = suite_rows["serve"]
+        summary["serve_qps_1_client"] = serial_row["qps"]
+        summary["serve_qps_concurrent"] = concurrent_row["qps"]
+        summary["serve_clients"] = concurrent_row["clients"]
+        summary["serve_concurrency_speedup"] = concurrent_row["concurrency_speedup"]
+        summary["serve_p95_ms_concurrent"] = concurrent_row["p95_ms"]
 
     return {
         "schema": SCHEMA,
@@ -896,6 +1034,15 @@ def render_summary(result: dict[str, Any]) -> str:
                 f"{row['median_cached_s'] * 1e3:.3f}ms median "
                 f"({row['median_speedup']:.1f}x), "
                 f"{row['messages_saved']} messages saved"
+            )
+    if "serve" in suites:
+        lines.append("serve (HTTP over asyncio transport, answer-identity guard passed):")
+        for row in suites["serve"]:
+            lines.append(
+                f"  {row['clients']:2d} client(s), {row['requests']} requests "
+                f"over {row['nodes']} nodes: {row['qps']:7.1f} qps, "
+                f"p50={row['p50_ms']:.1f}ms p95={row['p95_ms']:.1f}ms "
+                f"p99={row['p99_ms']:.1f}ms ({row['errors']} errors)"
             )
     summary = result["summary"]
     if "refine_min_speedup" in summary and summary["refine_min_speedup"] is not None:

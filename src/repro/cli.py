@@ -26,6 +26,16 @@ Commands
     completeness, and retry/failover accounting.  ``--assert-complete``
     exits non-zero unless recall is 1.0 and every result is complete —
     the CI chaos smoke test.
+``serve [--port P] [--nodes N] [--docs D] [--engine E] [--max-inflight M]``
+    Build a seeded demo system and serve it over HTTP/JSON (POST /query,
+    GET /healthz /stats /metrics) on an asyncio transport that multiplexes
+    concurrent queries over per-node inboxes (see ``docs/serving.md``).
+``loadgen [--port P | --self-serve] [--mode open|closed] [--rate R]
+[--concurrency C] [--queries N] [--check]``
+    Replay a skewed trace workload against a running server (or a
+    self-served one) and report QPS, error rate, and p50/p95/p99 latency.
+    ``--check`` exits non-zero unless the run had zero errors and finite
+    percentiles — the CI serve smoke test.
 
 ``run`` and ``report`` accept ``--profile`` to time the hot SFC/engine
 phases and print the per-phase table after the run.  ``run``, ``report``,
@@ -110,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="s1,s2",
         help="comma-separated suite subset "
-        "(encode,refine,e2e,parallel,resilience,store,trace)",
+        "(encode,refine,e2e,parallel,resilience,store,trace,serve)",
     )
     bench_p.add_argument(
         "--output",
@@ -148,6 +158,70 @@ def main(argv: list[str] | None = None) -> int:
     _add_store_flag(chaos_p)
     _add_result_cache_flag(chaos_p)
 
+    serve_p = sub.add_parser("serve", help="serve queries over HTTP/JSON")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=8642, help="0 binds an ephemeral port"
+    )
+    serve_p.add_argument("--nodes", type=int, default=64)
+    serve_p.add_argument("--docs", type=int, default=2_000)
+    serve_p.add_argument("--seed", type=int, default=42)
+    serve_p.add_argument(
+        "--engine", default="optimized", choices=["optimized", "naive"]
+    )
+    serve_p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission bound on concurrent in-flight queries",
+    )
+    serve_p.add_argument(
+        "--inbox-capacity",
+        type=int,
+        default=128,
+        help="bound of each node's asyncio inbox",
+    )
+    serve_p.add_argument(
+        "--per-message-delay",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="simulated per-message wire latency in seconds",
+    )
+    _add_store_flag(serve_p)
+    _add_result_cache_flag(serve_p)
+
+    lg_p = sub.add_parser(
+        "loadgen", help="replay a trace workload against a query server"
+    )
+    lg_p.add_argument("--host", default="127.0.0.1")
+    lg_p.add_argument("--port", type=int, default=None)
+    lg_p.add_argument(
+        "--self-serve",
+        action="store_true",
+        help="build a demo system + server in-process (no --port needed)",
+    )
+    lg_p.add_argument("--queries", type=int, default=200)
+    lg_p.add_argument("--mode", default="open", choices=["open", "closed"])
+    lg_p.add_argument(
+        "--rate", type=float, default=100.0, help="open-loop arrival rate (req/s)"
+    )
+    lg_p.add_argument("--concurrency", type=int, default=16)
+    lg_p.add_argument("--seed", type=int, default=42)
+    lg_p.add_argument("--nodes", type=int, default=64, help="self-serve ring size")
+    lg_p.add_argument("--docs", type=int, default=2_000, help="self-serve corpus")
+    lg_p.add_argument(
+        "--per-message-delay", type=float, default=0.0, metavar="S",
+        help="self-serve simulated wire latency in seconds",
+    )
+    lg_p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless zero errors and finite p50/p95/p99",
+    )
+    lg_p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    _add_store_flag(lg_p)
+
     args = parser.parse_args(argv)
 
     if getattr(args, "workers", None) is not None:
@@ -181,6 +255,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -417,6 +495,70 @@ def _cmd_chaos(args) -> int:
     if args.assert_complete and not (mean_recall == 1.0 and all_complete):
         print("FAIL: expected recall 1.0 with every result complete")
         return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.net import QueryServer, build_demo_system
+
+    system = build_demo_system(
+        seed=args.seed, n_nodes=args.nodes, n_docs=args.docs, engine=args.engine
+    )
+
+    async def _serve() -> None:
+        server = QueryServer(
+            system,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            inbox_capacity=args.inbox_capacity,
+            per_message_delay=args.per_message_delay,
+        )
+        await server.start()
+        print(
+            f"serving {len(system.overlay)} nodes / {args.docs} docs "
+            f"on http://{server.host}:{server.port} "
+            f"(engine={args.engine}, max_inflight={args.max_inflight})"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from repro.errors import ServingError
+    from repro.net import run_loadgen
+
+    try:
+        report = run_loadgen(
+            host=args.host,
+            port=args.port,
+            queries=args.queries,
+            mode=args.mode,
+            rate=args.rate,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            self_serve=args.self_serve,
+            nodes=args.nodes,
+            docs=args.docs,
+            per_message_delay=args.per_message_delay,
+            check=args.check,
+        )
+    except ServingError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    print(json.dumps(report.as_dict(), indent=2) if args.json else report.render())
     return 0
 
 

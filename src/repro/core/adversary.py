@@ -27,8 +27,8 @@ vs. dropper fraction for each configuration (extension experiment ``extE``).
 
 from __future__ import annotations
 
-from repro.core.engine import OptimizedEngine
-from repro.core.metrics import QueryResult, QueryStats
+from repro.core.engine import EngineRun, OptimizedEngine
+from repro.core.metrics import QueryResult
 from repro.core.replication import ReplicationManager
 from repro.errors import EngineError
 from repro.faults import FaultPlane, RetryPolicy
@@ -76,27 +76,34 @@ class AdversarialEngine(OptimizedEngine):
         )
         self.droppers = self.fault_plane.droppers
 
-    def execute(
+    def begin_run(
         self,
         system,
         query,
         origin: int | None = None,
         rng: RandomLike = None,
         limit: int | None = None,
-    ) -> QueryResult:
-        """Resolve ``query`` in the presence of droppers (see class docstring)."""
+    ) -> EngineRun:
+        """Start a run unless the origin itself is a dropper.
+
+        The short-circuit lives here (not in ``execute``) so the behaviour
+        is identical whether the engine runs through ``execute``'s built-in
+        synchronous pump or over a :mod:`repro.net.transport` transport.
+        """
         origin_id = self._pick_origin(system, origin, rng)
         if origin_id in self.droppers:
             # A malicious origin returns nothing at all: the entire index
             # space goes unresolved.
-            q = system.space.as_query(query)
-            stats = QueryStats()
-            stats.record_processing(origin_id, 0)
+            run = EngineRun()
+            q = run.query = system.space.as_query(query)
+            run.origin_id = origin_id
+            run.stats.record_processing(origin_id, 0)
             full_space = (0, system.curve.size - 1)
-            return QueryResult(
-                q, [], stats, complete=False, unresolved_ranges=(full_space,)
+            run.early_result = QueryResult(
+                q, [], run.stats, complete=False, unresolved_ranges=(full_space,)
             )
-        return super().execute(
+            return run
+        return super().begin_run(
             system, query, origin=origin_id, rng=rng, limit=limit
         )
 

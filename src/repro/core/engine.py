@@ -62,7 +62,29 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.system import SquidSystem
     from repro.faults import FaultPlane, RetryPolicy
 
-__all__ = ["QueryEngine", "NaiveEngine", "OptimizedEngine", "make_engine"]
+__all__ = [
+    "QueryEngine",
+    "NaiveEngine",
+    "OptimizedEngine",
+    "EngineRun",
+    "drive_sync",
+    "default_hop_budget",
+    "make_engine",
+]
+
+
+def default_hop_budget(n_nodes: int) -> int:
+    """Default per-query routing hop budget for a ring of ``n_nodes``.
+
+    Healthy queries process a number of work entries bounded by the query
+    tree's width (itself bounded by node count times per-node cluster
+    fan-in), so a generous multiple of the ring size never triggers; a
+    routing *cycle* — stale successor/predecessor pointers after a crash
+    that was never stabilized — regenerates entries forever and exhausts
+    any finite budget.  Exhaustion degrades the query to an honest
+    ``complete=False`` partial result instead of a hang.
+    """
+    return max(1024, 64 * n_nodes)
 
 
 def _report_query_metrics(engine_name: str, stats: QueryStats) -> None:
@@ -97,6 +119,105 @@ def _clip_ranges(ranges, low: int, high: int):
         if clipped_lo <= clipped_hi:
             out.append((clipped_lo, clipped_hi))
     return out
+
+
+class EngineRun:
+    """Mutable per-query state threaded through the engine's run API.
+
+    A run decouples *engine logic* from *message delivery*: the engine
+    mutates this state in :meth:`QueryEngine.begin_run` /
+    :meth:`QueryEngine.process_message` / :meth:`QueryEngine.finish_run`,
+    while a transport decides when and where each queued work entry is
+    delivered.  :func:`drive_sync` is the in-process synchronous transport
+    (a FIFO deque — the original simulation order);
+    :class:`repro.net.transport.AsyncioTransport` delivers the same entries
+    through per-node asyncio inboxes.
+
+    ``outbox`` collects the work entries posted by the last engine call;
+    the transport drains it with :meth:`take_outbox` after every call.
+    ``budget``/``used`` implement the routing hop budget (see
+    :func:`default_hop_budget`); ``exhausted`` latches once it trips.
+    """
+
+    __slots__ = (
+        "query",
+        "region",
+        "origin_id",
+        "stats",
+        "matches",
+        "trace",
+        "root_span",
+        "limit",
+        "plane",
+        "unresolved",
+        "budget",
+        "used",
+        "outbox",
+        "exhausted",
+        "early_result",
+        "ranges",
+    )
+
+    def __init__(self) -> None:
+        self.query = None
+        self.region = None
+        self.origin_id = 0
+        self.stats = QueryStats()
+        self.matches: list = []
+        self.trace: QueryTrace | None = None
+        self.root_span = 0
+        self.limit: int | None = None
+        self.plane = None
+        self.unresolved: list[tuple[int, int]] = []
+        self.budget = 0
+        self.used = 0
+        self.outbox: list = []
+        self.exhausted = False
+        self.early_result: QueryResult | None = None
+        #: Naive engine only: the fully resolved cluster ranges.
+        self.ranges: list[tuple[int, int]] = []
+
+    def take_outbox(self) -> list:
+        """Drain and return the entries posted since the last drain."""
+        out = self.outbox
+        self.outbox = []
+        return out
+
+    def _charge_hop(self) -> bool:
+        """Consume one unit of the hop budget; False once it is exhausted.
+
+        The first exhaustion is counted in the active metrics registry —
+        like the resilience counters, the metric appears only when the
+        budget actually bites, keeping fault-free registries byte-identical.
+        """
+        if self.used >= self.budget:
+            if not self.exhausted:
+                self.exhausted = True
+                reg = obs_metrics.active()
+                if reg is not None:
+                    reg.counter("query.hop_budget_exhausted.total").inc()
+            return False
+        self.used += 1
+        return True
+
+
+def drive_sync(engine: "QueryEngine", system: "SquidSystem", run: EngineRun) -> QueryResult:
+    """Synchronous in-process delivery: pump the run's queue in FIFO order.
+
+    This reproduces the original single-process simulation exactly — every
+    posted work entry is processed in post order — and is what
+    ``engine.execute`` (and therefore ``SquidSystem.query``) runs on.
+    """
+    work: deque = deque(run.take_outbox())
+    while work:
+        entry = work.popleft()
+        if not engine.process_message(system, run, entry):
+            # Discovery-mode stop: outstanding branches are abandoned; their
+            # dispatch messages are already (truthfully) counted.
+            run.stats.aborted_in_flight = len(work)
+            break
+        work.extend(run.take_outbox())
+    return engine.finish_run(system, run)
 
 
 class QueryEngine(ABC):
@@ -135,6 +256,65 @@ class QueryEngine(ABC):
         * ``completion_time`` is the completion of the last *processed*
           sub-query (abandoned branches are never waited on).
         """
+
+    # ------------------------------------------------------------------
+    # Transport-facing run API (engine logic without message delivery)
+    # ------------------------------------------------------------------
+    def begin_run(
+        self,
+        system: "SquidSystem",
+        query,
+        origin: int | None = None,
+        rng: RandomLike = None,
+        limit: int | None = None,
+    ) -> EngineRun:
+        """Start a query run: initiator-side setup plus the first dispatch.
+
+        Returns an :class:`EngineRun` whose ``outbox`` holds the initial
+        work entries; the transport delivers each entry (in post order) to
+        :meth:`process_message` and calls :meth:`finish_run` once no entry
+        is outstanding.  Engines that do not implement the run API cannot
+        be served over a transport.
+        """
+        raise EngineError(f"engine {self.name!r} does not support transports")
+
+    def process_message(self, system: "SquidSystem", run: EngineRun, entry) -> bool:
+        """Handle one delivered work entry, posting follow-ups to the outbox.
+
+        Returns False when the run must stop early (discovery-mode limit
+        reached); the transport then records the outstanding entry count as
+        ``stats.aborted_in_flight`` and discards the queue.
+        """
+        raise EngineError(f"engine {self.name!r} does not support transports")
+
+    def entry_node(self, run: EngineRun, entry) -> int:
+        """The node whose inbox should receive ``entry`` (transport routing)."""
+        raise EngineError(f"engine {self.name!r} does not support transports")
+
+    def finish_run(self, system: "SquidSystem", run: EngineRun) -> QueryResult:
+        """Seal a run: report metrics and assemble the :class:`QueryResult`."""
+        if run.early_result is not None:
+            return run.early_result
+        if run.exhausted and run.matches:
+            # A routing cycle re-scans stores it already visited, so the
+            # abandoned run may have collected the same stored elements
+            # repeatedly; restore set semantics (stores hand out stable
+            # object identities) while keeping first-seen order.
+            seen: set[int] = set()
+            run.matches = [
+                m for m in run.matches
+                if id(m) not in seen and not seen.add(id(m))
+            ]
+        _report_query_metrics(self.name, run.stats)
+        resolved_gaps = merge_index_ranges(run.unresolved)
+        return QueryResult(
+            run.query,
+            run.matches,
+            run.stats,
+            run.trace,
+            complete=not resolved_gaps,
+            unresolved_ranges=resolved_gaps,
+        )
 
     def result_cache_params(self):
         """Hashable engine parameters that shape the *answer* of a query.
@@ -197,6 +377,7 @@ class OptimizedEngine(QueryEngine):
         fault_plane: "FaultPlane | None" = None,
         retry: "RetryPolicy | None" = None,
         replication: "ReplicationManager | None" = None,
+        hop_budget: int | None = None,
     ) -> None:
         #: When False, each sub-cluster travels as its own routed message
         #: (disables the paper's second optimization; used by the ablation).
@@ -229,9 +410,22 @@ class OptimizedEngine(QueryEngine):
         #: failover targets serve the unreachable peer's share of a cluster
         #: from its replica store, restoring full recall.
         self.replication = replication
+        #: Per-query cap on processed work entries; ``None`` derives
+        #: :func:`default_hop_budget` from the ring size at query time.
+        #: Routing cycles (post-crash, pre-stabilization stale pointers)
+        #: exhaust the budget and degrade to ``complete=False`` with the
+        #: abandoned windows in ``unresolved_ranges`` — never a hang.
+        if hop_budget is not None and hop_budget < 1:
+            raise EngineError(f"hop_budget must be >= 1, got {hop_budget}")
+        self.hop_budget = hop_budget
 
     def result_cache_params(self):
-        """Result-cache key component: name plus plan-shaping knobs."""
+        """Result-cache key component: name plus plan-shaping knobs.
+
+        ``hop_budget`` is deliberately absent: it can only turn an answer
+        *incomplete* (never change a complete one), and incomplete results
+        are never cached.
+        """
         return ("optimized", self.aggregate, self.local_depth)
 
     def execute(
@@ -244,16 +438,34 @@ class OptimizedEngine(QueryEngine):
     ) -> QueryResult:
         """Resolve ``query`` by distributed recursive refinement (see class
         docstring); exact unless ``limit`` enables discovery mode."""
+        run = self.begin_run(system, query, origin=origin, rng=rng, limit=limit)
+        return drive_sync(self, system, run)
+
+    def begin_run(
+        self,
+        system: "SquidSystem",
+        query,
+        origin: int | None = None,
+        rng: RandomLike = None,
+        limit: int | None = None,
+    ) -> EngineRun:
+        """Initiator-side setup: refine the query once, dispatch level-1
+        clusters into the run's outbox."""
         if limit is not None and limit < 1:
             raise EngineError(f"limit must be >= 1, got {limit}")
-        q = system.space.as_query(query)
-        region = system.space.region(q)
+        run = EngineRun()
+        q = run.query = system.space.as_query(query)
+        region = run.region = system.space.region(q)
         curve = system.curve
-        overlay = system.overlay
-        stats = QueryStats()
-        matches: list = []
+        run.limit = limit
+        stats = run.stats
 
-        origin_id = self._pick_origin(system, origin, rng)
+        origin_id = run.origin_id = self._pick_origin(system, origin, rng)
+        run.budget = (
+            self.hop_budget
+            if self.hop_budget is not None
+            else default_hop_budget(len(system.overlay.nodes))
+        )
         # The fault plane is consulted only when it can actually do
         # something; an absent or inert plane leaves the execution on the
         # exact code path of the plain engine (bit-identical results, stats,
@@ -261,16 +473,17 @@ class OptimizedEngine(QueryEngine):
         plane = self.fault_plane
         if plane is not None and not plane.active:
             plane = None
+        run.plane = plane
         if plane is not None:
             plane.begin_query(origin_id)
-        unresolved: list[tuple[int, int]] = []
         tracer = getattr(system, "tracer", None)
-        trace: QueryTrace | None = (
+        trace = run.trace = (
             tracer.begin(str(q), origin_id) if tracer is not None else None
         )
         root = root_cluster(curve, region)
         if root is None:  # pragma: no cover - regions are never empty
-            return QueryResult(q, [], stats, trace)
+            run.early_result = QueryResult(q, [], stats, trace)
+            return run
 
         # The initiator performs the first refinement of the query tree
         # (paper Figure 8) but holds none of the clusters itself yet.  The
@@ -278,7 +491,9 @@ class OptimizedEngine(QueryEngine):
         # local_depth) only — so repeated queries reuse it from the system's
         # plan cache; clusters are frozen, making the shared plan safe.
         stats.record_processing(origin_id, 0)
-        root_span = trace.new_span(None, origin_id, 0) if trace is not None else 0
+        root_span = run.root_span = (
+            trace.new_span(None, origin_id, 0) if trace is not None else 0
+        )
         cache = getattr(system, "plan_cache", None)
         cache_key = None
         first: list[Cluster] | None = None
@@ -302,141 +517,154 @@ class OptimizedEngine(QueryEngine):
         # from replicas); pruning and continuation use the *covered* range.
         # ``sender`` allows redelivery when the processor crashes while the
         # entry is still queued.
-        work: deque[tuple[int, Cluster, int, float, int, int, int | None, int]] = (
-            deque()
-        )
         self._dispatch(
-            system, stats, origin_id, first, work, floor=0, now=0.0,
-            trace=trace, parent_span=root_span, plane=plane, unresolved=unresolved,
+            system, stats, origin_id, first, run.outbox, floor=0, now=0.0,
+            trace=trace, parent_span=root_span, plane=plane,
+            unresolved=run.unresolved,
         )
+        return run
 
-        while work:
-            (node_id, cluster, arrival_key, arrival_time, span,
-             covered, replica_of, sender_id) = work.popleft()
-            if plane is not None and node_id not in overlay.nodes:
-                # The processor crashed (a fault on some other branch) after
-                # this sub-query was sent but before it was handled.  The
-                # sender times out and re-routes to whoever owns the key now;
-                # without a retry policy the branch is simply lost.
-                src = sender_id if sender_id in overlay.nodes else origin_id
-                delivery = (
-                    self._deliver_resilient(
-                        system, stats, src, node_id, arrival_key,
-                        trace, span, charge_route=True,
-                    )
-                    if self.retry is not None
-                    else None
+    def entry_node(self, run: EngineRun, entry) -> int:
+        """Work entries are addressed to their processing node."""
+        return entry[0]
+
+    def process_message(self, system: "SquidSystem", run: EngineRun, entry) -> bool:
+        """One node handles one delivered sub-query (scan, prune or refine,
+        dispatch the remainder); False stops the run (discovery limit)."""
+        (node_id, cluster, arrival_key, arrival_time, span,
+         covered, replica_of, sender_id) = entry
+        curve = system.curve
+        overlay = system.overlay
+        stats = run.stats
+        plane = run.plane
+        trace = run.trace
+        if not run._charge_hop():
+            # Hop budget exhausted — a routing cycle (or a pathological
+            # plan) regenerated work beyond any healthy query's size.  The
+            # entry's remaining window is honestly abandoned; with no new
+            # dispatches the queue drains and the query returns
+            # ``complete=False`` instead of looping forever.
+            self._record_lost(
+                curve, cluster, arrival_key, run.unresolved, stats,
+                trace, span, node_id,
+            )
+            return True
+        if plane is not None and node_id not in overlay.nodes:
+            # The processor crashed (a fault on some other branch) after
+            # this sub-query was sent but before it was handled.  The
+            # sender times out and re-routes to whoever owns the key now;
+            # without a retry policy the branch is simply lost.
+            src = sender_id if sender_id in overlay.nodes else run.origin_id
+            delivery = (
+                self._deliver_resilient(
+                    system, stats, src, node_id, arrival_key,
+                    trace, span, charge_route=True,
                 )
-                if delivery is None:
-                    self._record_lost(
-                        curve, cluster, arrival_key, unresolved, stats,
-                        trace, span, node_id,
-                    )
-                    continue
-                node_id, covered, replica_of, penalty = delivery
-                arrival_time += penalty
-                if trace is not None:
-                    trace.reassign(span, node_id)
-            stats.record_processing(node_id, cluster.level)
-            done_time = self._account_time(
-                stats, origin_id, node_id, arrival_time, plane
+                if self.retry is not None
+                else None
             )
-            # The node searches the slice of the cluster it is responsible
-            # for on this arrival: up to the covered identifier, or to the
-            # end of the index space when the delivery wrapped around the
-            # ring (a first-node visit for the tail segment).  Windowing
-            # keeps the chain's scans disjoint even when it wraps past 0.
-            window_high = covered if arrival_key <= covered else curve.size - 1
-            ranges = _clip_ranges(
-                cluster.iter_index_ranges(curve), arrival_key, window_high
-            )
-            found = self._scan_cluster(system, node_id, ranges, q)
-            if replica_of is not None:
-                # Failover visit: this node stands in for an unreachable
-                # peer.  Its replica store restores the peer's share of the
-                # data; without replication that share is truthfully
-                # reported as unresolved (the fan-out continues regardless).
-                served, ok = self._scan_replicas(system, node_id, ranges, q)
-                if ok:
-                    found = found + served
-                elif ranges:
-                    unresolved.extend(ranges)
-            if trace is not None:
-                trace.emit(span, LocalScan(node_id, len(ranges), len(found)))
-            if found:
-                matches.extend(found)
-                stats.record_data_node(node_id)
-                if self.latency_model is not None:
-                    stats.record_match_time(done_time)
-                if limit is not None and len(matches) >= limit:
-                    # Discovery mode: enough matches known; the origin stops
-                    # the fan-out.  Outstanding branches are abandoned —
-                    # their dispatch messages are already (truthfully)
-                    # counted; record how many were dropped in flight.
-                    stats.aborted_in_flight = len(work)
-                    break
-
-            # Pruning: the branch terminates when the covered node owns the
-            # whole remaining index range of the cluster.  Linearly that
-            # means the cluster's last index precedes the covered
-            # identifier; at the ring's wrap point (a node owning
-            # (pred, 2^m) ∪ [0, id]) it means the cluster's remaining part
-            # started beyond the predecessor, since linear indices never
-            # wrap.
-            cluster_max = cluster.max_index(curve)
-            if covered == node_id:
-                pred = overlay.nodes[node_id].predecessor
-            else:
-                # Failover visit: `covered` is the unreachable-but-live
-                # peer's identifier; ask the ring for its predecessor.
-                pred = overlay.predecessor_id(covered)
-            if (
-                cluster_max <= covered
-                or pred == covered  # single node: owns everything
-                or (pred > covered and arrival_key > pred)
-            ):
-                stats.record_pruned()
-                if trace is not None:
-                    trace.emit(span, Pruned(node_id, cluster.level, "owned"))
-                continue
-            remainder = self._refine_locally(
-                curve, cluster, region, min_index=covered + 1
-            )
-            if trace is not None:
-                trace.emit(
-                    span, ClusterRefined(node_id, cluster.level, len(remainder))
+            if delivery is None:
+                self._record_lost(
+                    curve, cluster, arrival_key, run.unresolved, stats,
+                    trace, span, node_id,
                 )
-            if not remainder:
-                # The region's remaining geometry lies entirely within this
-                # node's scanned window: the branch ends here too.
-                stats.record_pruned()
-                if trace is not None:
-                    trace.emit(span, Pruned(node_id, cluster.level, "empty"))
-                continue
-            delay = self.processing_delay
-            if plane is not None and delay:
-                delay *= plane.slow_factor(node_id)
-            self._dispatch(
-                system,
-                stats,
-                node_id,
-                remainder,
-                work,
-                floor=covered + 1,
-                now=arrival_time + delay,
-                trace=trace,
-                parent_span=span,
-                plane=plane,
-                unresolved=unresolved,
-            )
-
-        _report_query_metrics(self.name, stats)
-        resolved_gaps = merge_index_ranges(unresolved)
-        return QueryResult(
-            q, matches, stats, trace,
-            complete=not resolved_gaps,
-            unresolved_ranges=resolved_gaps,
+                return True
+            node_id, covered, replica_of, penalty = delivery
+            arrival_time += penalty
+            if trace is not None:
+                trace.reassign(span, node_id)
+        stats.record_processing(node_id, cluster.level)
+        done_time = self._account_time(
+            stats, run.origin_id, node_id, arrival_time, plane
         )
+        # The node searches the slice of the cluster it is responsible
+        # for on this arrival: up to the covered identifier, or to the
+        # end of the index space when the delivery wrapped around the
+        # ring (a first-node visit for the tail segment).  Windowing
+        # keeps the chain's scans disjoint even when it wraps past 0.
+        window_high = covered if arrival_key <= covered else curve.size - 1
+        ranges = _clip_ranges(
+            cluster.iter_index_ranges(curve), arrival_key, window_high
+        )
+        found = self._scan_cluster(system, node_id, ranges, run.query)
+        if replica_of is not None:
+            # Failover visit: this node stands in for an unreachable
+            # peer.  Its replica store restores the peer's share of the
+            # data; without replication that share is truthfully
+            # reported as unresolved (the fan-out continues regardless).
+            served, ok = self._scan_replicas(system, node_id, ranges, run.query)
+            if ok:
+                found = found + served
+            elif ranges:
+                run.unresolved.extend(ranges)
+        if trace is not None:
+            trace.emit(span, LocalScan(node_id, len(ranges), len(found)))
+        if found:
+            run.matches.extend(found)
+            stats.record_data_node(node_id)
+            if self.latency_model is not None:
+                stats.record_match_time(done_time)
+            if run.limit is not None and len(run.matches) >= run.limit:
+                # Discovery mode: enough matches known; the origin stops
+                # the fan-out.  Outstanding branches are abandoned — their
+                # dispatch messages are already (truthfully) counted; the
+                # transport records how many were dropped in flight.
+                return False
+
+        # Pruning: the branch terminates when the covered node owns the
+        # whole remaining index range of the cluster.  Linearly that
+        # means the cluster's last index precedes the covered
+        # identifier; at the ring's wrap point (a node owning
+        # (pred, 2^m) ∪ [0, id]) it means the cluster's remaining part
+        # started beyond the predecessor, since linear indices never
+        # wrap.
+        cluster_max = cluster.max_index(curve)
+        if covered == node_id:
+            pred = overlay.nodes[node_id].predecessor
+        else:
+            # Failover visit: `covered` is the unreachable-but-live
+            # peer's identifier; ask the ring for its predecessor.
+            pred = overlay.predecessor_id(covered)
+        if (
+            cluster_max <= covered
+            or pred == covered  # single node: owns everything
+            or (pred > covered and arrival_key > pred)
+        ):
+            stats.record_pruned()
+            if trace is not None:
+                trace.emit(span, Pruned(node_id, cluster.level, "owned"))
+            return True
+        remainder = self._refine_locally(
+            curve, cluster, run.region, min_index=covered + 1
+        )
+        if trace is not None:
+            trace.emit(
+                span, ClusterRefined(node_id, cluster.level, len(remainder))
+            )
+        if not remainder:
+            # The region's remaining geometry lies entirely within this
+            # node's scanned window: the branch ends here too.
+            stats.record_pruned()
+            if trace is not None:
+                trace.emit(span, Pruned(node_id, cluster.level, "empty"))
+            return True
+        delay = self.processing_delay
+        if plane is not None and delay:
+            delay *= plane.slow_factor(node_id)
+        self._dispatch(
+            system,
+            stats,
+            node_id,
+            remainder,
+            run.outbox,
+            floor=covered + 1,
+            now=arrival_time + delay,
+            trace=trace,
+            parent_span=span,
+            plane=plane,
+            unresolved=run.unresolved,
+        )
+        return True
 
     def _account_time(
         self,
@@ -481,7 +709,7 @@ class OptimizedEngine(QueryEngine):
         stats: QueryStats,
         sender_id: int,
         clusters: list[Cluster],
-        work: deque,
+        work: list,
         floor: int,
         now: float,
         trace: QueryTrace | None = None,
@@ -960,10 +1188,20 @@ class NaiveEngine(QueryEngine):
 
     name = "naive"
 
-    def __init__(self, max_level: int | None = None) -> None:
+    def __init__(
+        self, max_level: int | None = None, hop_budget: int | None = None
+    ) -> None:
         #: Optional refinement cap (the paper's curve approximation order);
         #: None resolves clusters exactly.
         self.max_level = max_level
+        #: Per-query cap on successor-chain steps; ``None`` derives
+        #: ``len(ranges) + default_hop_budget(n_nodes)`` at query time (a
+        #: healthy walk takes about one step per cluster plus one per node
+        #: boundary crossed, so the default never triggers; a post-crash
+        #: routing cycle walks the ring forever and exhausts it).
+        if hop_budget is not None and hop_budget < 1:
+            raise EngineError(f"hop_budget must be >= 1, got {hop_budget}")
+        self.hop_budget = hop_budget
 
     def result_cache_params(self):
         """Result-cache key component: name plus refinement depth."""
@@ -979,18 +1217,37 @@ class NaiveEngine(QueryEngine):
     ) -> QueryResult:
         """Resolve ``query`` by fully expanding clusters at the initiator
         and messaging each one (the paper's unoptimized strawman)."""
+        run = self.begin_run(system, query, origin=origin, rng=rng, limit=limit)
+        return drive_sync(self, system, run)
+
+    def begin_run(
+        self,
+        system: "SquidSystem",
+        query,
+        origin: int | None = None,
+        rng: RandomLike = None,
+        limit: int | None = None,
+    ) -> EngineRun:
+        """Resolve every cluster at the initiator; queue the first one.
+
+        Work entries are ``("open", idx)`` — the initiator dispatches range
+        ``idx`` — and ``("step", node_id, span, position, high, idx)`` — one
+        successor-chain visit.  Exactly one entry is ever outstanding, so
+        the protocol's strictly sequential order is preserved over any
+        transport.
+        """
         if limit is not None and limit < 1:
             raise EngineError(f"limit must be >= 1, got {limit}")
-        q = system.space.as_query(query)
-        region = system.space.region(q)
+        run = EngineRun()
+        q = run.query = system.space.as_query(query)
+        region = run.region = system.space.region(q)
         curve = system.curve
-        overlay = system.overlay
-        stats = QueryStats()
-        matches: list = []
+        run.limit = limit
+        stats = run.stats
 
-        origin_id = self._pick_origin(system, origin, rng)
+        origin_id = run.origin_id = self._pick_origin(system, origin, rng)
         tracer = getattr(system, "tracer", None)
-        trace: QueryTrace | None = (
+        trace = run.trace = (
             tracer.begin(str(q), origin_id) if tracer is not None else None
         )
         # Full cluster resolution is the naive engine's dominant initiator
@@ -1010,76 +1267,112 @@ class NaiveEngine(QueryEngine):
             ranges = resolve_clusters(curve, region, max_level=self.max_level)
             if cache is not None:
                 cache.put(cache_key, tuple(ranges))
-        root_span = 0
+        run.ranges = ranges
+        # The chain touches roughly one node per cluster plus one per node
+        # boundary it crosses, so the budget scales with both.
+        run.budget = (
+            self.hop_budget
+            if self.hop_budget is not None
+            else len(ranges) + default_hop_budget(len(system.overlay.nodes))
+        )
         if trace is not None:
-            root_span = trace.new_span(None, origin_id, 0)
-            trace.emit(root_span, ClusterRefined(origin_id, 0, len(ranges)))
+            run.root_span = trace.new_span(None, origin_id, 0)
+            trace.emit(run.root_span, ClusterRefined(origin_id, 0, len(ranges)))
+        run.outbox.append(("open", 0))
+        return run
 
-        for low, high in ranges:
-            if limit is not None and len(matches) >= limit:
+    def entry_node(self, run: EngineRun, entry) -> int:
+        """``open`` entries return to the initiator; steps go to the chain."""
+        return run.origin_id if entry[0] == "open" else entry[1]
+
+    def process_message(self, system: "SquidSystem", run: EngineRun, entry) -> bool:
+        """Handle one protocol step (see :meth:`begin_run` for entry kinds)."""
+        curve = system.curve
+        overlay = system.overlay
+        stats = run.stats
+        trace = run.trace
+
+        if entry[0] == "open":
+            idx = entry[1]
+            if idx >= len(run.ranges):
+                return True  # every cluster handled: the run drains out
+            if run.limit is not None and len(run.matches) >= run.limit:
                 # Discovery mode: remaining clusters were never dispatched,
                 # so no in-flight messages exist to account for.
-                break
+                return True
+            low, high = run.ranges[idx]
             # One message routed per cluster, straight from the initiator.
             dest = overlay.owner(low)
-            span = root_span
+            span = run.root_span
             if trace is not None:
-                span = trace.new_span(root_span, dest, curve.order)
-            if dest != origin_id:
-                route = overlay.route(origin_id, low)
+                span = trace.new_span(run.root_span, dest, curve.order)
+            if dest != run.origin_id:
+                route = overlay.route(run.origin_id, low)
                 stats.record_path(route.path)
                 if trace is not None:
                     trace.emit(
                         span,
                         MessageSent(
-                            origin_id, dest, "routed",
+                            run.origin_id, dest, "routed",
                             hops=len(route.path) - 1, path=route.path,
                         ),
                     )
-            # The cluster may span several successive nodes: walk the chain.
-            node_id = dest
-            position = low
-            while True:
-                stats.record_processing(node_id, curve.order)
-                window_high = min(high, node_id) if position <= node_id else high
-                found = self._scan_cluster(
-                    system, node_id, [(position, window_high)], q
+            run.outbox.append(("step", dest, span, low, high, idx))
+            return True
+
+        # The cluster may span several successive nodes: walk the chain.
+        _kind, node_id, span, position, high, idx = entry
+        if not run._charge_hop():
+            # Hop budget exhausted — a post-crash stale-pointer cycle is
+            # walking the ring forever.  Abandon the remaining window of
+            # this cluster and every cluster not yet dispatched; the query
+            # returns an honest ``complete=False`` instead of hanging.
+            run.unresolved.append((position, high))
+            stats.record_lost_branch()
+            if trace is not None:
+                trace.emit(span, BranchLost(node_id, curve.order, 1))
+            run.unresolved.extend(run.ranges[idx + 1:])
+            return True
+        stats.record_processing(node_id, curve.order)
+        window_high = min(high, node_id) if position <= node_id else high
+        found = self._scan_cluster(
+            system, node_id, [(position, window_high)], run.query
+        )
+        if trace is not None:
+            trace.emit(span, LocalScan(node_id, 1, len(found)))
+        advance = True
+        if found:
+            run.matches.extend(found)
+            stats.record_data_node(node_id)
+            if run.limit is not None and len(run.matches) >= run.limit:
+                advance = False  # stop the chain; "open" re-checks the limit
+        node = overlay.nodes[node_id]
+        # Done when this node owns the rest of the (linear) range: either
+        # the range ends at/before the node's identifier, or the node's
+        # range wraps and the walk entered it past the predecessor.
+        if advance and not (
+            high <= node_id
+            or node.predecessor == node_id  # single node owns all
+            or (node.predecessor > node_id and position > node.predecessor)
+        ):
+            position = node_id + 1
+            next_id = overlay.owner(position)
+            stats.record_direct()  # hand the rest of the range onward
+            stats.routing_nodes.add(next_id)
+            if trace is not None:
+                child = trace.new_span(span, next_id, curve.order)
+                trace.emit(
+                    child,
+                    MessageSent(
+                        node_id, next_id, "handoff",
+                        hops=1, path=(node_id, next_id),
+                    ),
                 )
-                if trace is not None:
-                    trace.emit(span, LocalScan(node_id, 1, len(found)))
-                if found:
-                    matches.extend(found)
-                    stats.record_data_node(node_id)
-                    if limit is not None and len(matches) >= limit:
-                        break
-                node = overlay.nodes[node_id]
-                # Done when this node owns the rest of the (linear) range:
-                # either the range ends at/before the node's identifier, or
-                # the node's range wraps and the walk entered it past the
-                # predecessor.
-                if (
-                    high <= node_id
-                    or node.predecessor == node_id  # single node owns all
-                    or (node.predecessor > node_id and position > node.predecessor)
-                ):
-                    break
-                position = node_id + 1
-                next_id = overlay.owner(position)
-                stats.record_direct()  # hand the rest of the range onward
-                stats.routing_nodes.add(next_id)
-                if trace is not None:
-                    child = trace.new_span(span, next_id, curve.order)
-                    trace.emit(
-                        child,
-                        MessageSent(
-                            node_id, next_id, "handoff",
-                            hops=1, path=(node_id, next_id),
-                        ),
-                    )
-                    span = child
-                node_id = next_id
-        _report_query_metrics(self.name, stats)
-        return QueryResult(q, matches, stats, trace)
+                span = child
+            run.outbox.append(("step", next_id, span, position, high, idx))
+            return True
+        run.outbox.append(("open", idx + 1))
+        return True
 
 
 _ENGINES = {

@@ -27,6 +27,7 @@ __all__ = [
     "WorkloadError",
     "SimulationError",
     "FaultError",
+    "ServingError",
 ]
 
 
@@ -105,3 +106,7 @@ class SimulationError(ReproError):
 
 class FaultError(ReproError):
     """Fault-injection plane configuration or wiring errors."""
+
+
+class ServingError(ReproError):
+    """Serving-layer (HTTP server / client / load generator) errors."""

@@ -1,0 +1,37 @@
+"""``repro.net`` — the serving layer: transports, HTTP server, load gen.
+
+The package turns the in-process Squid simulation into a served system in
+three pieces (see ``docs/serving.md``):
+
+* :mod:`repro.net.transport` — the engine/delivery split.
+  :class:`SyncTransport` reproduces the original synchronous simulation;
+  :class:`AsyncioTransport` delivers the same work entries through per-node
+  bounded inboxes with query correlation ids, running many queries
+  concurrently while keeping each run bit-identical to its sync execution.
+* :mod:`repro.net.server` / :mod:`repro.net.client` — a zero-dependency
+  HTTP/1.1 JSON front-end (``python -m repro serve``) and its keep-alive
+  client.
+* :mod:`repro.net.loadgen` — open-/closed-loop load generation
+  (``python -m repro loadgen``) reporting QPS, error rate, and p50/p95/p99.
+"""
+
+from repro.net.client import QueryClient
+from repro.net.demo import build_demo_system, demo_queries, demo_requests
+from repro.net.loadgen import LoadReport, run_loadgen, run_pool
+from repro.net.server import QueryServer, encode_result
+from repro.net.transport import AsyncioTransport, SyncTransport, Transport
+
+__all__ = [
+    "Transport",
+    "SyncTransport",
+    "AsyncioTransport",
+    "QueryServer",
+    "QueryClient",
+    "encode_result",
+    "LoadReport",
+    "run_pool",
+    "run_loadgen",
+    "build_demo_system",
+    "demo_queries",
+    "demo_requests",
+]

@@ -1,0 +1,259 @@
+"""Load generator for the query server: open-loop and closed-loop modes.
+
+*Open loop* is the honest way to measure a service's latency: request ``i``
+is *scheduled* at ``t0 + i/rate`` regardless of whether earlier requests
+have finished, and its latency is measured **from the scheduled instant** —
+so when the server falls behind, the queueing delay lands in the tail
+percentiles instead of silently slowing the offered load (coordinated
+omission).  *Closed loop* is the throughput probe: ``concurrency`` workers
+fire back-to-back, measuring per-request service time and aggregate QPS.
+
+Both modes drive a pool of keep-alive :class:`~repro.net.client.QueryClient`
+connections, reuse the shared :func:`repro.util.stats.percentiles` helper
+for the latency report, and can replay any request list — by default the
+skewed :func:`repro.net.demo.demo_requests` trace built on
+:mod:`repro.workloads.trace`.
+
+:func:`run_loadgen` is the synchronous entry point behind
+``python -m repro loadgen``; with ``self_serve=True`` it builds a seeded
+demo system, starts a server on an ephemeral port, and points the generator
+at it — the CI smoke leg (zero errors, finite p50/p95/p99 over a 200-query
+trace).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any
+
+from repro.errors import ServingError
+from repro.net.client import QueryClient
+from repro.net.demo import build_demo_system, demo_requests
+from repro.util.stats import percentiles
+
+__all__ = ["LoadReport", "run_pool", "run_loadgen"]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    mode: str  #: ``"open"`` or ``"closed"``.
+    concurrency: int  #: Connection-pool size (closed-loop worker count).
+    rate: float | None  #: Open-loop target arrival rate (requests/s).
+    sent: int
+    completed: int
+    errors: int
+    duration_s: float
+    #: ``{"p50": ..., "p95": ..., "p99": ...}`` in seconds, successful
+    #: requests only; NaN when nothing succeeded.
+    latency_s: dict[str, float] = field(default_factory=dict)
+    #: Decoded response bodies in request order (``collect=True`` runs
+    #: only); failed requests hold None.
+    responses: list[Any] | None = None
+
+    @property
+    def qps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.sent if self.sent else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "concurrency": self.concurrency,
+            "rate": self.rate,
+            "sent": self.sent,
+            "completed": self.completed,
+            "errors": self.errors,
+            "error_rate": self.error_rate,
+            "duration_s": self.duration_s,
+            "qps": self.qps,
+            "latency_ms": {
+                label: value * 1e3 for label, value in self.latency_s.items()
+            },
+        }
+
+    def check(self) -> None:
+        """Raise :class:`ServingError` unless the run was clean.
+
+        Clean means zero errors and finite p50/p95/p99 — the CI smoke
+        contract (an all-error run would otherwise "pass" with NaN
+        latencies).
+        """
+        if self.errors:
+            raise ServingError(
+                f"load run had {self.errors}/{self.sent} errors"
+            )
+        bad = [
+            label
+            for label, value in self.latency_s.items()
+            if not math.isfinite(value)
+        ]
+        if bad or not self.latency_s:
+            raise ServingError(
+                f"latency report not finite: {self.latency_s!r}"
+            )
+
+    def render(self) -> str:
+        lat = ", ".join(
+            f"{label}={value * 1e3:.1f}ms"
+            for label, value in self.latency_s.items()
+        )
+        rate = f" rate={self.rate:g}/s" if self.rate is not None else ""
+        return (
+            f"{self.mode}-loop x{self.concurrency}{rate}: "
+            f"{self.completed}/{self.sent} ok, {self.errors} errors, "
+            f"{self.duration_s:.2f}s, {self.qps:.1f} qps, {lat}"
+        )
+
+
+async def run_pool(
+    host: str,
+    port: int,
+    requests: list[dict[str, Any]],
+    *,
+    mode: str = "open",
+    rate: float = 100.0,
+    concurrency: int = 16,
+    collect: bool = False,
+) -> LoadReport:
+    """Replay ``requests`` against a running server; returns a report.
+
+    Each request dict holds :meth:`QueryClient.query` keyword arguments
+    (``query`` plus optional ``origin``/``limit``/``seed``).  In open-loop
+    mode arrivals follow the target ``rate`` and latency runs from the
+    scheduled instant; in closed-loop mode the ``concurrency`` connections
+    fire continuously and latency runs from connection acquisition.
+    """
+    if mode not in ("open", "closed"):
+        raise ServingError(f"unknown loadgen mode {mode!r}")
+    if mode == "open" and rate <= 0:
+        raise ServingError(f"open-loop rate must be positive, got {rate}")
+    if concurrency < 1:
+        raise ServingError(f"concurrency must be >= 1, got {concurrency}")
+    n = len(requests)
+    responses: list[Any] | None = [None] * n if collect else None
+    latencies: list[float | None] = [None] * n
+    errors = 0
+    pool_size = max(1, min(concurrency, n or 1))
+    clients = [
+        await QueryClient(host, port).connect() for _ in range(pool_size)
+    ]
+    pool: asyncio.Queue = asyncio.Queue()
+    for client in clients:
+        pool.put_nowait(client)
+    t0 = perf_counter()
+
+    async def fire(i: int, req: dict[str, Any]) -> bool:
+        scheduled = t0 + i / rate if mode == "open" else None
+        if scheduled is not None:
+            delay = scheduled - perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        client = await pool.get()
+        start = scheduled if scheduled is not None else perf_counter()
+        try:
+            response = await client.query(**req)
+        except (ServingError, ConnectionError, asyncio.IncompleteReadError):
+            return False
+        finally:
+            pool.put_nowait(client)
+        latencies[i] = perf_counter() - start
+        if responses is not None:
+            responses[i] = response
+        return True
+
+    try:
+        outcomes = await asyncio.gather(
+            *(fire(i, req) for i, req in enumerate(requests))
+        )
+        errors = sum(1 for ok in outcomes if not ok)
+        duration = perf_counter() - t0
+    finally:
+        for client in clients:
+            await client.close()
+    return LoadReport(
+        mode=mode,
+        concurrency=pool_size,
+        rate=rate if mode == "open" else None,
+        sent=n,
+        completed=n - errors,
+        errors=errors,
+        duration_s=duration,
+        latency_s=percentiles([lat for lat in latencies if lat is not None]),
+        responses=responses,
+    )
+
+
+def run_loadgen(
+    host: str = "127.0.0.1",
+    port: int | None = None,
+    *,
+    requests: list[dict[str, Any]] | None = None,
+    queries: int = 200,
+    mode: str = "open",
+    rate: float = 100.0,
+    concurrency: int = 16,
+    seed: int = 42,
+    self_serve: bool = False,
+    nodes: int = 64,
+    docs: int = 2_000,
+    engine: str = "optimized",
+    per_message_delay: float = 0.0,
+    check: bool = False,
+) -> LoadReport:
+    """Synchronous load-generation entry point (the ``loadgen`` command).
+
+    Against an external server, pass ``host``/``port``; with
+    ``self_serve=True`` a seeded demo system and server are built in-process
+    on an ephemeral port (no prior ``serve`` needed — the CI smoke path).
+    ``check=True`` raises unless the run had zero errors and finite
+    latency percentiles.
+    """
+    if not self_serve and port is None:
+        raise ServingError("loadgen needs --port (or --self-serve)")
+
+    async def _main() -> LoadReport:
+        if not self_serve:
+            reqs = (
+                requests
+                if requests is not None
+                else demo_requests(None, seed, queries)
+            )
+            return await run_pool(
+                host, port, reqs, mode=mode, rate=rate, concurrency=concurrency
+            )
+        from repro.net.server import QueryServer
+
+        system = build_demo_system(
+            seed=seed, n_nodes=nodes, n_docs=docs, engine=engine
+        )
+        reqs = (
+            requests
+            if requests is not None
+            else demo_requests(system, seed, queries)
+        )
+        async with QueryServer(
+            system,
+            per_message_delay=per_message_delay,
+            max_inflight=max(64, concurrency),
+        ) as server:
+            return await run_pool(
+                server.host,
+                server.port,
+                reqs,
+                mode=mode,
+                rate=rate,
+                concurrency=concurrency,
+            )
+
+    report = asyncio.run(_main())
+    if check:
+        report.check()
+    return report

@@ -1,0 +1,287 @@
+"""Asyncio query server: a thin HTTP/JSON front-end over a transport.
+
+:class:`QueryServer` accepts HTTP/1.1 keep-alive connections on a plain
+``asyncio.start_server`` socket (no web framework — the standard library is
+the dependency budget) and multiplexes every in-flight request over one
+shared :class:`~repro.net.transport.AsyncioTransport`.  Because the
+transport preserves per-run message order, a served answer is bit-identical
+to the same query resolved in process by :meth:`SquidSystem.query` — the
+bench ``serve`` suite asserts exactly that through
+:func:`encode_result`.
+
+Routes
+------
+``POST /query``
+    Body ``{"query": str, "origin"?: int, "limit"?: int, "seed"?: int}``.
+    ``origin`` pins the entry node; ``seed`` derives the request's RNG (so
+    origin selection is reproducible regardless of what else is in
+    flight).  Response: ``{"result": <encode_result>, "stats": {...}}``.
+``GET /healthz``
+    Liveness plus ring size.
+``GET /stats``
+    Server counters and transport accounting (inflight, delivered, stale).
+``GET /metrics``
+    Snapshot of the active metrics registry (``{}`` when none is active).
+
+Admission control is a single semaphore (``max_inflight``): requests over
+the bound queue at the front door instead of swamping the mesh — the
+simplest honest form of the ROADMAP's overload-protection item.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ReproError, ServingError
+from repro.net.transport import AsyncioTransport, Transport
+from repro.obs import metrics as obs_metrics
+from repro.util.rng import as_generator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.metrics import QueryResult
+    from repro.core.system import SquidSystem
+
+__all__ = ["QueryServer", "encode_result", "read_http_request", "read_http_response"]
+
+_MAX_REQUEST_BODY = 1 << 20  # 1 MiB of JSON is already a hostile query
+
+
+def encode_result(result: "QueryResult") -> dict[str, Any]:
+    """The JSON *answer* of a query: matches plus completeness.
+
+    This is the serving layer's wire contract and the unit of the bench
+    suite's bit-identity guard — it deliberately excludes :class:`QueryStats`
+    (cost varies with shared-cache state and concurrency; the answer must
+    not).  Matches keep engine order, which both transports reproduce.
+    """
+    return {
+        "query": str(result.query),
+        "matches": [
+            {"index": int(e.index), "key": list(e.key), "payload": e.payload}
+            for e in result.matches
+        ],
+        "complete": bool(result.complete),
+        "unresolved_ranges": [
+            [int(lo), int(hi)] for lo, hi in result.unresolved_ranges
+        ],
+    }
+
+
+async def read_http_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed connection."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not line or line in (b"\r\n", b"\n"):
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ServingError(f"malformed request line: {line!r}")
+    method, path = parts[0].upper(), parts[1]
+    headers = await _read_headers(reader)
+    body = await _read_body(reader, headers)
+    return method, path, headers, body
+
+
+async def read_http_response(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 response into ``(status_code, headers, body)``."""
+    line = await reader.readline()
+    if not line:
+        raise ServingError("connection closed before response")
+    parts = line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ServingError(f"malformed status line: {line!r}")
+    status = int(parts[1])
+    headers = await _read_headers(reader)
+    body = await _read_body(reader, headers)
+    return status, headers, body
+
+
+async def _read_headers(reader: asyncio.StreamReader) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return headers
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+
+async def _read_body(reader: asyncio.StreamReader, headers: dict[str, str]) -> bytes:
+    length = int(headers.get("content-length") or 0)
+    if length < 0 or length > _MAX_REQUEST_BODY:
+        raise ServingError(f"unreasonable content-length {length}")
+    return await reader.readexactly(length) if length else b""
+
+
+class QueryServer:
+    """Serve Squid queries over HTTP/JSON from one shared transport.
+
+    ``port=0`` (the default) binds an ephemeral port; read the bound value
+    from :attr:`port` after :meth:`start`.  A custom ``transport`` may be
+    injected (e.g. a :class:`~repro.net.transport.SyncTransport` for
+    debugging); by default an :class:`AsyncioTransport` is built from the
+    system/engine with the given tuning knobs.
+    """
+
+    def __init__(
+        self,
+        system: "SquidSystem",
+        engine=None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        transport: Transport | None = None,
+        max_inflight: int = 64,
+        inbox_capacity: int = 128,
+        per_message_delay: float = 0.0,
+    ) -> None:
+        if max_inflight < 1:
+            raise ServingError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.system = system
+        self.transport = transport if transport is not None else AsyncioTransport(
+            system,
+            engine,
+            inbox_capacity=inbox_capacity,
+            per_message_delay=per_message_delay,
+        )
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight
+        #: HTTP requests accepted / failed (4xx responses count as errors).
+        self.requests = 0
+        self.errors = 0
+        self._sem = asyncio.Semaphore(max_inflight)
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "QueryServer":
+        """Bind the socket (resolving an ephemeral port) and start serving."""
+        await self.transport.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.transport.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise ServingError("QueryServer.serve_forever before start()")
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "QueryServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_http_request(reader)
+                except (ServingError, asyncio.IncompleteReadError):
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload = await self._route(method, path, body)
+                data = json.dumps(payload, sort_keys=True, default=str).encode()
+                writer.write(
+                    b"HTTP/1.1 " + status + b"\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: " + str(len(data)).encode() + b"\r\n"
+                    b"\r\n" + data
+                )
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[bytes, dict[str, Any]]:
+        if method == "GET" and path == "/healthz":
+            return b"200 OK", {
+                "status": "ok",
+                "nodes": len(self.system.overlay),
+                "queries_served": self.transport.queries_served,
+            }
+        if method == "GET" and path == "/stats":
+            return b"200 OK", self.stats()
+        if method == "GET" and path == "/metrics":
+            reg = obs_metrics.active()
+            return b"200 OK", dict(reg.snapshot()) if reg is not None else {}
+        if method == "POST" and path == "/query":
+            return await self._handle_query(body)
+        return b"404 Not Found", {"error": f"no route {method} {path}"}
+
+    async def _handle_query(self, body: bytes) -> tuple[bytes, dict[str, Any]]:
+        self.requests += 1
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+            if not isinstance(payload, dict) or "query" not in payload:
+                raise ServingError('body must be a JSON object with a "query"')
+            query = payload["query"]
+            origin = payload.get("origin")
+            limit = payload.get("limit")
+            seed = payload.get("seed")
+            rng = as_generator(seed) if seed is not None else None
+        except (UnicodeDecodeError, json.JSONDecodeError, ServingError) as exc:
+            self.errors += 1
+            return b"400 Bad Request", {"error": str(exc)}
+        try:
+            async with self._sem:
+                result = await self.transport.submit(
+                    query, origin=origin, rng=rng, limit=limit
+                )
+        except ReproError as exc:
+            # A bad query/origin is the client's fault, not the server's.
+            self.errors += 1
+            return b"400 Bad Request", {"error": str(exc)}
+        return b"200 OK", {
+            "result": encode_result(result),
+            "stats": result.stats.as_dict(),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Server + transport counters (the ``/stats`` payload)."""
+        transport = self.transport
+        out = {
+            "requests": self.requests,
+            "errors": self.errors,
+            "max_inflight": self.max_inflight,
+            "queries_served": transport.queries_served,
+            "nodes": len(self.system.overlay),
+        }
+        if isinstance(transport, AsyncioTransport):
+            out.update(
+                inflight=transport.inflight,
+                messages_delivered=transport.messages_delivered,
+                messages_stale=transport.messages_stale,
+            )
+        return out

@@ -20,6 +20,7 @@ __all__ = [
     "coefficient_of_variation",
     "histogram_counts",
     "percentile",
+    "percentiles",
 ]
 
 
@@ -134,3 +135,22 @@ def percentile(values: Sequence[float], q: float) -> float:
     if arr.size == 0:
         return 0.0
     return float(np.percentile(arr, q))
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = (50, 95, 99)
+) -> dict[str, float]:
+    """Named percentiles of a sample: ``{"p50": ..., "p95": ..., "p99": ...}``.
+
+    The single shared implementation behind the bench harness tables and the
+    load generator's latency report.  An empty sample yields ``nan`` for
+    every quantile — unlike :func:`percentile`'s 0.0, because a latency
+    report must not present "no data" as "instant" (the load generator's
+    ``--check`` mode asserts the values are finite).
+    """
+    labels = [f"p{int(q) if float(q).is_integer() else q}" for q in qs]
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return {label: float("nan") for label in labels}
+    points = np.percentile(arr, list(qs))
+    return {label: float(point) for label, point in zip(labels, points)}

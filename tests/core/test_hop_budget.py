@@ -1,0 +1,127 @@
+"""Routing hop budget: crashed-ring queries degrade instead of hanging.
+
+The pre-existing hang (ROADMAP "known issue"): crashing a node and querying
+*before* ``stabilize_node`` repairs the ring leaves stale successor and
+predecessor pointers that can route a cluster in a cycle forever.  The hop
+budget (:func:`repro.core.engine.default_hop_budget`) turns that into an
+honest ``complete=False`` partial result with the abandoned windows in
+``unresolved_ranges`` — for both engines, with no stabilization call
+anywhere in this file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import NaiveEngine, OptimizedEngine, default_hop_budget
+from repro.core.system import SquidSystem
+from repro.errors import EngineError
+from repro.keywords.dimensions import WordDimension
+from repro.keywords.space import KeywordSpace
+from repro.obs import collecting
+
+ENGINES = ("optimized", "naive")
+
+
+def _system(engine: str, seed: int = 7, n_nodes: int = 24) -> SquidSystem:
+    space = KeywordSpace([WordDimension("kw1"), WordDimension("kw2")], bits=16)
+    system = SquidSystem.create(space, n_nodes=n_nodes, seed=seed, engine=engine)
+    system.publish(("computer", "network"), payload="doc-net")
+    system.publish(("database", "theory"), payload="doc-db")
+    return system
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_crashed_ring_query_returns_partial_not_hang(engine):
+    """The regression itself: query a crashed ring WITHOUT stabilizing.
+
+    Crashing the highest-id node leaves the wrap-around successor stale;
+    a full-space query then routes in a cycle.  Before the hop budget this
+    test never returned.
+    """
+    system = _system(engine)
+    system.fail_node(max(system.overlay.node_ids()))
+    # Deliberately NO overlay.stabilize_node(...) here.
+    result = system.query("(*, *)", origin=min(system.overlay.node_ids()))
+    assert result.complete is False
+    assert result.unresolved_ranges
+    assert result.unresolved_span > 0
+    assert result.stats.lost_branches >= 1
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_crashed_ring_matches_have_no_duplicates(engine):
+    """A cyclic walk re-scans stores; the result must stay a set."""
+    system = _system(engine)
+    system.fail_node(max(system.overlay.node_ids()))
+    result = system.query("(*, *)", origin=min(system.overlay.node_ids()))
+    assert len({id(e) for e in result.matches}) == len(result.matches)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_crashed_ring_query_counts_exhaustion_metric(engine):
+    system = _system(engine)
+    system.fail_node(max(system.overlay.node_ids()))
+    with collecting() as registry:
+        system.query("(*, *)", origin=min(system.overlay.node_ids()))
+    counters = registry.snapshot()["counters"]
+    assert counters.get("query.hop_budget_exhausted.total") == 1
+
+
+@pytest.mark.parametrize(
+    "make_engine",
+    [lambda: OptimizedEngine(hop_budget=2), lambda: NaiveEngine(hop_budget=1)],
+    ids=ENGINES,
+)
+def test_tiny_explicit_budget_trips_on_a_healthy_ring(make_engine):
+    """An explicit budget below the healthy work count yields a partial."""
+    system = _system("optimized")
+    result = system.query(
+        "(*, *)", engine=make_engine(), origin=system.overlay.node_ids()[0]
+    )
+    assert result.complete is False
+    assert result.unresolved_ranges
+
+
+@pytest.mark.parametrize("engine_cls", [OptimizedEngine, NaiveEngine])
+def test_default_budget_is_invisible_on_healthy_rings(engine_cls):
+    """A generous explicit budget must not change any healthy answer.
+
+    Twin systems, same seed: querying the same system twice would flip
+    the plan-cache hit flag, which is exactly the kind of cost-side
+    difference this test must not confuse with an answer difference.
+    """
+    plain_sys, budget_sys = _system("optimized"), _system("optimized")
+    origin = plain_sys.overlay.node_ids()[0]
+    for text in ["(computer, network)", "(comp*, *)", "(*, *)"]:
+        plain = plain_sys.query(text, engine=engine_cls(), origin=origin)
+        budgeted = budget_sys.query(
+            text, engine=engine_cls(hop_budget=1_000_000), origin=origin
+        )
+        assert plain.complete and budgeted.complete
+        assert [e.payload for e in plain.matches] == [
+            e.payload for e in budgeted.matches
+        ]
+        assert plain.stats.as_dict() == budgeted.stats.as_dict()
+
+
+def test_default_hop_budget_scales_with_ring_size():
+    assert default_hop_budget(1) == 1024
+    assert default_hop_budget(64) == 4096
+    assert default_hop_budget(1000) == 64_000
+
+
+@pytest.mark.parametrize("engine_cls", [OptimizedEngine, NaiveEngine])
+def test_hop_budget_validation(engine_cls):
+    with pytest.raises(EngineError):
+        engine_cls(hop_budget=0)
+
+
+def test_stabilized_ring_still_completes():
+    """The repo convention still works: stabilize, then query completes."""
+    system = _system("optimized")
+    system.fail_node(max(system.overlay.node_ids()))
+    for node in system.overlay.node_ids():
+        system.overlay.stabilize_node(node)
+    result = system.query("(*, *)", origin=min(system.overlay.node_ids()))
+    assert result.complete is True

@@ -1,0 +1,1 @@
+"""Serving-layer (repro.net) tests."""

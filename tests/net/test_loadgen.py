@@ -1,0 +1,188 @@
+"""Load generator: report fields, clean-run checks, demo request traces."""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import pytest
+
+from repro.errors import ServingError
+from repro.net import (
+    LoadReport,
+    QueryServer,
+    build_demo_system,
+    demo_requests,
+    run_loadgen,
+    run_pool,
+)
+
+BUILD = dict(seed=7, n_nodes=16, n_docs=200, bits=8)
+
+
+class TestLoadReport:
+    def _report(self, **overrides):
+        base = dict(
+            mode="closed",
+            concurrency=4,
+            rate=None,
+            sent=10,
+            completed=10,
+            errors=0,
+            duration_s=0.5,
+            latency_s={"p50": 0.002, "p95": 0.004, "p99": 0.005},
+        )
+        base.update(overrides)
+        return LoadReport(**base)
+
+    def test_qps_and_error_rate(self):
+        report = self._report(completed=8, errors=2)
+        assert report.qps == pytest.approx(16.0)
+        assert report.error_rate == pytest.approx(0.2)
+
+    def test_as_dict_converts_latency_to_ms(self):
+        out = self._report().as_dict()
+        assert out["latency_ms"]["p50"] == pytest.approx(2.0)
+        assert set(out) >= {
+            "mode", "concurrency", "rate", "sent", "completed",
+            "errors", "error_rate", "duration_s", "qps", "latency_ms",
+        }
+
+    def test_check_passes_clean_run(self):
+        self._report().check()
+
+    def test_check_raises_on_errors(self):
+        with pytest.raises(ServingError, match="errors"):
+            self._report(completed=9, errors=1).check()
+
+    def test_check_raises_on_nan_latency(self):
+        """An all-error run reports NaN percentiles; check() must not let
+        that read as a pass."""
+        nan = {"p50": math.nan, "p95": math.nan, "p99": math.nan}
+        with pytest.raises(ServingError, match="finite"):
+            self._report(latency_s=nan).check()
+
+    def test_check_raises_on_empty_latency(self):
+        with pytest.raises(ServingError):
+            self._report(latency_s={}).check()
+
+    def test_render_mentions_mode_and_qps(self):
+        text = self._report(mode="open", rate=250.0).render()
+        assert "open-loop" in text and "qps" in text and "rate=250" in text
+
+
+class TestRunPoolValidation:
+    def _run(self, **kwargs):
+        return asyncio.run(run_pool("127.0.0.1", 1, [], **kwargs))
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ServingError, match="mode"):
+            self._run(mode="sideways")
+
+    def test_rejects_nonpositive_open_rate(self):
+        with pytest.raises(ServingError, match="rate"):
+            self._run(mode="open", rate=0)
+
+    def test_rejects_zero_concurrency(self):
+        with pytest.raises(ServingError, match="concurrency"):
+            self._run(mode="closed", concurrency=0)
+
+
+class TestDemoRequests:
+    def test_with_system_pins_origins(self):
+        system = build_demo_system(**BUILD)
+        requests = demo_requests(system, 7, 12)
+        ids = set(system.overlay.node_ids())
+        assert len(requests) == 12
+        assert all(r["origin"] in ids for r in requests)
+        assert all("seed" not in r for r in requests)
+
+    def test_without_system_carries_seeds(self):
+        requests = demo_requests(None, 7, 12)
+        assert all("origin" not in r for r in requests)
+        seeds = [r["seed"] for r in requests]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_deterministic_per_seed(self):
+        system = build_demo_system(**BUILD)
+        twin = build_demo_system(**BUILD)
+        assert demo_requests(system, 7, 20) == demo_requests(twin, 7, 20)
+        assert demo_requests(system, 7, 20) != demo_requests(system, 8, 20)
+
+
+class TestRunPoolModes:
+    def _serve_and_run(self, **pool_kwargs):
+        system = build_demo_system(**BUILD)
+        requests = demo_requests(system, 7, pool_kwargs.pop("n", 24))
+
+        async def main():
+            async with QueryServer(system) as server:
+                return await run_pool(
+                    server.host, server.port, requests, **pool_kwargs
+                )
+
+        return asyncio.run(main())
+
+    def test_closed_loop_clean(self):
+        report = self._serve_and_run(mode="closed", concurrency=4)
+        assert report.mode == "closed" and report.rate is None
+        assert report.errors == 0 and report.completed == 24
+        assert report.concurrency == 4
+        report.check()
+
+    def test_open_loop_clean(self):
+        report = self._serve_and_run(mode="open", rate=500.0, concurrency=4)
+        assert report.mode == "open" and report.rate == 500.0
+        assert report.errors == 0 and report.completed == 24
+        # Open loop paces arrivals: 24 requests at 500/s take >= 46 ms.
+        assert report.duration_s >= 23 / 500.0
+        report.check()
+
+    def test_pool_never_larger_than_request_count(self):
+        report = self._serve_and_run(n=3, mode="closed", concurrency=16)
+        assert report.concurrency == 3
+        assert report.errors == 0
+
+    def test_errors_counted_not_raised(self):
+        """Bad requests surface as report.errors, and check() flags them."""
+        system = build_demo_system(**BUILD)
+        requests = demo_requests(system, 7, 6)
+        requests[3] = {"query": "((("}
+
+        async def main():
+            async with QueryServer(system) as server:
+                return await run_pool(
+                    server.host, server.port, requests,
+                    mode="closed", concurrency=2, collect=True,
+                )
+
+        report = asyncio.run(main())
+        assert report.errors == 1 and report.completed == 5
+        assert report.responses[3] is None
+        assert all(r is not None for i, r in enumerate(report.responses) if i != 3)
+        with pytest.raises(ServingError):
+            report.check()
+
+
+class TestRunLoadgen:
+    def test_requires_port_or_self_serve(self):
+        with pytest.raises(ServingError, match="port"):
+            run_loadgen()
+
+    def test_self_serve_smoke(self):
+        """The CI smoke contract in miniature: self-served open-loop replay
+        with zero errors and finite percentiles."""
+        report = run_loadgen(
+            self_serve=True,
+            queries=30,
+            mode="open",
+            rate=400.0,
+            concurrency=8,
+            nodes=BUILD["n_nodes"],
+            docs=BUILD["n_docs"],
+            seed=BUILD["seed"],
+            check=True,
+        )
+        assert report.errors == 0
+        assert report.completed == 30
+        assert all(math.isfinite(v) for v in report.latency_s.values())

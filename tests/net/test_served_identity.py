@@ -1,0 +1,179 @@
+"""Served results are bit-identical to in-process results — everywhere.
+
+The property backing the serving layer: resolving a query over the
+:class:`AsyncioTransport` (the path behind ``python -m repro serve``)
+returns exactly what :meth:`SquidSystem.query` returns in process — across
+all three curve families, both engines, all four query classes, under
+fault-plane drops and crashes, and under adversarial query-droppers.
+Serial comparisons check full stats equality; the concurrent comparison
+checks answers (shared-cache hit flags legitimately depend on arrival
+order across runs).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adversary import AdversarialEngine
+from repro.core.engine import OptimizedEngine
+from repro.faults import FaultConfig, FaultPlane, RetryPolicy
+from repro.net import AsyncioTransport, build_demo_system, demo_queries, encode_result
+
+CURVES = ("hilbert", "zorder", "gray")
+ENGINES = ("optimized", "naive")
+BUILD = dict(seed=11, n_nodes=8, n_docs=80, bits=8)
+#: 16 queries, four of each class (exact / prefix / wildcard / range).
+QUERIES = demo_queries(11, 16)
+
+
+def _canon(result) -> str:
+    return json.dumps(encode_result(result), sort_keys=True)
+
+
+def _submit(system, query, origin, engine=None, limit=None):
+    async def main():
+        async with AsyncioTransport(system, engine) as transport:
+            return await transport.submit(query, origin=origin, limit=limit)
+
+    return asyncio.run(main())
+
+
+# One lazily built (served, in-process twin) system pair per configuration.
+# Both sides see the same query sequence, so their plan/route caches stay
+# in lockstep and full stats comparison remains exact across examples.
+_pairs: dict = {}
+
+
+def _pair(curve: str, engine: str):
+    key = (curve, engine)
+    if key not in _pairs:
+        _pairs[key] = (
+            build_demo_system(curve=curve, engine=engine, **BUILD),
+            build_demo_system(curve=curve, engine=engine, **BUILD),
+        )
+    return _pairs[key]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    curve=st.sampled_from(CURVES),
+    engine=st.sampled_from(ENGINES),
+    query_index=st.integers(0, len(QUERIES) - 1),
+    origin_index=st.integers(0, BUILD["n_nodes"] - 1),
+)
+def test_served_identity_property(curve, engine, query_index, origin_index):
+    """All curves x both engines x all query classes x any origin."""
+    system, twin = _pair(curve, engine)
+    origin = system.overlay.node_ids()[origin_index]
+    query = QUERIES[query_index]
+    served = _submit(system, query, origin)
+    local = twin.query(query, origin=origin)
+    assert _canon(served) == _canon(local)
+    assert served.stats.as_dict() == local.stats.as_dict()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    query_index=st.integers(0, len(QUERIES) - 1),
+    limit=st.integers(1, 5),
+)
+def test_served_identity_discovery_mode(query_index, limit):
+    """Discovery-mode (limit=) early stops are order-sensitive; the
+    transport must reproduce the sync stop point exactly."""
+    system, twin = _pair("hilbert", "optimized")
+    origin = system.overlay.node_ids()[0]
+    query = QUERIES[query_index]
+    served = _submit(system, query, origin, limit=limit)
+    local = twin.query(query, origin=origin, limit=limit)
+    assert _canon(served) == _canon(local)
+    assert served.stats.as_dict() == local.stats.as_dict()
+
+
+@pytest.mark.parametrize(
+    "rates",
+    [dict(drop_rate=0.3), dict(drop_rate=0.15, duplicate_rate=0.1),
+     dict(crash_rate=0.04)],
+    ids=["drops", "drops+dupes", "crashes"],
+)
+def test_served_identity_under_fault_plane(rates):
+    """Twin systems with twin fault planes: the serial served run consumes
+    the plane's RNG in exactly the in-process order, fault for fault —
+    including crash-during-query, which permanently mutates both rings in
+    lockstep."""
+
+    def build():
+        system = build_demo_system(**BUILD)
+        plane = FaultPlane(FaultConfig(seed=5, **rates))
+        plane.attach_system(system)
+        engine = OptimizedEngine(fault_plane=plane, retry=RetryPolicy())
+        return system, engine
+
+    system, engine = build()
+    twin, twin_engine = build()
+    incomplete = 0
+    for query in QUERIES:
+        # Choose the origin from the *current* ring (crashes shrink it);
+        # both rings evolve identically so the choice matches.
+        origin = system.overlay.node_ids()[0]
+        assert origin == twin.overlay.node_ids()[0]
+        served = _submit(system, query, origin, engine=engine)
+        local = twin.query(query, engine=twin_engine, origin=origin)
+        assert _canon(served) == _canon(local)
+        assert served.stats.as_dict() == local.stats.as_dict()
+        incomplete += not served.complete
+
+
+def test_served_identity_under_adversarial_droppers():
+    """Query-dropping peers, with retry+failover routing around them."""
+    system = build_demo_system(**BUILD)
+    twin = build_demo_system(**BUILD)
+    ids = system.overlay.node_ids()
+    droppers = set(ids[::3])
+    engine = AdversarialEngine(droppers, retry=True)
+    twin_engine = AdversarialEngine(droppers, retry=True)
+    honest = [nid for nid in ids if nid not in droppers]
+    for i, query in enumerate(QUERIES):
+        origin = honest[i % len(honest)]
+        served = _submit(system, query, origin, engine=engine)
+        local = twin.query(query, engine=twin_engine, origin=origin)
+        assert _canon(served) == _canon(local)
+        assert served.stats.as_dict() == local.stats.as_dict()
+
+
+def test_served_identity_dropper_origin():
+    """A malicious origin short-circuits identically over the transport
+    (the begin_run early-result path)."""
+    system = build_demo_system(**BUILD)
+    twin = build_demo_system(**BUILD)
+    dropper = system.overlay.node_ids()[0]
+    engine = AdversarialEngine({dropper})
+    twin_engine = AdversarialEngine({dropper})
+    served = _submit(system, QUERIES[0], dropper, engine=engine)
+    local = twin.query(QUERIES[0], engine=twin_engine, origin=dropper)
+    assert served.complete is False and local.complete is False
+    assert _canon(served) == _canon(local)
+
+
+def test_concurrent_clients_match_serial_answers():
+    """N interleaved submissions == serial execution, answer for answer."""
+    system = build_demo_system(**BUILD)
+    twin = build_demo_system(**BUILD)
+    ids = system.overlay.node_ids()
+    jobs = [
+        (query, ids[i % len(ids)]) for i, query in enumerate(QUERIES * 2)
+    ]
+
+    async def main():
+        async with AsyncioTransport(system, per_message_delay=0.0002) as t:
+            return await asyncio.gather(
+                *(t.submit(q, origin=o) for q, o in jobs)
+            )
+
+    served = asyncio.run(main())
+    serial = [twin.query(q, origin=o) for q, o in jobs]
+    assert [_canon(r) for r in served] == [_canon(r) for r in serial]

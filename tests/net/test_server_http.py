@@ -1,0 +1,186 @@
+"""HTTP front-end: routes, error handling, keep-alive, concurrency."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ServingError
+from repro.net import (
+    QueryClient,
+    QueryServer,
+    build_demo_system,
+    demo_requests,
+    encode_result,
+)
+from repro.net.loadgen import run_pool
+from repro.util.rng import as_generator
+
+BUILD = dict(seed=7, n_nodes=16, n_docs=200, bits=8)
+
+
+def _roundtrip(obj):
+    """What a payload looks like after the server's JSON encoding."""
+    return json.loads(json.dumps(obj, sort_keys=True, default=str))
+
+
+def _serve(coro_fn, **server_kwargs):
+    """Run ``coro_fn(server)`` against a fresh ephemeral-port server."""
+
+    async def main():
+        system = server_kwargs.pop("system", None) or build_demo_system(**BUILD)
+        async with QueryServer(system, **server_kwargs) as server:
+            return await coro_fn(server)
+
+    return asyncio.run(main())
+
+
+def test_healthz_stats_metrics_routes():
+    async def scenario(server):
+        async with QueryClient(server.host, server.port) as client:
+            health = await client.get("/healthz")
+            stats = await client.get("/stats")
+            metrics = await client.get("/metrics")
+        return health, stats, metrics
+
+    health, stats, metrics = _serve(scenario)
+    assert health["status"] == "ok"
+    assert health["nodes"] == BUILD["n_nodes"]
+    assert stats["requests"] == 0 and stats["errors"] == 0
+    assert stats["inflight"] == 0
+    assert metrics == {}  # no registry active
+
+
+def test_query_roundtrip_and_keep_alive():
+    system = build_demo_system(**BUILD)
+    twin = build_demo_system(**BUILD)
+    requests = demo_requests(system, 7, 6)
+
+    async def scenario(server):
+        async with QueryClient(server.host, server.port) as client:
+            # All six requests ride one keep-alive connection.
+            return [
+                await client.query(r["query"], origin=r["origin"])
+                for r in requests
+            ]
+
+    responses = _serve(scenario, system=system)
+    for response, req in zip(responses, requests):
+        local = twin.query(req["query"], origin=req["origin"])
+        assert response["result"] == _roundtrip(encode_result(local))
+        assert response["stats"]["messages"] == local.stats.messages
+
+
+def test_query_seed_matches_in_process_rng():
+    """A request ``seed`` derives the same RNG the in-process API would:
+    the served origin choice (and hence the full stats) matches a twin
+    system queried with ``rng=as_generator(seed)`` in the same sequence."""
+    twin = build_demo_system(**BUILD)
+    seeds = (999, 123)
+
+    async def scenario(server):
+        async with QueryClient(server.host, server.port) as client:
+            return [await client.query("(comp*, *)", seed=s) for s in seeds]
+
+    responses = _serve(scenario)
+    for seed, response in zip(seeds, responses):
+        local = twin.query("(comp*, *)", rng=as_generator(seed))
+        assert response["result"] == _roundtrip(encode_result(local))
+        assert response["stats"] == _roundtrip(local.stats.as_dict())
+
+
+def test_bad_requests_are_400_not_500():
+    async def scenario(server):
+        async with QueryClient(server.host, server.port) as client:
+            missing = await client.request("POST", "/query", {"q": "oops"})
+            invalid_query = await client.request(
+                "POST", "/query", {"query": "((("}
+            )
+            bad_origin = await client.request(
+                "POST", "/query", {"query": "(*, *)", "origin": -1}
+            )
+            not_found = await client.request("GET", "/nope")
+            server_stats = await client.get("/stats")
+        return missing, invalid_query, bad_origin, not_found, server_stats
+
+    missing, invalid_query, bad_origin, not_found, stats = _serve(scenario)
+    assert missing[0] == 400 and "query" in missing[1]["error"]
+    assert invalid_query[0] == 400
+    assert bad_origin[0] == 400
+    assert not_found[0] == 404
+    assert stats["errors"] == 3
+    # The server survived every malformed request on a live connection.
+    assert stats["requests"] == 3
+
+
+def test_client_query_raises_serving_error_on_400():
+    def scenario_sync():
+        async def scenario(server):
+            async with QueryClient(server.host, server.port) as client:
+                await client.query("(((")
+
+        return _serve(scenario)
+
+    with pytest.raises(ServingError):
+        scenario_sync()
+
+
+def test_discovery_limit_over_http():
+    async def scenario(server):
+        async with QueryClient(server.host, server.port) as client:
+            full = await client.query("(*, 128-1024)", seed=3)
+            limited = await client.query("(*, 128-1024)", seed=3, limit=2)
+        return full, limited
+
+    full, limited = _serve(scenario)
+    assert len(limited["result"]["matches"]) >= 2
+    assert len(limited["result"]["matches"]) < len(full["result"]["matches"])
+
+
+def test_concurrent_http_clients_match_serial_answers():
+    """The satellite concurrency test at the HTTP layer: 8 interleaved
+    keep-alive clients replay a request list and must produce exactly the
+    serial in-process answers, in request order."""
+    system = build_demo_system(**BUILD)
+    twin = build_demo_system(**BUILD)
+    requests = demo_requests(system, 7, 40)
+    expected = [
+        json.dumps(
+            encode_result(twin.query(r["query"], origin=r["origin"])),
+            sort_keys=True,
+        )
+        for r in requests
+    ]
+
+    async def scenario(server):
+        return await run_pool(
+            server.host,
+            server.port,
+            requests,
+            mode="closed",
+            concurrency=8,
+            collect=True,
+        )
+
+    report = _serve(scenario, system=system, per_message_delay=0.0002)
+    assert report.errors == 0
+    got = [json.dumps(r["result"], sort_keys=True) for r in report.responses]
+    assert got == expected
+
+
+def test_max_inflight_admission_bound():
+    """Requests beyond the bound queue and complete rather than fail."""
+    system = build_demo_system(**BUILD)
+    requests = demo_requests(system, 7, 20)
+
+    async def scenario(server):
+        return await run_pool(
+            server.host, server.port, requests,
+            mode="closed", concurrency=10, collect=False,
+        )
+
+    report = _serve(scenario, system=system, max_inflight=2)
+    assert report.errors == 0
+    assert report.completed == len(requests)

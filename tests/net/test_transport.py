@@ -1,0 +1,182 @@
+"""Transport-level identity: async delivery == the synchronous simulation.
+
+The contract under test (docs/serving.md): a query run over
+:class:`AsyncioTransport` processes its work entries in exactly the FIFO
+post order :func:`drive_sync` uses, so matches, stats, and completeness are
+bit-identical to in-process execution — serially, concurrently, under
+discovery-mode limits, and with tiny inbox bounds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.net import (
+    AsyncioTransport,
+    SyncTransport,
+    build_demo_system,
+    demo_requests,
+    encode_result,
+)
+
+SEED = 7
+BUILD = dict(seed=SEED, n_nodes=16, n_docs=200, bits=8)
+
+
+def _canon(result) -> str:
+    return json.dumps(encode_result(result), sort_keys=True)
+
+
+def _reference(requests):
+    system = build_demo_system(**BUILD)
+    out = []
+    for req in requests:
+        res = system.query(req["query"], origin=req["origin"])
+        out.append((_canon(res), res.stats.as_dict()))
+    return out
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return demo_requests(build_demo_system(**BUILD), SEED, 24)
+
+
+@pytest.fixture(scope="module")
+def reference(requests):
+    return _reference(requests)
+
+
+def test_sync_transport_matches_system_query(requests, reference):
+    system = build_demo_system(**BUILD)
+
+    async def main():
+        async with SyncTransport(system) as transport:
+            return [
+                await transport.submit(r["query"], origin=r["origin"])
+                for r in requests
+            ]
+
+    results = asyncio.run(main())
+    got = [(_canon(res), res.stats.as_dict()) for res in results]
+    assert got == reference
+
+
+@pytest.mark.parametrize("inbox_capacity", [1, 2, 128])
+def test_asyncio_transport_serial_identity(requests, reference, inbox_capacity):
+    """Answers AND stats identical for any inbox bound (backpressure only
+    changes scheduling, never the processed entry order)."""
+    system = build_demo_system(**BUILD)
+
+    async def main():
+        async with AsyncioTransport(
+            system, inbox_capacity=inbox_capacity
+        ) as transport:
+            return [
+                await transport.submit(r["query"], origin=r["origin"])
+                for r in requests
+            ]
+
+    results = asyncio.run(main())
+    got = [(_canon(res), res.stats.as_dict()) for res in results]
+    assert got == reference
+
+
+def test_asyncio_transport_concurrent_identity(requests, reference):
+    """N interleaved submissions return the same *answers* as serial
+    in-process execution (stats may differ only in shared-cache hit flags)."""
+    system = build_demo_system(**BUILD)
+
+    async def main():
+        async with AsyncioTransport(
+            system, per_message_delay=0.0002
+        ) as transport:
+            return await asyncio.gather(
+                *(
+                    transport.submit(r["query"], origin=r["origin"])
+                    for r in requests
+                )
+            )
+
+    results = asyncio.run(main())
+    assert [_canon(res) for res in results] == [canon for canon, _ in reference]
+
+
+def test_asyncio_transport_limit_mode(requests):
+    """Discovery-mode early stop: same matches and same abandoned-branch
+    accounting as the synchronous pump."""
+    system = build_demo_system(**BUILD)
+    twin = build_demo_system(**BUILD)
+    origin = requests[0]["origin"]
+
+    async def main():
+        async with AsyncioTransport(system) as transport:
+            return await transport.submit(
+                "(*, 128-1024)", origin=origin, limit=3
+            )
+
+    served = asyncio.run(main())
+    local = twin.query("(*, 128-1024)", origin=origin, limit=3)
+    assert len(served.matches) >= 3
+    assert [e.payload for e in served.matches] == [
+        e.payload for e in local.matches
+    ]
+    assert served.stats.as_dict() == local.stats.as_dict()
+
+
+def test_asyncio_transport_result_cache_mirror():
+    """The transport serves and fills the system's result cache exactly as
+    SquidSystem.query does."""
+    system = build_demo_system(result_cache=32, **BUILD)
+    req = demo_requests(system, SEED, 1)[0]
+
+    async def main():
+        async with AsyncioTransport(system) as transport:
+            first = await transport.submit(req["query"], origin=req["origin"])
+            second = await transport.submit(req["query"], origin=req["origin"])
+            return first, second
+
+    first, second = asyncio.run(main())
+    assert first.stats.result_cache_hit is False
+    assert second.stats.result_cache_hit is True
+    assert _canon(first) == _canon(second)
+
+
+def test_asyncio_transport_naive_engine(requests):
+    """The naive engine's single-chain walk serves over the transport too."""
+    system = build_demo_system(engine="naive", **BUILD)
+    twin = build_demo_system(engine="naive", **BUILD)
+
+    async def main():
+        async with AsyncioTransport(system) as transport:
+            return [
+                await transport.submit(r["query"], origin=r["origin"])
+                for r in requests[:8]
+            ]
+
+    results = asyncio.run(main())
+    for res, req in zip(results, requests[:8]):
+        local = twin.query(req["query"], origin=req["origin"])
+        assert _canon(res) == _canon(local)
+        assert res.stats.as_dict() == local.stats.as_dict()
+
+
+def test_transport_accounting(requests):
+    system = build_demo_system(**BUILD)
+
+    async def main():
+        async with AsyncioTransport(system) as transport:
+            for r in requests[:5]:
+                await transport.submit(r["query"], origin=r["origin"])
+            return (
+                transport.queries_served,
+                transport.messages_delivered,
+                transport.inflight,
+            )
+
+    served, delivered, inflight = asyncio.run(main())
+    assert served == 5
+    assert delivered > 0
+    assert inflight == 0

@@ -50,6 +50,11 @@ TRACE_KEYS = {
     "messages_saved", "median_uncached_s", "median_cached_s",
     "median_speedup", "stale_results",
 }
+SERVE_KEYS = {
+    "mode", "clients", "requests", "errors", "duration_s", "qps",
+    "p50_ms", "p95_ms", "p99_ms", "nodes", "per_message_delay_s",
+    "identity", "concurrency_speedup",
+}
 
 
 @pytest.fixture(scope="module")
@@ -66,6 +71,7 @@ def test_document_envelope(quick_result):
     assert quick_result["quick"] is True
     assert set(quick_result["suites"]) == {
         "encode", "refine", "e2e", "parallel", "resilience", "store", "trace",
+        "serve",
     }
     env = quick_result["environment"]
     assert {"python", "numpy", "platform", "cpus"} <= set(env)
@@ -158,6 +164,22 @@ def test_trace_rows(quick_result):
     assert row["messages_on"] + row["messages_saved"] == row["messages_off"]
 
 
+def test_serve_rows(quick_result):
+    rows = quick_result["suites"]["serve"]
+    # Reaching these rows means both fatal guards inside the suite passed:
+    # every served answer byte-identical to its in-process twin, and the
+    # concurrent run strictly out-throughputting the 1-client run.
+    assert [row["clients"] for row in rows] == [1, 16]
+    for row in rows:
+        assert set(row) == SERVE_KEYS
+        assert row["mode"] == "closed"
+        assert row["errors"] == 0
+        assert row["identity"] is True
+        assert row["qps"] > 0
+        assert 0 < row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+        assert row["concurrency_speedup"] > 1.0
+
+
 def test_summary_shape(quick_result):
     summary = quick_result["summary"]
     assert summary["refine_min_speedup"] <= summary["refine_max_speedup"]
@@ -175,6 +197,11 @@ def test_summary_shape(quick_result):
     assert summary["trace_median_speedup"] is None or (
         summary["trace_median_speedup"] > 0
     )
+    assert summary["serve_qps_1_client"] > 0
+    assert summary["serve_qps_concurrent"] > 0
+    assert summary["serve_clients"] == 16
+    assert summary["serve_concurrency_speedup"] > 1.0
+    assert summary["serve_p95_ms_concurrent"] > 0
 
 
 def test_run_bench_is_reproducible_in_shape():

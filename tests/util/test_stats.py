@@ -12,6 +12,7 @@ from repro.util.stats import (
     histogram_counts,
     imbalance_ratio,
     percentile,
+    percentiles,
     summarize,
 )
 
@@ -120,3 +121,37 @@ class TestPercentile:
 
     def test_median(self):
         assert percentile([1, 2, 3], 50) == 2.0
+
+
+class TestPercentiles:
+    def test_default_labels(self):
+        out = percentiles(list(range(101)))
+        assert set(out) == {"p50", "p95", "p99"}
+        assert out["p50"] == 50.0
+        assert out["p95"] == 95.0
+        assert out["p99"] == 99.0
+
+    def test_custom_quantiles_and_labels(self):
+        out = percentiles([1.0, 2.0, 3.0], qs=(0, 100, 99.9))
+        assert set(out) == {"p0", "p100", "p99.9"}
+        assert out["p0"] == 1.0
+        assert out["p100"] == 3.0
+
+    def test_empty_sample_is_nan_not_zero(self):
+        out = percentiles([])
+        assert set(out) == {"p50", "p95", "p99"}
+        assert all(np.isnan(v) for v in out.values())
+        # Unlike percentile(), which reports 0.0 — a latency report must
+        # not present "no data" as "instant".
+        assert percentile([], 50) == 0.0
+
+    def test_matches_scalar_percentile(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        out = percentiles(values, qs=(50, 90))
+        assert out["p50"] == percentile(values, 50)
+        assert out["p90"] == percentile(values, 90)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_monotone_in_q(self, values):
+        out = percentiles(values, qs=(50, 95, 99))
+        assert out["p50"] <= out["p95"] <= out["p99"]
