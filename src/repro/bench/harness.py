@@ -56,6 +56,23 @@ Three suites, each deterministic given a seed:
     bit-identical to the in-process :meth:`SquidSystem.query` answer on a
     twin system (JSON-canonical compare of matches + completeness), and the
     16-client run must beat the 1-client run's throughput.
+``overload``
+    The overload-protection plane.  Zero-overload bit-identity first: an
+    engine carrying an armed-but-generous :class:`~repro.guard.GuardPlane`
+    must produce byte-identical matches, stats, and metric snapshots to a
+    plain engine — and layered on a *faulty* engine it must leave the fault
+    plane's RNG stream untouched (same drops, same retries, same partial
+    results).  Then a deterministic honest-shedding row (a throttled
+    engine returns a certain subset with ``complete=False`` and counted
+    ``shed_branches``), and the serving legs: open-loop replay at >= 4x
+    the measured closed-loop capacity against an unguarded server (answers
+    arrive but late) vs. a guarded one (bounded front door + guard plane:
+    clean 429s, bounded tails).  Hard guards: the guarded leg must win on
+    **both** p99 latency and goodput (complete, in-deadline answers/sec),
+    a calm below-watermark leg through the guarded server must show zero
+    rejections/sheds and answer-identity to an in-process twin, and a
+    chaos leg (fault plane + guards under the same overload) must produce
+    zero 5xx and zero hard errors.
 
 Timings use ``time.perf_counter`` best-of-``repeats``; the harness is not a
 statistics package — it exists so a regression (or a win) in the hot path
@@ -92,6 +109,7 @@ __all__ = [
     "bench_store",
     "bench_trace",
     "bench_serve",
+    "bench_overload",
     "run_bench",
     "write_bench_json",
     "SUITES",
@@ -850,13 +868,308 @@ def bench_serve(seed: int, quick: bool = False) -> list[dict[str, Any]]:
 
 
 # ----------------------------------------------------------------------
+# Suite: overload protection (guard plane + bounded front door)
+# ----------------------------------------------------------------------
+def bench_overload(seed: int, quick: bool = False) -> list[dict[str, Any]]:
+    """Overload protection: identity when idle, honest shedding under load.
+
+    Four parts (see module docstring): the zero-overload bit-identity
+    guards (plain vs. idle-guarded, and faulty vs. faulty+idle-guarded —
+    the latter proves the guard consumes no RNG and leaves the fault
+    stream untouched), a deterministic in-process shedding row, and the
+    serving-layer comparison: the same open-loop overload (>= 4x measured
+    capacity) against an unguarded and a guarded server, where the guarded
+    configuration must win on both p99 and goodput.  All guards are hard
+    assertions; the returned rows record one leg each.
+    """
+    import asyncio
+
+    from repro.core.engine import OptimizedEngine
+    from repro.faults import FaultConfig, FaultPlane, RetryPolicy
+    from repro.guard import GuardConfig, GuardPlane
+    from repro.net import (
+        QueryServer,
+        build_demo_system,
+        demo_requests,
+        encode_result,
+    )
+    from repro.net.loadgen import run_pool
+    from repro.obs import metrics as obs_metrics
+
+    # -- Part 1: zero-overload bit-identity (in-process twin) -----------
+    n_queries = 8 if quick else 24
+    system = _build_system(seed, quick, "optimized")
+    queries = _batch_queries(seed * 3 + 1, n_queries)
+    ids = system.overlay.node_ids()
+
+    def idle_guard() -> GuardPlane:
+        """Armed but unreachable thresholds: active, never trips."""
+        return GuardPlane(
+            GuardConfig(queue_high=1_000_000, bucket_capacity=1_000_000)
+        )
+
+    def run_batch(engine):
+        """One seeded pass over the batch (cold caches, private registry)."""
+        from repro.overlay.chord import RouteCache
+
+        rng = np.random.default_rng(seed * 11 + 3)
+        system.plan_cache = PlanCache()
+        system.overlay.route_cache = RouteCache()
+        payloads, stats_dicts = [], []
+        with obs_metrics.collecting() as registry:
+            for i, text in enumerate(queries):
+                origin = ids[(seed + i * 5) % len(ids)]
+                res = engine.execute(
+                    system, text, origin=origin, rng=rng, priority="batch"
+                )
+                payloads.append(sorted(str(e.payload) for e in res.matches))
+                stats_dicts.append(res.stats.as_dict())
+            snapshot = registry.snapshot()
+        return payloads, stats_dicts, snapshot
+
+    ref = run_batch(OptimizedEngine())
+    idle = run_batch(OptimizedEngine(guard=idle_guard()))
+    if idle[0] != ref[0]:  # pragma: no cover - exactness guard
+        raise AssertionError("idle guard plane changed a query's match set")
+    if idle[1] != ref[1]:  # pragma: no cover - exactness guard
+        raise AssertionError("idle guard plane changed per-query stats")
+    if json.dumps(idle[2], sort_keys=True) != json.dumps(
+        ref[2], sort_keys=True
+    ):  # pragma: no cover - exactness guard
+        raise AssertionError("idle guard plane changed the metrics snapshot")
+
+    def faulty_engine(guard: GuardPlane | None):
+        return OptimizedEngine(
+            fault_plane=FaultPlane(FaultConfig(drop_rate=0.25, seed=seed + 1)),
+            retry=RetryPolicy(),
+            guard=guard,
+        )
+
+    faulty_ref = run_batch(faulty_engine(None))
+    faulty_idle = run_batch(faulty_engine(idle_guard()))
+    if faulty_idle[:2] != faulty_ref[:2]:  # pragma: no cover - exactness guard
+        raise AssertionError(
+            "idle guard plane perturbed the fault plane's RNG stream"
+        )
+
+    # -- Part 2: deterministic honest shedding (in-process) -------------
+    throttled = OptimizedEngine(
+        guard=GuardPlane(
+            GuardConfig(queue_high=1, queue_low=0, bucket_capacity=1,
+                        bucket_refill=0.0)
+        )
+    )
+    shed_query = "(*, 256-1024)"
+    brute = {str(e.payload) for e in system.brute_force_matches(shed_query)}
+    system.plan_cache = PlanCache()
+    shed_res = throttled.execute(
+        system, shed_query, origin=ids[0],
+        rng=np.random.default_rng(seed), priority="batch",
+    )
+    shed_got = {str(e.payload) for e in shed_res.matches}
+    if not shed_got <= brute:  # pragma: no cover - honesty guard
+        raise AssertionError("shed run returned matches outside the exact set")
+    if shed_res.stats.shed_branches == 0:  # pragma: no cover - honesty guard
+        raise AssertionError("throttled engine shed no branches")
+    if shed_res.complete or not shed_res.unresolved_ranges:  # pragma: no cover
+        raise AssertionError("shed run did not report an honest partial result")
+
+    rows: list[dict[str, Any]] = [
+        {
+            "leg": "shed-honesty",
+            "queries": 1,
+            "shed_branches": shed_res.stats.shed_branches,
+            "matches": len(shed_got),
+            "exact_matches": len(brute),
+            "unresolved_span": shed_res.unresolved_span,
+            "complete": shed_res.complete,
+            "identity": True,
+        }
+    ]
+
+    # -- Parts 3+4: serving legs (unguarded vs guarded vs chaos) --------
+    n_nodes = 16 if quick else 64
+    n_docs = 200 if quick else 2_000
+    bits = 8 if quick else 12
+    # The overload window must be long enough for the unguarded server to
+    # reach its saturated steady state (queueing compounding past the
+    # deadline); a short burst lets its early-ramp answers land in-deadline
+    # and the goodput comparison becomes a coin flip.
+    n_requests = 160 if quick else 280
+    n_cal = 40 if quick else 60
+    max_inflight = 8 if quick else 16
+    max_backlog = 4 if quick else 8
+    factor = 4.0
+    per_message_delay = 0.001
+    # Client concurrency sets the unguarded server's queueing depth, and
+    # with it the wave latency every unguarded answer pays under overload
+    # (~concurrency / capacity).  It must sit well past the deadline while
+    # the guarded bound (max_inflight + max_backlog servings) sits well
+    # inside it, or the p99/goodput gates degenerate into coin flips.
+    loadgen_clients = 128
+    guard_kwargs = dict(queue_high=32, queue_limit=96)
+
+    reference = build_demo_system(
+        seed=seed, n_nodes=n_nodes, n_docs=n_docs, bits=bits
+    )
+    requests = demo_requests(reference, seed, n_requests)
+    calm_requests = requests[:n_cal]
+    expected_calm = [
+        json.dumps(
+            encode_result(reference.query(r["query"], origin=r["origin"])),
+            sort_keys=True,
+        )
+        for r in calm_requests
+    ]
+
+    def fresh_system(engine):
+        return build_demo_system(
+            seed=seed, n_nodes=n_nodes, n_docs=n_docs, bits=bits, engine=engine
+        )
+
+    async def _unguarded():
+        # Same service capacity as the guarded leg (identical max_inflight)
+        # but no backlog cap: excess requests wait in an unbounded queue,
+        # the classic pre-admission-control posture.  The comparison then
+        # isolates the admission policy — fail-fast 429s vs. queueing —
+        # rather than conflating it with a capacity difference.
+        async with QueryServer(
+            fresh_system("optimized"),
+            per_message_delay=per_message_delay,
+            max_inflight=max_inflight,
+        ) as server:
+            cal = await run_pool(
+                server.host, server.port, requests[:n_cal],
+                mode="closed", concurrency=8,
+            )
+            rate = factor * cal.qps
+            deadline = 2.0 * (max_inflight + max_backlog) / cal.qps
+            over = await run_pool(
+                server.host, server.port, requests,
+                mode="open", rate=rate, concurrency=loadgen_clients,
+                priority="batch", deadline=deadline,
+            )
+            return cal, rate, deadline, over
+
+    cal, rate, deadline, unguarded = asyncio.run(_unguarded())
+
+    async def _guarded(engine, *, calm: bool):
+        async with QueryServer(
+            fresh_system(engine),
+            per_message_delay=per_message_delay,
+            max_inflight=max_inflight,
+            max_backlog=max_backlog,
+        ) as server:
+            # Warm the plan/route caches like the unguarded calibration did.
+            await run_pool(
+                server.host, server.port, requests[:n_cal],
+                mode="closed", concurrency=8,
+            )
+            calm_report = None
+            if calm:
+                # A modest client pool: the calm leg checks inertness below
+                # the watermarks, and a full overload-sized client swarm can
+                # burst past the small backlog cap even at half capacity.
+                calm_report = await run_pool(
+                    server.host, server.port, calm_requests,
+                    mode="open", rate=max(1.0, 0.5 * cal.qps),
+                    concurrency=8, deadline=deadline,
+                    collect=True,
+                )
+            over = await run_pool(
+                server.host, server.port, requests,
+                mode="open", rate=rate, concurrency=loadgen_clients,
+                priority="batch", deadline=deadline,
+            )
+            return calm_report, over
+
+    guarded_engine = OptimizedEngine(
+        guard=GuardPlane(GuardConfig(**guard_kwargs))
+    )
+    calm_report, guarded = asyncio.run(_guarded(guarded_engine, calm=True))
+
+    chaos_engine = OptimizedEngine(
+        fault_plane=FaultPlane(FaultConfig(drop_rate=0.05, seed=seed + 7)),
+        retry=RetryPolicy(),
+        guard=GuardPlane(GuardConfig(**guard_kwargs)),
+    )
+    _, chaos = asyncio.run(_guarded(chaos_engine, calm=False))
+
+    # Calm-leg guards: below the watermarks the guarded stack is inert.
+    if calm_report.rejected or calm_report.shed_answers or calm_report.errors:
+        raise AssertionError(  # pragma: no cover - inertness guard
+            f"calm leg was not clean: {calm_report.render()}"
+        )
+    served_calm = [
+        json.dumps(resp["result"], sort_keys=True)
+        for resp in calm_report.responses
+    ]
+    if served_calm != expected_calm:  # pragma: no cover - identity guard
+        raise AssertionError(
+            "calm-leg served answers diverged from the in-process twin"
+        )
+
+    # Overload guards: no server failures anywhere; the guarded leg must
+    # beat the unguarded one on both tail latency and useful throughput.
+    for label, report in (
+        ("unguarded", unguarded), ("guarded", guarded), ("chaos", chaos)
+    ):
+        fives = sum(
+            count for code, count in report.statuses.items()
+            if code.isdigit() and int(code) >= 500
+        )
+        if fives or report.errors:  # pragma: no cover - graceful guard
+            raise AssertionError(
+                f"{label} overload leg failed hard: {report.render()}"
+            )
+    if guarded.goodput <= unguarded.goodput:  # pragma: no cover
+        raise AssertionError(
+            f"guards did not improve goodput: {guarded.goodput:.1f} vs "
+            f"{unguarded.goodput:.1f} answers/s"
+        )
+    if guarded.latency_s["p99"] >= unguarded.latency_s["p99"]:  # pragma: no cover
+        raise AssertionError(
+            f"guards did not improve p99: {guarded.latency_s['p99'] * 1e3:.0f}ms "
+            f"vs {unguarded.latency_s['p99'] * 1e3:.0f}ms"
+        )
+
+    def leg_row(leg: str, report) -> dict[str, Any]:
+        return {
+            "leg": leg,
+            "requests": report.sent,
+            "rate": report.rate,
+            "overload_factor": (report.rate / cal.qps) if report.rate else None,
+            "deadline_ms": deadline * 1e3,
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "shed_answers": report.shed_answers,
+            "late_answers": report.late_answers,
+            "errors": report.errors,
+            "qps": report.qps,
+            "goodput": report.goodput,
+            "shed_fraction": report.shed_fraction,
+            "p50_ms": report.latency_s["p50"] * 1e3,
+            "p95_ms": report.latency_s["p95"] * 1e3,
+            "p99_ms": report.latency_s["p99"] * 1e3,
+            "nodes": n_nodes,
+            "capacity_qps": cal.qps,
+        }
+
+    rows.append(leg_row("calm-guarded", calm_report))
+    rows.append(leg_row("overload-unguarded", unguarded))
+    rows.append(leg_row("overload-guarded", guarded))
+    rows.append(leg_row("overload-chaos", chaos))
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 #: Suite registry, in run/report order.  ``parallel`` takes the workers
 #: knob; every other suite is ``fn(seed, quick)``.
 SUITES = (
     "encode", "refine", "e2e", "parallel", "resilience", "store", "trace",
-    "serve",
+    "serve", "overload",
 )
 
 
@@ -898,6 +1211,7 @@ def run_bench(
                 "store": bench_store,
                 "trace": bench_trace,
                 "serve": bench_serve,
+                "overload": bench_overload,
             }[name]
             suite_rows[name] = fn(seed, quick)
 
@@ -944,6 +1258,16 @@ def run_bench(
         summary["serve_clients"] = concurrent_row["clients"]
         summary["serve_concurrency_speedup"] = concurrent_row["concurrency_speedup"]
         summary["serve_p95_ms_concurrent"] = concurrent_row["p95_ms"]
+    if "overload" in suite_rows:
+        by_leg = {row["leg"]: row for row in suite_rows["overload"]}
+        summary["overload_factor"] = by_leg["overload-guarded"]["overload_factor"]
+        summary["overload_goodput_unguarded"] = by_leg["overload-unguarded"]["goodput"]
+        summary["overload_goodput_guarded"] = by_leg["overload-guarded"]["goodput"]
+        summary["overload_p99_ms_unguarded"] = by_leg["overload-unguarded"]["p99_ms"]
+        summary["overload_p99_ms_guarded"] = by_leg["overload-guarded"]["p99_ms"]
+        summary["overload_shed_fraction_guarded"] = by_leg["overload-guarded"][
+            "shed_fraction"
+        ]
 
     return {
         "schema": SCHEMA,
@@ -1043,6 +1367,26 @@ def render_summary(result: dict[str, Any]) -> str:
                 f"over {row['nodes']} nodes: {row['qps']:7.1f} qps, "
                 f"p50={row['p50_ms']:.1f}ms p95={row['p95_ms']:.1f}ms "
                 f"p99={row['p99_ms']:.1f}ms ({row['errors']} errors)"
+            )
+    if "overload" in suites:
+        lines.append(
+            "overload (guard plane + bounded front door, identity guards passed):"
+        )
+        for row in suites["overload"]:
+            if row["leg"] == "shed-honesty":
+                lines.append(
+                    f"  {row['leg']:18s} shed={row['shed_branches']} branches, "
+                    f"{row['matches']}/{row['exact_matches']} matches, "
+                    f"unresolved span {row['unresolved_span']}"
+                )
+                continue
+            lines.append(
+                f"  {row['leg']:18s} rate={row['rate']:.0f}/s "
+                f"({row['overload_factor']:.1f}x): "
+                f"{row['completed']}/{row['requests']} ok, "
+                f"{row['rejected']} rejected, {row['shed_answers']} shed, "
+                f"goodput {row['goodput']:.1f}/s, "
+                f"p99={row['p99_ms']:.0f}ms"
             )
     summary = result["summary"]
     if "refine_min_speedup" in summary and summary["refine_min_speedup"] is not None:

@@ -26,16 +26,25 @@ Commands
     completeness, and retry/failover accounting.  ``--assert-complete``
     exits non-zero unless recall is 1.0 and every result is complete —
     the CI chaos smoke test.
-``serve [--port P] [--nodes N] [--docs D] [--engine E] [--max-inflight M]``
+``serve [--port P] [--nodes N] [--docs D] [--engine E] [--max-inflight M]
+[--max-backlog B] [--guard]``
     Build a seeded demo system and serve it over HTTP/JSON (POST /query,
     GET /healthz /stats /metrics) on an asyncio transport that multiplexes
-    concurrent queries over per-node inboxes (see ``docs/serving.md``).
+    concurrent queries over per-node priority inboxes (see
+    ``docs/serving.md``).  ``--max-backlog`` bounds the waiting room
+    (excess requests get 429 + Retry-After) and ``--guard`` arms the
+    engine with a per-node overload guard plane (see ``docs/overload.md``).
 ``loadgen [--port P | --self-serve] [--mode open|closed] [--rate R]
-[--concurrency C] [--queries N] [--check]``
+[--concurrency C] [--queries N] [--priority CLASS] [--deadline S]
+[--guard] [--check | --check-overload]``
     Replay a skewed trace workload against a running server (or a
-    self-served one) and report QPS, error rate, and p50/p95/p99 latency.
-    ``--check`` exits non-zero unless the run had zero errors and finite
-    percentiles — the CI serve smoke test.
+    self-served one) and report QPS, per-status-code counts, goodput
+    (complete in-deadline answers/sec), and p50/p95/p99 latency.
+    ``--check`` exits non-zero unless the run was spotless (zero errors,
+    zero 429s, finite percentiles) — the CI serve smoke test;
+    ``--check-overload`` instead asserts graceful degradation under
+    deliberate overload (zero 5xx/hard errors, shed fraction within
+    ``--max-shed-fraction``, finite percentiles) — the CI overload smoke.
 
 ``run`` and ``report`` accept ``--profile`` to time the hot SFC/engine
 phases and print the per-phase table after the run.  ``run``, ``report``,
@@ -120,7 +129,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="s1,s2",
         help="comma-separated suite subset "
-        "(encode,refine,e2e,parallel,resilience,store,trace,serve)",
+        "(encode,refine,e2e,parallel,resilience,store,trace,serve,overload)",
     )
     bench_p.add_argument(
         "--output",
@@ -176,6 +185,19 @@ def main(argv: list[str] | None = None) -> int:
         help="admission bound on concurrent in-flight queries",
     )
     serve_p.add_argument(
+        "--max-backlog",
+        type=int,
+        default=None,
+        help="bound on requests waiting for a slot; excess gets 429 "
+        "(default: unbounded waiting, the legacy closed-loop behaviour)",
+    )
+    serve_p.add_argument(
+        "--guard",
+        action="store_true",
+        help="arm the engine with a per-node overload guard plane "
+        "(bounded node backlogs; sheds unprotected work honestly)",
+    )
+    serve_p.add_argument(
         "--inbox-capacity",
         type=int,
         default=128,
@@ -207,6 +229,21 @@ def main(argv: list[str] | None = None) -> int:
         "--rate", type=float, default=100.0, help="open-loop arrival rate (req/s)"
     )
     lg_p.add_argument("--concurrency", type=int, default=16)
+    lg_p.add_argument(
+        "--priority",
+        default=None,
+        choices=["interactive", "batch", "background"],
+        help="priority class stamped onto every request (default: server "
+        "default, interactive)",
+    )
+    lg_p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="classify 200 answers slower than S seconds as late "
+        "(never abandons a request; goodput counts in-deadline answers)",
+    )
     lg_p.add_argument("--seed", type=int, default=42)
     lg_p.add_argument("--nodes", type=int, default=64, help="self-serve ring size")
     lg_p.add_argument("--docs", type=int, default=2_000, help="self-serve corpus")
@@ -215,9 +252,42 @@ def main(argv: list[str] | None = None) -> int:
         help="self-serve simulated wire latency in seconds",
     )
     lg_p.add_argument(
+        "--guard",
+        action="store_true",
+        help="self-serve only: arm the engine with the default overload "
+        "guard plane (bounded node backlogs, honest shedding)",
+    )
+    lg_p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="self-serve only: server admission bound "
+        "(default: max(64, concurrency))",
+    )
+    lg_p.add_argument(
+        "--max-backlog",
+        type=int,
+        default=None,
+        help="self-serve only: server waiting-room cap; excess gets 429 "
+        "(default: unbounded waiting)",
+    )
+    lg_p.add_argument(
         "--check",
         action="store_true",
-        help="exit 1 unless zero errors and finite p50/p95/p99",
+        help="exit 1 unless zero errors, zero 429s, and finite p50/p95/p99",
+    )
+    lg_p.add_argument(
+        "--check-overload",
+        action="store_true",
+        help="exit 1 unless degradation was graceful: zero 5xx/hard errors, "
+        "shed fraction within --max-shed-fraction, finite percentiles",
+    )
+    lg_p.add_argument(
+        "--max-shed-fraction",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="--check-overload bound on (429s + shed answers) / sent",
     )
     lg_p.add_argument("--json", action="store_true", help="emit the report as JSON")
     _add_store_flag(lg_p)
@@ -503,8 +573,17 @@ def _cmd_serve(args) -> int:
 
     from repro.net import QueryServer, build_demo_system
 
+    engine = args.engine
+    if args.guard:
+        from repro.core.engine import make_engine
+        from repro.guard import GuardConfig, GuardPlane
+        from repro.net.loadgen import DEFAULT_GUARD_KWARGS
+
+        engine = make_engine(
+            args.engine, guard=GuardPlane(GuardConfig(**DEFAULT_GUARD_KWARGS))
+        )
     system = build_demo_system(
-        seed=args.seed, n_nodes=args.nodes, n_docs=args.docs, engine=args.engine
+        seed=args.seed, n_nodes=args.nodes, n_docs=args.docs, engine=engine
     )
 
     async def _serve() -> None:
@@ -513,6 +592,7 @@ def _cmd_serve(args) -> int:
             host=args.host,
             port=args.port,
             max_inflight=args.max_inflight,
+            max_backlog=args.max_backlog,
             inbox_capacity=args.inbox_capacity,
             per_message_delay=args.per_message_delay,
         )
@@ -520,7 +600,8 @@ def _cmd_serve(args) -> int:
         print(
             f"serving {len(system.overlay)} nodes / {args.docs} docs "
             f"on http://{server.host}:{server.port} "
-            f"(engine={args.engine}, max_inflight={args.max_inflight})"
+            f"(engine={args.engine}, max_inflight={args.max_inflight}, "
+            f"max_backlog={args.max_backlog}, guard={args.guard})"
         )
         try:
             await server.serve_forever()
@@ -553,7 +634,14 @@ def _cmd_loadgen(args) -> int:
             nodes=args.nodes,
             docs=args.docs,
             per_message_delay=args.per_message_delay,
+            priority=args.priority,
+            deadline=args.deadline,
+            guard=args.guard,
+            max_inflight=args.max_inflight,
+            max_backlog=args.max_backlog,
             check=args.check,
+            check_overload=args.check_overload,
+            max_shed_fraction=args.max_shed_fraction,
         )
     except ServingError as exc:
         print(f"FAIL: {exc}")

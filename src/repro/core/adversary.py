@@ -83,6 +83,7 @@ class AdversarialEngine(OptimizedEngine):
         origin: int | None = None,
         rng: RandomLike = None,
         limit: int | None = None,
+        priority=None,
     ) -> EngineRun:
         """Start a run unless the origin itself is a dropper.
 
@@ -104,7 +105,8 @@ class AdversarialEngine(OptimizedEngine):
             )
             return run
         return super().begin_run(
-            system, query, origin=origin_id, rng=rng, limit=limit
+            system, query, origin=origin_id, rng=rng, limit=limit,
+            priority=priority,
         )
 
 

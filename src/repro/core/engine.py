@@ -42,11 +42,13 @@ from typing import TYPE_CHECKING
 from repro.core.metrics import QueryResult, QueryStats, merge_index_ranges
 from repro.core.plancache import plan_key
 from repro.errors import EngineError
+from repro.guard.plane import priority_rank
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
 from repro.obs.trace import (
     Aggregated,
     BranchLost,
+    BranchShed,
     ClusterRefined,
     LocalScan,
     MessageSent,
@@ -61,6 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.replication import ReplicationManager
     from repro.core.system import SquidSystem
     from repro.faults import FaultPlane, RetryPolicy
+    from repro.guard import GuardPlane
 
 __all__ = [
     "QueryEngine",
@@ -108,6 +111,8 @@ def _report_query_metrics(engine_name: str, stats: QueryStats) -> None:
         reg.counter("query.failovers.total").inc(stats.failovers)
     if stats.lost_branches:
         reg.counter("query.lost_branches.total").inc(stats.lost_branches)
+    if stats.shed_branches:
+        reg.counter("query.shed_branches.total").inc(stats.shed_branches)
 
 
 def _clip_ranges(ranges, low: int, high: int):
@@ -149,6 +154,8 @@ class EngineRun:
         "root_span",
         "limit",
         "plane",
+        "guard",
+        "priority",
         "unresolved",
         "budget",
         "used",
@@ -168,6 +175,12 @@ class EngineRun:
         self.root_span = 0
         self.limit: int | None = None
         self.plane = None
+        #: The engine's :class:`~repro.guard.GuardPlane` when it is active,
+        #: else ``None`` — mirroring ``plane``, an inert guard is bypassed
+        #: entirely so unguarded runs stay on the exact same code path.
+        self.guard = None
+        #: Numeric priority rank of this query (0 = interactive).
+        self.priority = 0
         self.unresolved: list[tuple[int, int]] = []
         self.budget = 0
         self.used = 0
@@ -208,15 +221,26 @@ def drive_sync(engine: "QueryEngine", system: "SquidSystem", run: EngineRun) -> 
     posted work entry is processed in post order — and is what
     ``engine.execute`` (and therefore ``SquidSystem.query``) runs on.
     """
+    guard = run.guard
     work: deque = deque(run.take_outbox())
+    if guard is not None:
+        for queued in work:
+            guard.note_posted(engine.entry_node(run, queued))
     while work:
         entry = work.popleft()
         if not engine.process_message(system, run, entry):
             # Discovery-mode stop: outstanding branches are abandoned; their
             # dispatch messages are already (truthfully) counted.
             run.stats.aborted_in_flight = len(work)
+            if guard is not None:
+                for queued in work:
+                    guard.note_abandoned(engine.entry_node(run, queued))
             break
-        work.extend(run.take_outbox())
+        fresh = run.take_outbox()
+        if guard is not None:
+            for queued in fresh:
+                guard.note_posted(engine.entry_node(run, queued))
+        work.extend(fresh)
     return engine.finish_run(system, run)
 
 
@@ -233,6 +257,7 @@ class QueryEngine(ABC):
         origin: int | None = None,
         rng: RandomLike = None,
         limit: int | None = None,
+        priority=None,
     ) -> QueryResult:
         """Resolve ``query``; return matches plus cost statistics.
 
@@ -241,6 +266,12 @@ class QueryEngine(ABC):
         the batch that crossed the threshold is kept whole).  Without a
         limit the paper's completeness guarantee applies: every match is
         returned.
+
+        ``priority`` is the query's class (``"interactive"`` / ``"batch"``
+        / ``"background"``, a rank, or ``None`` = interactive) consulted by
+        the engine's :class:`~repro.guard.GuardPlane`, when one is armed,
+        to decide what an overloaded node sheds first.  Without a guard the
+        priority is carried but has no effect on execution.
 
         Discovery-mode cost semantics (``stats`` stays truthful under the
         early exit):
@@ -267,6 +298,7 @@ class QueryEngine(ABC):
         origin: int | None = None,
         rng: RandomLike = None,
         limit: int | None = None,
+        priority=None,
     ) -> EngineRun:
         """Start a query run: initiator-side setup plus the first dispatch.
 
@@ -378,6 +410,7 @@ class OptimizedEngine(QueryEngine):
         retry: "RetryPolicy | None" = None,
         replication: "ReplicationManager | None" = None,
         hop_budget: int | None = None,
+        guard: "GuardPlane | None" = None,
     ) -> None:
         #: When False, each sub-cluster travels as its own routed message
         #: (disables the paper's second optimization; used by the ablation).
@@ -418,13 +451,20 @@ class OptimizedEngine(QueryEngine):
         if hop_budget is not None and hop_budget < 1:
             raise EngineError(f"hop_budget must be >= 1, got {hop_budget}")
         self.hop_budget = hop_budget
+        #: Optional :class:`~repro.guard.GuardPlane` enforcing per-node
+        #: bounded work queues and token-bucket throttles.  ``None`` — or
+        #: an *inactive* plane (no limits configured) — leaves execution
+        #: bit-identical to an unguarded engine; an active plane sheds
+        #: branch work at overloaded nodes, honestly reported via
+        #: ``complete=False`` / ``unresolved_ranges`` / ``shed_branches``.
+        self.guard = guard
 
     def result_cache_params(self):
         """Result-cache key component: name plus plan-shaping knobs.
 
         ``hop_budget`` is deliberately absent: it can only turn an answer
         *incomplete* (never change a complete one), and incomplete results
-        are never cached.
+        are never cached.  The guard plane is absent for the same reason.
         """
         return ("optimized", self.aggregate, self.local_depth)
 
@@ -435,10 +475,14 @@ class OptimizedEngine(QueryEngine):
         origin: int | None = None,
         rng: RandomLike = None,
         limit: int | None = None,
+        priority=None,
     ) -> QueryResult:
         """Resolve ``query`` by distributed recursive refinement (see class
         docstring); exact unless ``limit`` enables discovery mode."""
-        run = self.begin_run(system, query, origin=origin, rng=rng, limit=limit)
+        run = self.begin_run(
+            system, query, origin=origin, rng=rng, limit=limit,
+            priority=priority,
+        )
         return drive_sync(self, system, run)
 
     def begin_run(
@@ -448,12 +492,14 @@ class OptimizedEngine(QueryEngine):
         origin: int | None = None,
         rng: RandomLike = None,
         limit: int | None = None,
+        priority=None,
     ) -> EngineRun:
         """Initiator-side setup: refine the query once, dispatch level-1
         clusters into the run's outbox."""
         if limit is not None and limit < 1:
             raise EngineError(f"limit must be >= 1, got {limit}")
         run = EngineRun()
+        run.priority = priority_rank(priority)
         q = run.query = system.space.as_query(query)
         region = run.region = system.space.region(q)
         curve = system.curve
@@ -476,6 +522,10 @@ class OptimizedEngine(QueryEngine):
         run.plane = plane
         if plane is not None:
             plane.begin_query(origin_id)
+        # Same inertness contract for the overload guard: an absent or
+        # inactive plane keeps the run on the unguarded code path.
+        guard = self.guard
+        run.guard = guard if guard is not None and guard.active else None
         tracer = getattr(system, "tracer", None)
         trace = run.trace = (
             tracer.begin(str(q), origin_id) if tracer is not None else None
@@ -538,6 +588,18 @@ class OptimizedEngine(QueryEngine):
         stats = run.stats
         plane = run.plane
         trace = run.trace
+        guard = run.guard
+        if guard is not None and not guard.admit(node_id, run.priority):
+            # The node's load guard refused the work: the entry's remaining
+            # window is shed — deliberately and honestly — into
+            # ``unresolved_ranges``, and the fan-out does not continue from
+            # this branch.  Shedding a branch is cheap by design: no scan,
+            # no refinement, no dispatch.
+            self._record_shed(
+                curve, cluster, arrival_key, run.unresolved, stats,
+                trace, span, node_id,
+            )
+            return True
         if not run._charge_hop():
             # Hop budget exhausted — a routing cycle (or a pathological
             # plan) regenerated work beyond any healthy query's size.  The
@@ -1143,6 +1205,21 @@ class OptimizedEngine(QueryEngine):
         if trace is not None:
             trace.emit(span, BranchLost(dest, cluster.level, len(ranges)))
 
+    def _record_shed(
+        self, curve, cluster: Cluster, floor_key: int, unresolved, stats,
+        trace: QueryTrace | None, span: int, dest: int,
+    ) -> None:
+        """Account one shed branch: like :meth:`_record_lost`, but the
+        abandonment was the load guard's deliberate decision."""
+        ranges = _clip_ranges(
+            cluster.iter_index_ranges(curve), floor_key, curve.size - 1
+        )
+        if unresolved is not None:
+            unresolved.extend(ranges)
+        stats.record_shed_branch()
+        if trace is not None:
+            trace.emit(span, BranchShed(dest, cluster.level, len(ranges)))
+
     def _scan_replicas(
         self, system: "SquidSystem", node_id: int, ranges, query
     ) -> tuple[list, bool]:
@@ -1189,7 +1266,10 @@ class NaiveEngine(QueryEngine):
     name = "naive"
 
     def __init__(
-        self, max_level: int | None = None, hop_budget: int | None = None
+        self,
+        max_level: int | None = None,
+        hop_budget: int | None = None,
+        guard: "GuardPlane | None" = None,
     ) -> None:
         #: Optional refinement cap (the paper's curve approximation order);
         #: None resolves clusters exactly.
@@ -1202,6 +1282,9 @@ class NaiveEngine(QueryEngine):
         if hop_budget is not None and hop_budget < 1:
             raise EngineError(f"hop_budget must be >= 1, got {hop_budget}")
         self.hop_budget = hop_budget
+        #: Optional :class:`~repro.guard.GuardPlane`; same inertness
+        #: contract as :class:`OptimizedEngine`.
+        self.guard = guard
 
     def result_cache_params(self):
         """Result-cache key component: name plus refinement depth."""
@@ -1214,10 +1297,14 @@ class NaiveEngine(QueryEngine):
         origin: int | None = None,
         rng: RandomLike = None,
         limit: int | None = None,
+        priority=None,
     ) -> QueryResult:
         """Resolve ``query`` by fully expanding clusters at the initiator
         and messaging each one (the paper's unoptimized strawman)."""
-        run = self.begin_run(system, query, origin=origin, rng=rng, limit=limit)
+        run = self.begin_run(
+            system, query, origin=origin, rng=rng, limit=limit,
+            priority=priority,
+        )
         return drive_sync(self, system, run)
 
     def begin_run(
@@ -1227,6 +1314,7 @@ class NaiveEngine(QueryEngine):
         origin: int | None = None,
         rng: RandomLike = None,
         limit: int | None = None,
+        priority=None,
     ) -> EngineRun:
         """Resolve every cluster at the initiator; queue the first one.
 
@@ -1239,6 +1327,9 @@ class NaiveEngine(QueryEngine):
         if limit is not None and limit < 1:
             raise EngineError(f"limit must be >= 1, got {limit}")
         run = EngineRun()
+        run.priority = priority_rank(priority)
+        guard = self.guard
+        run.guard = guard if guard is not None and guard.active else None
         q = run.query = system.space.as_query(query)
         region = run.region = system.space.region(q)
         curve = system.curve
@@ -1294,6 +1385,23 @@ class NaiveEngine(QueryEngine):
 
         if entry[0] == "open":
             idx = entry[1]
+            guard = run.guard
+            if guard is not None and not guard.admit(
+                run.origin_id, run.priority
+            ):
+                # The initiator itself is overloaded: the clusters not yet
+                # dispatched are shed wholesale (one accounting event).
+                if idx < len(run.ranges):
+                    run.unresolved.extend(run.ranges[idx:])
+                    stats.record_shed_branch()
+                    if trace is not None:
+                        trace.emit(
+                            run.root_span,
+                            BranchShed(
+                                run.origin_id, 0, len(run.ranges) - idx
+                            ),
+                        )
+                return True
             if idx >= len(run.ranges):
                 return True  # every cluster handled: the run drains out
             if run.limit is not None and len(run.matches) >= run.limit:
@@ -1322,6 +1430,16 @@ class NaiveEngine(QueryEngine):
 
         # The cluster may span several successive nodes: walk the chain.
         _kind, node_id, span, position, high, idx = entry
+        guard = run.guard
+        if guard is not None and not guard.admit(node_id, run.priority):
+            # The node's load guard refused this chain visit: its remaining
+            # window is shed; the initiator moves on to the next cluster.
+            run.unresolved.append((position, high))
+            stats.record_shed_branch()
+            if trace is not None:
+                trace.emit(span, BranchShed(node_id, curve.order, 1))
+            run.outbox.append(("open", idx + 1))
+            return True
         if not run._charge_hop():
             # Hop budget exhausted — a post-crash stale-pointer cycle is
             # walking the ring forever.  Abandon the remaining window of

@@ -100,6 +100,12 @@ class QueryStats:
     #: Query-tree branches abandoned after the retry budget ran out; their
     #: unscanned curve segments appear in ``QueryResult.unresolved_ranges``.
     lost_branches: int = 0
+    #: Query-tree branches shed by an overloaded node's
+    #: :class:`~repro.guard.GuardPlane` (bounded queues / token buckets);
+    #: like lost branches, their windows land in ``unresolved_ranges`` and
+    #: the result reports ``complete=False``.  Always zero when no guard
+    #: is configured or no guard tripped.
+    shed_branches: int = 0
 
     def record_completion(self, time: float) -> None:
         if time > self.completion_time:
@@ -151,6 +157,9 @@ class QueryStats:
     def record_lost_branch(self, count: int = 1) -> None:
         self.lost_branches += count
 
+    def record_shed_branch(self, count: int = 1) -> None:
+        self.shed_branches += count
+
     # ------------------------------------------------------------------
     # Reduction (batch execution)
     # ------------------------------------------------------------------
@@ -178,6 +187,7 @@ class QueryStats:
         self.messages_dropped += other.messages_dropped
         self.messages_duplicated += other.messages_duplicated
         self.lost_branches += other.lost_branches
+        self.shed_branches += other.shed_branches
         self.max_refinement_level = max(
             self.max_refinement_level, other.max_refinement_level
         )
@@ -246,6 +256,7 @@ class QueryStats:
             "messages_dropped": self.messages_dropped,
             "messages_duplicated": self.messages_duplicated,
             "lost_branches": self.lost_branches,
+            "shed_branches": self.shed_branches,
         }
 
 

@@ -302,12 +302,21 @@ class SquidSystem:
         origin: int | None = None,
         rng: RandomLike = None,
         limit: int | None = None,
+        priority: str | int | None = None,
     ) -> QueryResult:
         """Resolve a flexible query (AST, text, or term sequence).
 
         ``limit`` enables discovery mode: stop once at least ``limit``
         matches are found (useful when any match will do, e.g. finding *a*
         machine with 512MB rather than all of them).
+
+        ``priority`` classifies the query for overload protection
+        (``"interactive"`` / ``"batch"`` / ``"background"``; default
+        interactive).  It is consulted only by an engine carrying an armed
+        :class:`~repro.guard.GuardPlane` — unguarded execution is identical
+        for every class — and deliberately does not enter result-cache
+        keys: the class changes *whether* work is shed under load, never
+        what a complete answer contains.
 
         When a :attr:`result_cache` is attached and the query is unlimited,
         a cached complete result is returned without touching the overlay:
@@ -340,6 +349,7 @@ class SquidSystem:
             origin=origin,
             rng=rng if rng is not None else self._rng,
             limit=limit,
+            priority=priority,
         )
         if key is not None:
             cache.put(key, result, self.curve, region)
@@ -353,6 +363,7 @@ class SquidSystem:
         engine: QueryEngine | str | None = None,
         origin: int | None = None,
         limit: int | None = None,
+        priority: str | int | None = None,
         chunk_size: int | None = None,
     ):
         """Resolve a batch of queries, optionally across worker processes.
@@ -369,7 +380,10 @@ class SquidSystem:
         from repro.exec.pool import QueryPool
 
         pool = QueryPool(self, workers=workers, chunk_size=chunk_size)
-        return pool.run(queries, seed=seed, engine=engine, origin=origin, limit=limit)
+        return pool.run(
+            queries, seed=seed, engine=engine, origin=origin, limit=limit,
+            priority=priority,
+        )
 
     def _coerce_engine(self, engine: QueryEngine | str | None) -> QueryEngine:
         if engine is None:

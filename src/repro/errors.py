@@ -27,6 +27,7 @@ __all__ = [
     "WorkloadError",
     "SimulationError",
     "FaultError",
+    "GuardError",
     "ServingError",
 ]
 
@@ -106,6 +107,10 @@ class SimulationError(ReproError):
 
 class FaultError(ReproError):
     """Fault-injection plane configuration or wiring errors."""
+
+
+class GuardError(ReproError):
+    """Overload-guard plane configuration or priority-class errors."""
 
 
 class ServingError(ReproError):

@@ -113,6 +113,7 @@ class _ChunkTask:
     engine: Any = None
     origin: int | None = None
     limit: int | None = None
+    priority: Any = None
 
 
 @dataclass
@@ -213,6 +214,7 @@ def _execute_chunk(
                     origin=task.origin,
                     rng=rng,
                     limit=task.limit,
+                    priority=task.priority,
                 )
                 for query in task.queries
             ]
@@ -293,6 +295,7 @@ class QueryPool:
         engine: Any,
         origin: int | None,
         limit: int | None,
+        priority: Any = None,
     ) -> list[_ChunkTask]:
         return [
             _ChunkTask(
@@ -302,6 +305,7 @@ class QueryPool:
                 engine=engine,
                 origin=origin,
                 limit=limit,
+                priority=priority,
             )
             for start in range(0, len(queries), self.chunk_size)
         ]
@@ -314,11 +318,16 @@ class QueryPool:
         engine: Any = None,
         origin: int | None = None,
         limit: int | None = None,
+        priority: Any = None,
     ) -> BatchResult:
         """Execute every query; return merged, order-preserving results.
 
-        ``engine``/``origin``/``limit`` have :meth:`SquidSystem.query`
-        semantics and apply to every query of the batch.  If a metrics
+        ``engine``/``origin``/``limit``/``priority`` have
+        :meth:`SquidSystem.query` semantics and apply to every query of the
+        batch.  Like the fault plane, an *armed*
+        :class:`~repro.guard.GuardPlane` is per-process state (backlog
+        gauges and token buckets fork with the workers), so guard studies
+        should run with ``workers=1``.  If a metrics
         registry is active in the calling process, the batch's merged
         totals are folded into it (:meth:`MetricsRegistry.merge_snapshot`),
         so ``with collecting():`` around a batch reports the same counters
@@ -339,7 +348,7 @@ class QueryPool:
                 chunk_count=0,
                 elapsed_s=perf_counter() - started,
             )
-        tasks = self._make_tasks(query_list, root_seed, engine, origin, limit)
+        tasks = self._make_tasks(query_list, root_seed, engine, origin, limit, priority)
         n_workers = min(self.workers, len(tasks))
         if n_workers <= 1:
             chunk_outputs = [_execute_chunk(self.system, task) for task in tasks]

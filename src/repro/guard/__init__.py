@@ -1,0 +1,46 @@
+"""``repro.guard`` — the overload-protection plane.
+
+Production traffic makes overload normal, not exceptional: wildcard and
+range queries fan out across many nodes, so one expensive query class can
+starve cheap ones.  This package supplies the guards (see
+``docs/overload.md``):
+
+* :class:`GuardConfig` / :class:`GuardPlane` — per-node load guards:
+  bounded work queues with high/low watermarks (hysteresis latch) and
+  token-bucket message-rate throttles, enforced inside both engines'
+  ``process_message`` path.  An overloaded node *sheds* branch work —
+  honestly, as a ``complete=False`` partial result with the shed windows
+  in ``unresolved_ranges`` — instead of absorbing it.
+* :data:`PRIORITIES` / :func:`priority_rank` — query priority classes
+  (``interactive`` / ``batch`` / ``background``) threaded through
+  ``SquidSystem.query``, the pool, the run API, and the HTTP server.
+  Protected (interactive) work is never shed by watermarks or buckets,
+  only by the hard per-node queue limit.
+* :class:`TokenBucket` — a deterministic token bucket on the plane's
+  logical clock (one tick per processed entry), so guard decisions are
+  reproducible and consume no RNG.
+
+Like the fault plane, an inactive guard (no limits configured) is
+bypassed entirely: results, stats, metrics, and fault-RNG streams are
+bit-identical to an unguarded engine until a guard actually trips.
+"""
+
+from repro.guard.plane import (
+    PRIORITIES,
+    GuardConfig,
+    GuardPlane,
+    GuardStats,
+    TokenBucket,
+    priority_name,
+    priority_rank,
+)
+
+__all__ = [
+    "PRIORITIES",
+    "GuardConfig",
+    "GuardPlane",
+    "GuardStats",
+    "TokenBucket",
+    "priority_name",
+    "priority_rank",
+]

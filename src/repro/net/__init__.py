@@ -6,13 +6,16 @@ three pieces (see ``docs/serving.md``):
 * :mod:`repro.net.transport` — the engine/delivery split.
   :class:`SyncTransport` reproduces the original synchronous simulation;
   :class:`AsyncioTransport` delivers the same work entries through per-node
-  bounded inboxes with query correlation ids, running many queries
+  bounded priority inboxes with query correlation ids, running many queries
   concurrently while keeping each run bit-identical to its sync execution.
 * :mod:`repro.net.server` / :mod:`repro.net.client` — a zero-dependency
   HTTP/1.1 JSON front-end (``python -m repro serve``) and its keep-alive
-  client.
+  client.  The server admits by priority class, bounds its waiting room,
+  and answers ``429 Too Many Requests`` with a ``Retry-After`` header once
+  the backlog cap is hit (see ``docs/overload.md``).
 * :mod:`repro.net.loadgen` — open-/closed-loop load generation
-  (``python -m repro loadgen``) reporting QPS, error rate, and p50/p95/p99.
+  (``python -m repro loadgen``) reporting QPS, per-status-code counts,
+  goodput (complete in-deadline answers/sec), and p50/p95/p99.
 """
 
 from repro.net.client import QueryClient

@@ -12,10 +12,14 @@ bench ``serve`` suite asserts exactly that through
 Routes
 ------
 ``POST /query``
-    Body ``{"query": str, "origin"?: int, "limit"?: int, "seed"?: int}``.
-    ``origin`` pins the entry node; ``seed`` derives the request's RNG (so
-    origin selection is reproducible regardless of what else is in
-    flight).  Response: ``{"result": <encode_result>, "stats": {...}}``.
+    Body ``{"query": str, "origin"?: int, "limit"?: int, "seed"?: int,
+    "priority"?: str|int}``.  ``origin`` pins the entry node; ``seed``
+    derives the request's RNG (so origin selection is reproducible
+    regardless of what else is in flight); ``priority`` is a
+    :data:`~repro.guard.PRIORITIES` class name or rank (default
+    interactive) threaded through to the engine and the transport's
+    priority inboxes.  Response: ``{"result": <encode_result>,
+    "stats": {...}}``.
 ``GET /healthz``
     Liveness plus ring size.
 ``GET /stats``
@@ -23,9 +27,15 @@ Routes
 ``GET /metrics``
     Snapshot of the active metrics registry (``{}`` when none is active).
 
-Admission control is a single semaphore (``max_inflight``): requests over
-the bound queue at the front door instead of swamping the mesh — the
-simplest honest form of the ROADMAP's overload-protection item.
+Admission control is a semaphore (``max_inflight``) plus an honest front
+door: with ``max_backlog`` set, at most that many requests may *wait* for
+an execution slot — any further arrival is refused immediately with
+``429 Too Many Requests`` and a ``Retry-After`` header instead of queueing
+without bound.  Refusals are counted in :attr:`QueryServer.rejected`,
+separately from ``errors`` (a 429 is the server protecting itself, not a
+bad request).  ``class_quotas`` additionally caps how many requests of a
+given priority class may occupy the front door at once, so background
+floods cannot starve interactive traffic out of the backlog.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ import json
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import ReproError, ServingError
+from repro.guard.plane import priority_name, priority_rank
 from repro.net.transport import AsyncioTransport, Transport
 from repro.obs import metrics as obs_metrics
 from repro.util.rng import as_generator
@@ -125,6 +136,11 @@ class QueryServer:
     injected (e.g. a :class:`~repro.net.transport.SyncTransport` for
     debugging); by default an :class:`AsyncioTransport` is built from the
     system/engine with the given tuning knobs.
+
+    ``max_backlog=None`` (the default) keeps the legacy closed-loop
+    behaviour: requests over ``max_inflight`` wait for a slot however long
+    it takes.  Setting it bounds the waiting room — the overload-protection
+    posture for open-loop traffic (see module docstring).
     """
 
     def __init__(
@@ -136,11 +152,18 @@ class QueryServer:
         port: int = 0,
         transport: Transport | None = None,
         max_inflight: int = 64,
+        max_backlog: int | None = None,
+        class_quotas: dict | None = None,
+        retry_after: int = 1,
         inbox_capacity: int = 128,
         per_message_delay: float = 0.0,
     ) -> None:
         if max_inflight < 1:
             raise ServingError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_backlog is not None and max_backlog < 0:
+            raise ServingError(f"max_backlog must be >= 0, got {max_backlog}")
+        if retry_after < 1:
+            raise ServingError(f"retry_after must be >= 1, got {retry_after}")
         self.system = system
         self.transport = transport if transport is not None else AsyncioTransport(
             system,
@@ -151,9 +174,28 @@ class QueryServer:
         self.host = host
         self.port = port
         self.max_inflight = max_inflight
+        self.max_backlog = max_backlog
+        self.retry_after = int(retry_after)
+        #: Per-class front-door occupancy caps, keyed by priority name;
+        #: validated eagerly so a typo fails at construction time.
+        self.class_quotas: dict[str, int] = {}
+        if class_quotas:
+            for name, quota in class_quotas.items():
+                canonical = priority_name(name)
+                if quota < 0:
+                    raise ServingError(
+                        f"class quota for {canonical!r} must be >= 0, got {quota}"
+                    )
+                self.class_quotas[canonical] = int(quota)
         #: HTTP requests accepted / failed (4xx responses count as errors).
         self.requests = 0
         self.errors = 0
+        #: Requests refused with 429 (overload shedding at the front door);
+        #: deliberately *not* part of ``errors``.
+        self.rejected = 0
+        #: Requests currently waiting for an execution slot.
+        self.waiting = 0
+        self._class_occupancy: dict[str, int] = {}
         self._sem = asyncio.Semaphore(max_inflight)
         self._server: asyncio.AbstractServer | None = None
 
@@ -202,14 +244,16 @@ class QueryServer:
                 if request is None:
                     break
                 method, path, headers, body = request
-                status, payload = await self._route(method, path, body)
+                status, payload, extra = await self._route(method, path, body)
                 data = json.dumps(payload, sort_keys=True, default=str).encode()
-                writer.write(
+                head = (
                     b"HTTP/1.1 " + status + b"\r\n"
                     b"Content-Type: application/json\r\n"
                     b"Content-Length: " + str(len(data)).encode() + b"\r\n"
-                    b"\r\n" + data
                 )
+                for name, value in extra.items():
+                    head += name.encode("latin-1") + b": " + value.encode("latin-1") + b"\r\n"
+                writer.write(head + b"\r\n" + data)
                 await writer.drain()
                 if headers.get("connection", "").lower() == "close":
                     break
@@ -224,23 +268,34 @@ class QueryServer:
 
     async def _route(
         self, method: str, path: str, body: bytes
-    ) -> tuple[bytes, dict[str, Any]]:
+    ) -> tuple[bytes, dict[str, Any], dict[str, str]]:
         if method == "GET" and path == "/healthz":
             return b"200 OK", {
                 "status": "ok",
                 "nodes": len(self.system.overlay),
                 "queries_served": self.transport.queries_served,
-            }
+            }, {}
         if method == "GET" and path == "/stats":
-            return b"200 OK", self.stats()
+            return b"200 OK", self.stats(), {}
         if method == "GET" and path == "/metrics":
             reg = obs_metrics.active()
-            return b"200 OK", dict(reg.snapshot()) if reg is not None else {}
+            return b"200 OK", (dict(reg.snapshot()) if reg is not None else {}), {}
         if method == "POST" and path == "/query":
             return await self._handle_query(body)
-        return b"404 Not Found", {"error": f"no route {method} {path}"}
+        return b"404 Not Found", {"error": f"no route {method} {path}"}, {}
 
-    async def _handle_query(self, body: bytes) -> tuple[bytes, dict[str, Any]]:
+    def _reject(self, reason: str) -> tuple[bytes, dict[str, Any], dict[str, str]]:
+        """Refuse a request at the front door: 429 + Retry-After, no queueing."""
+        self.rejected += 1
+        return (
+            b"429 Too Many Requests",
+            {"error": reason, "retry_after": self.retry_after},
+            {"Retry-After": str(self.retry_after)},
+        )
+
+    async def _handle_query(
+        self, body: bytes
+    ) -> tuple[bytes, dict[str, Any], dict[str, str]]:
         self.requests += 1
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
@@ -250,23 +305,43 @@ class QueryServer:
             origin = payload.get("origin")
             limit = payload.get("limit")
             seed = payload.get("seed")
+            priority = priority_name(payload.get("priority"))
             rng = as_generator(seed) if seed is not None else None
-        except (UnicodeDecodeError, json.JSONDecodeError, ServingError) as exc:
+        except (UnicodeDecodeError, json.JSONDecodeError, ReproError) as exc:
             self.errors += 1
-            return b"400 Bad Request", {"error": str(exc)}
+            return b"400 Bad Request", {"error": str(exc)}, {}
+        quota = self.class_quotas.get(priority)
+        if quota is not None and self._class_occupancy.get(priority, 0) >= quota:
+            return self._reject(f"class {priority!r} quota ({quota}) exhausted")
+        if (
+            self.max_backlog is not None
+            and self._sem.locked()
+            and self.waiting >= self.max_backlog
+        ):
+            return self._reject(
+                f"backlog full ({self.waiting} waiting, cap {self.max_backlog})"
+            )
+        self._class_occupancy[priority] = self._class_occupancy.get(priority, 0) + 1
+        self.waiting += 1
         try:
-            async with self._sem:
-                result = await self.transport.submit(
-                    query, origin=origin, rng=rng, limit=limit
-                )
+            await self._sem.acquire()
+        finally:
+            self.waiting -= 1
+        try:
+            result = await self.transport.submit(
+                query, origin=origin, rng=rng, limit=limit, priority=priority
+            )
         except ReproError as exc:
             # A bad query/origin is the client's fault, not the server's.
             self.errors += 1
-            return b"400 Bad Request", {"error": str(exc)}
+            return b"400 Bad Request", {"error": str(exc)}, {}
+        finally:
+            self._sem.release()
+            self._class_occupancy[priority] -= 1
         return b"200 OK", {
             "result": encode_result(result),
             "stats": result.stats.as_dict(),
-        }
+        }, {}
 
     def stats(self) -> dict[str, Any]:
         """Server + transport counters (the ``/stats`` payload)."""
@@ -274,7 +349,10 @@ class QueryServer:
         out = {
             "requests": self.requests,
             "errors": self.errors,
+            "rejected": self.rejected,
+            "waiting": self.waiting,
             "max_inflight": self.max_inflight,
+            "max_backlog": self.max_backlog,
             "queries_served": transport.queries_served,
             "nodes": len(self.system.overlay),
         }

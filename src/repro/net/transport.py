@@ -34,6 +34,17 @@ Two implementations:
     single node serializes its inbox — the concurrency profile of one
     event-loop thread per peer.
 
+    Inboxes are **priority queues**: each envelope carries its run's
+    priority rank (``interactive`` < ``batch`` < ``background``, see
+    :mod:`repro.guard`), and a node drains lower ranks first.  A global
+    monotone tiebreaker preserves exact FIFO order among equal ranks, so a
+    uniform-priority workload is byte-for-byte the plain-queue behaviour.
+    When the engine carries an armed :class:`~repro.guard.GuardPlane`, the
+    transport feeds its backlog accounting: every enqueue calls
+    ``note_posted`` and every envelope is either admitted by the engine's
+    ``process_message`` or explicitly abandoned (stale deliveries,
+    discovery-stop leftovers), keeping the per-node pending gauge exact.
+
 Both transports mirror :meth:`SquidSystem.query`'s result-cache fast path,
 so a served query hits the same initiator-side cache a local call would.
 
@@ -97,8 +108,16 @@ class Transport(ABC):
         origin: int | None = None,
         rng: RandomLike = None,
         limit: int | None = None,
+        priority=None,
     ) -> QueryResult:
         """Resolve one query over this transport; see :meth:`SquidSystem.query`."""
+
+    def _guard_plane(self):
+        """The engine's *armed* guard plane, or None (mirrors ``run.guard``)."""
+        guard = getattr(self.engine, "guard", None)
+        if guard is not None and guard.active:
+            return guard
+        return None
 
     # ------------------------------------------------------------------
     # Result-cache fast path (mirrors SquidSystem.query exactly)
@@ -149,6 +168,7 @@ class SyncTransport(Transport):
         origin: int | None = None,
         rng: RandomLike = None,
         limit: int | None = None,
+        priority=None,
     ) -> QueryResult:
         hit, key, region = self._cache_probe(query, limit)
         if hit is not None:
@@ -156,7 +176,7 @@ class SyncTransport(Transport):
             return hit
         run = self.engine.begin_run(
             self.system, query, origin=origin,
-            rng=self._request_rng(rng), limit=limit,
+            rng=self._request_rng(rng), limit=limit, priority=priority,
         )
         result = drive_sync(self.engine, self.system, run)
         self._cache_store(key, region, result)
@@ -221,10 +241,13 @@ class AsyncioTransport(Transport):
         #: Envelopes dropped because their run had already finished
         #: (discovery-mode early stop abandons queued entries).
         self.messages_stale = 0
-        self._inboxes: dict[int, asyncio.Queue] = {}
+        self._inboxes: dict[int, asyncio.PriorityQueue] = {}
         self._workers: dict[int, asyncio.Task] = {}
         self._runs: dict[int, _RunState] = {}
         self._qids = itertools.count()
+        #: Global enqueue tiebreaker: keeps equal-rank envelopes in exact
+        #: FIFO order through the priority queues.
+        self._order = itertools.count()
         self._started = False
 
     @property
@@ -254,7 +277,7 @@ class AsyncioTransport(Transport):
     # ------------------------------------------------------------------
     # Node mailboxes
     # ------------------------------------------------------------------
-    def _ensure_inbox(self, node_id: int) -> asyncio.Queue:
+    def _ensure_inbox(self, node_id: int) -> asyncio.PriorityQueue:
         """The node's inbox, created lazily (nodes may join after start).
 
         Inboxes outlive crashes — like a network buffer, a mailbox keeps
@@ -265,26 +288,35 @@ class AsyncioTransport(Transport):
         if box is None:
             if not self._started:
                 raise EngineError("AsyncioTransport used before start()")
-            box = self._inboxes[node_id] = asyncio.Queue(maxsize=self.inbox_capacity)
+            box = self._inboxes[node_id] = asyncio.PriorityQueue(
+                maxsize=self.inbox_capacity
+            )
             self._workers[node_id] = asyncio.ensure_future(
-                self._node_worker(box)
+                self._node_worker(node_id, box)
             )
         return box
 
-    async def _node_worker(self, box: asyncio.Queue) -> None:
+    async def _node_worker(self, node_id: int, box: asyncio.PriorityQueue) -> None:
         """Drain one node's inbox into the destination runs' buffers.
 
-        Workers never block on a put (see module docstring): pop, simulate
-        the wire delay, park the entry, signal the run's driver.
+        Lower ranks (interactive) are popped ahead of higher ones; the
+        global enqueue counter breaks rank ties in FIFO order.  Workers
+        never block on a put (see module docstring): pop, simulate the wire
+        delay, park the entry, signal the run's driver.  A stale envelope —
+        its run already finished — is dropped, and the armed guard plane
+        (if any) is told so its pending gauge for this node stays exact.
         """
         delay = self.per_message_delay
         while True:
-            qid, seq, entry = await box.get()
+            _rank, _order, qid, seq, entry = await box.get()
             if delay:
                 await asyncio.sleep(delay)
             state = self._runs.get(qid)
             if state is None:
                 self.messages_stale += 1
+                guard = self._guard_plane()
+                if guard is not None:
+                    guard.note_abandoned(node_id)
                 continue
             state.buffer[seq] = entry
             state.ready.set()
@@ -299,6 +331,7 @@ class AsyncioTransport(Transport):
         origin: int | None = None,
         rng: RandomLike = None,
         limit: int | None = None,
+        priority=None,
     ) -> QueryResult:
         if not self._started:
             await self.start()
@@ -308,7 +341,7 @@ class AsyncioTransport(Transport):
             return hit
         run = self.engine.begin_run(
             self.system, query, origin=origin,
-            rng=self._request_rng(rng), limit=limit,
+            rng=self._request_rng(rng), limit=limit, priority=priority,
         )
         qid = next(self._qids)
         state = _RunState(run)
@@ -326,14 +359,25 @@ class AsyncioTransport(Transport):
         return result
 
     async def _post(self, state: _RunState, qid: int, run: "EngineRun") -> None:
-        """Envelope and enqueue everything the engine just posted."""
+        """Envelope and enqueue everything the engine just posted.
+
+        Envelopes lead with the run's priority rank so node inboxes drain
+        interactive work first; the guard plane (when armed) is told about
+        every enqueue so per-node backlog is observable before admission.
+        """
         engine = self.engine
+        guard = run.guard
+        rank = run.priority
         for entry in run.take_outbox():
             seq = state.next_seq
             state.next_seq += 1
             state.pending += 1
             dest = engine.entry_node(run, entry)
-            await self._ensure_inbox(dest).put((qid, seq, entry))
+            if guard is not None:
+                guard.note_posted(dest)
+            await self._ensure_inbox(dest).put(
+                (rank, next(self._order), qid, seq, entry)
+            )
 
     async def _drive(
         self, state: _RunState, qid: int, run: "EngineRun"
@@ -360,6 +404,13 @@ class AsyncioTransport(Transport):
                 # Discovery-mode stop: the entries still pending are the
                 # abandoned in-flight branches drive_sync would count.
                 run.stats.aborted_in_flight = state.pending
+                guard = run.guard
+                if guard is not None:
+                    # Buffered-but-unprocessed entries are abandoned here;
+                    # leftovers still in inboxes are handed back by the
+                    # node workers when they pop the stale envelopes.
+                    for buffered in state.buffer.values():
+                        guard.note_abandoned(engine.entry_node(run, buffered))
                 break
             await self._post(state, qid, run)
         return engine.finish_run(system, run)

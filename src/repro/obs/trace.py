@@ -16,7 +16,11 @@ linked to the span that dispatched it — each carrying typed events:
 * :class:`LocalScan` — a node searched its local store;
 * :class:`BranchLost` — fault injection defeated the retry policy and the
   sub-query was abandoned (its curve ranges appear in
-  ``QueryResult.unresolved_ranges``).
+  ``QueryResult.unresolved_ranges``);
+* :class:`BranchShed` — an overloaded node's
+  :class:`~repro.guard.GuardPlane` refused the sub-query; like a lost
+  branch, its curve ranges land in ``QueryResult.unresolved_ranges`` and
+  the result is an honest ``complete=False`` partial.
 
 System-lifecycle events (:class:`KeyMoved`, :class:`NodeJoined`,
 :class:`NodeLeft`) are recorded on the :class:`Tracer` itself, outside any
@@ -45,6 +49,7 @@ __all__ = [
     "Aggregated",
     "LocalScan",
     "BranchLost",
+    "BranchShed",
     "KeyMoved",
     "NodeJoined",
     "NodeLeft",
@@ -136,6 +141,22 @@ class BranchLost:
 
 
 @dataclass(frozen=True)
+class BranchShed:
+    """An overloaded node shed this sub-query instead of processing it.
+
+    ``node_id`` is the node whose load guard refused the work; ``ranges``
+    counts the unresolved index ranges recorded for the shed cluster.
+    The dispatch message really travelled (and is counted) but the work
+    was deliberately not done — the honest-load-shedding counterpart of
+    :class:`BranchLost`.
+    """
+
+    node_id: int
+    level: int
+    ranges: int
+
+
+@dataclass(frozen=True)
 class KeyMoved:
     """``count`` keys moved between stores (join/leave/load-balancing)."""
 
@@ -159,7 +180,15 @@ class NodeLeft:
 
 
 #: Events that may appear inside a query trace span.
-SpanEvent = ClusterRefined | MessageSent | Pruned | Aggregated | LocalScan | BranchLost
+SpanEvent = (
+    ClusterRefined
+    | MessageSent
+    | Pruned
+    | Aggregated
+    | LocalScan
+    | BranchLost
+    | BranchShed
+)
 #: Events recorded on the tracer itself (system lifecycle).
 SystemEvent = KeyMoved | NodeJoined | NodeLeft
 
@@ -269,6 +298,7 @@ class QueryTrace:
             msgs = len(span.events_of(MessageSent))
             pruned = span.events_of(Pruned)
             lost = span.events_of(BranchLost)
+            shed = span.events_of(BranchShed)
             tags = []
             if found:
                 tags.append(f"found={found}")
@@ -278,6 +308,8 @@ class QueryTrace:
                 tags.append(f"pruned:{pruned[0].reason}")
             if lost:
                 tags.append("lost")
+            if shed:
+                tags.append("shed")
             suffix = f"  [{', '.join(tags)}]" if tags else ""
             lines.append(
                 f"{'  ' * depth}- node {span.node_id} (level {span.level})"
@@ -309,6 +341,7 @@ class QueryTrace:
         batches = 0
         aborted = 0
         lost = 0
+        shed = 0
         for span, event in self.iter_events():
             if isinstance(event, MessageSent):
                 messages += 1
@@ -322,19 +355,23 @@ class QueryTrace:
                 pruned += 1
             elif isinstance(event, Aggregated):
                 batches += 1
+            elif isinstance(event, BranchShed):
+                shed += 1
         for span in self.spans:
             routing.add(span.node_id)
             # A span whose node never scanned or refined was dispatched but
             # abandoned: a fault-injected *lost* branch when it carries a
-            # BranchLost event, a discovery-mode early exit otherwise.  Its
-            # message is counted either way; its processing never happened.
+            # BranchLost event, a deliberately *shed* branch when it carries
+            # a BranchShed event (counted above, one per event), and a
+            # discovery-mode early exit otherwise.  Its message is counted
+            # either way; its processing never happened.
             if any(
                 isinstance(e, (LocalScan, ClusterRefined)) for e in span.events
             ):
                 processing.add(span.node_id)
             elif any(isinstance(e, BranchLost) for e in span.events):
                 lost += 1
-            else:
+            elif not any(isinstance(e, BranchShed) for e in span.events):
                 aborted += 1
         return {
             "messages": messages,
@@ -346,6 +383,7 @@ class QueryTrace:
             "aggregated_batches": batches,
             "aborted_in_flight": aborted,
             "lost_branches": lost,
+            "shed_branches": shed,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,1 @@
+"""Tests for the overload guard plane (``repro.guard``)."""

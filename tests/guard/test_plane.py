@@ -1,0 +1,223 @@
+"""Unit tests for the guard plane: priorities, buckets, watermarks.
+
+Everything here is pure in-process state — no system, no engine — so the
+tests pin the exact semantics the engines and transports rely on: the
+hysteresis latch, the logical-clock token bucket, protected ranks, the
+hard ``queue_limit`` backstop, and the conservative pending-gauge
+accounting (every ``note_posted`` matched by one ``admit`` or
+``note_abandoned``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GuardError
+from repro.guard import (
+    PRIORITIES,
+    GuardConfig,
+    GuardPlane,
+    TokenBucket,
+    priority_name,
+    priority_rank,
+)
+from repro.obs import collecting
+
+
+class TestPriorities:
+    def test_rank_order(self):
+        assert PRIORITIES == ("interactive", "batch", "background")
+
+    def test_none_means_interactive(self):
+        assert priority_rank(None) == 0
+
+    @pytest.mark.parametrize("name,rank", [("interactive", 0), ("batch", 1),
+                                           ("background", 2)])
+    def test_names_and_ints_round_trip(self, name, rank):
+        assert priority_rank(name) == rank
+        assert priority_rank(rank) == rank
+        assert priority_name(rank) == name
+        assert priority_name(name) == name
+
+    @pytest.mark.parametrize("bad", [True, False, -1, 3, "urgent", 1.5, []])
+    def test_invalid_priorities_raise(self, bad):
+        with pytest.raises(GuardError):
+            priority_rank(bad)
+
+
+class TestTokenBucket:
+    def test_validation(self):
+        with pytest.raises(GuardError):
+            TokenBucket(0, 1.0)
+        with pytest.raises(GuardError):
+            TokenBucket(4, -0.5)
+
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(2, refill=0.0)
+        assert bucket.take(0) and bucket.take(0)
+        assert not bucket.take(0)
+
+    def test_zero_refill_never_credits(self):
+        bucket = TokenBucket(1, refill=0.0)
+        assert bucket.take(0)
+        assert not bucket.take(10_000)
+
+    def test_refill_proportional_to_elapsed_ticks(self):
+        bucket = TokenBucket(4, refill=0.5)
+        for _ in range(4):
+            assert bucket.take(0)
+        assert not bucket.take(1)  # 0.5 tokens credited: still dry
+        assert bucket.take(3)  # +1.0 more: one whole token available
+        assert not bucket.take(3)
+
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucket(2, refill=1.0)
+        assert bucket.take(0) and bucket.take(0)
+        # A long idle period credits at most ``capacity`` tokens.
+        assert bucket.take(1_000) and bucket.take(1_000)
+        assert not bucket.take(1_000)
+
+
+class TestGuardConfig:
+    def test_defaults_are_inert(self):
+        cfg = GuardConfig()
+        assert not cfg.active
+        assert not GuardPlane(cfg).active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_high": 0},
+            {"queue_low": 2},  # queue_low requires queue_high
+            {"queue_high": 4, "queue_low": 5},
+            {"queue_limit": 0},
+            {"queue_high": 8, "queue_limit": 4},  # limit below high
+            {"bucket_capacity": 0},
+            {"bucket_refill": -1.0},
+            {"protected_rank": -2},
+            {"protected_rank": 3},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(GuardError):
+            GuardConfig(**kwargs)
+
+    def test_any_single_limit_arms_the_plane(self):
+        assert GuardConfig(queue_high=4).active
+        assert GuardConfig(queue_limit=4).active
+        assert GuardConfig(bucket_capacity=4).active
+
+    def test_low_watermark_defaults_to_half_of_high(self):
+        assert GuardConfig(queue_high=9).low_watermark == 4
+        assert GuardConfig(queue_high=9, queue_low=1).low_watermark == 1
+
+
+def _post(plane: GuardPlane, node: int, count: int) -> None:
+    for _ in range(count):
+        plane.note_posted(node)
+
+
+class TestGuardPlane:
+    def test_pending_gauge_accounting(self):
+        plane = GuardPlane(GuardConfig(queue_high=100))
+        _post(plane, 5, 3)
+        assert plane.pending(5) == 3
+        assert plane.pending(6) == 0
+        assert plane.admit(5, 0)
+        assert plane.pending(5) == 2
+        plane.note_abandoned(5)
+        assert plane.pending(5) == 1
+        assert plane.stats.abandoned == 1
+        assert plane.stats.max_pending == 3
+
+    def test_hysteresis_latch_sheds_until_low_watermark(self):
+        plane = GuardPlane(GuardConfig(queue_high=3, queue_low=1))
+        _post(plane, 1, 6)
+        # First admit sees backlog 5 > high: latch trips, entry shed.
+        assert not plane.admit(1, rank=1)
+        assert plane.stats.overload_events == 1
+        # Backlogs 4..2 are above the low watermark: still shedding.
+        assert not plane.admit(1, rank=1)
+        assert not plane.admit(1, rank=1)
+        assert not plane.admit(1, rank=1)
+        # Backlog 1 <= queue_low: latch releases, entry admitted.
+        assert plane.admit(1, rank=1)
+        assert plane.admit(1, rank=1)
+        assert plane.stats.shed_queue == 4
+        assert plane.stats.admitted == 2
+        assert plane.stats.overload_events == 1  # one episode, not four
+
+    def test_protected_rank_bypasses_watermark_and_bucket(self):
+        plane = GuardPlane(
+            GuardConfig(queue_high=1, queue_low=0, bucket_capacity=1,
+                        bucket_refill=0.0)
+        )
+        _post(plane, 1, 8)
+        for _ in range(8):
+            assert plane.admit(1, rank=0)
+        assert plane.stats.shed == 0
+
+    def test_queue_limit_sheds_protected_rank_too(self):
+        plane = GuardPlane(GuardConfig(queue_limit=2))
+        _post(plane, 1, 5)
+        assert not plane.admit(1, rank=0)  # backlog 4 >= limit
+        assert not plane.admit(1, rank=0)  # backlog 3
+        assert not plane.admit(1, rank=0)  # backlog 2
+        assert plane.admit(1, rank=0)  # backlog 1 < limit
+        assert plane.admit(1, rank=0)
+        assert plane.stats.shed_queue == 3
+        assert plane.stats.shed_by_class == {"interactive": 3}
+
+    def test_throttle_sheds_count_separately_by_class(self):
+        plane = GuardPlane(GuardConfig(bucket_capacity=1, bucket_refill=0.0))
+        _post(plane, 1, 3)
+        assert plane.admit(1, rank=1)  # the single token
+        assert not plane.admit(1, rank=1)
+        assert not plane.admit(1, rank=2)
+        assert plane.stats.shed_throttle == 2
+        assert plane.stats.shed_queue == 0
+        assert plane.stats.shed_by_class == {"background": 1, "batch": 1}
+        assert plane.stats.as_dict()["shed"] == 2
+
+    def test_bucket_refills_with_plane_wide_progress(self):
+        # Refill is driven by the plane's logical clock: admits on *other*
+        # nodes advance it, so a throttled node recovers as the system
+        # makes progress.
+        plane = GuardPlane(GuardConfig(bucket_capacity=1, bucket_refill=0.5))
+        _post(plane, 1, 2)
+        _post(plane, 2, 4)
+        assert plane.admit(1, rank=1)
+        assert not plane.admit(1, rank=1)  # dry, 0.5 credited
+        for _ in range(2):
+            assert plane.admit(2, rank=0)  # protected: ticks the clock
+        _post(plane, 1, 1)
+        assert plane.admit(1, rank=1)  # 2 more ticks -> a whole token
+
+    def test_per_node_isolation(self):
+        plane = GuardPlane(GuardConfig(queue_high=2, queue_low=0))
+        _post(plane, 1, 5)
+        _post(plane, 2, 1)
+        assert not plane.admit(1, rank=1)
+        assert plane.admit(2, rank=1)  # node 2's backlog is empty
+
+    def test_metrics_emitted_only_on_trips(self):
+        plane = GuardPlane(GuardConfig(queue_high=2, queue_low=0))
+        with collecting() as registry:
+            _post(plane, 1, 2)
+            assert plane.admit(1, rank=1)
+            assert plane.admit(1, rank=1)
+        assert not registry.snapshot()["counters"]  # no trips, no counters
+        with collecting() as registry:
+            _post(plane, 1, 5)
+            assert not plane.admit(1, rank=1)
+            assert not plane.admit(1, rank=1)
+        counters = registry.snapshot()["counters"]
+        assert counters["guard.sheds.total"] == 2
+        assert counters["guard.sheds.queue"] == 2
+        assert counters["guard.overload_events.total"] == 1
+
+    def test_admit_without_registry_keeps_stats(self):
+        plane = GuardPlane(GuardConfig(queue_limit=1))
+        _post(plane, 1, 3)
+        assert not plane.admit(1)
+        assert plane.stats.shed == 1  # stats accrue without a registry

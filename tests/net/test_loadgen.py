@@ -70,6 +70,51 @@ class TestLoadReport:
         text = self._report(mode="open", rate=250.0).render()
         assert "open-loop" in text and "qps" in text and "rate=250" in text
 
+    def test_check_raises_on_rejects(self):
+        """A spotless-run check treats 429s as failures too."""
+        with pytest.raises(ServingError, match="reject"):
+            self._report(
+                completed=8, rejected=2, statuses={"200": 8, "429": 2}
+            ).check()
+
+    def test_goodput_and_shed_fraction(self):
+        report = self._report(
+            sent=10, completed=8, rejected=2, good=6, late_answers=1,
+            shed_answers=1, statuses={"200": 8, "429": 2}, duration_s=2.0,
+        )
+        assert report.goodput == pytest.approx(3.0)  # 6 good / 2 s
+        assert report.shed_fraction == pytest.approx(0.3)  # (2+1)/10
+        out = report.as_dict()
+        assert out["goodput"] == pytest.approx(3.0)
+        assert out["statuses"] == {"200": 8, "429": 2}
+        assert out["shed_fraction"] == pytest.approx(0.3)
+
+    def test_check_overload_accepts_graceful_degradation(self):
+        """429s and honest sheds within the bound are a PASS under
+        overload — that is the whole point of the mitigation."""
+        self._report(
+            sent=10, completed=6, rejected=4, statuses={"200": 6, "429": 4},
+        ).check_overload(max_shed_fraction=0.5)
+
+    def test_check_overload_rejects_5xx(self):
+        with pytest.raises(ServingError, match="5xx"):
+            self._report(
+                completed=9, statuses={"200": 9, "500": 1}
+            ).check_overload()
+
+    def test_check_overload_rejects_excessive_shedding(self):
+        with pytest.raises(ServingError, match="shed"):
+            self._report(
+                sent=10, completed=2, rejected=8,
+                statuses={"200": 2, "429": 8},
+            ).check_overload(max_shed_fraction=0.5)
+
+    def test_check_overload_rejects_hard_errors(self):
+        with pytest.raises(ServingError, match="errors"):
+            self._report(
+                completed=9, errors=1, statuses={"200": 9},
+            ).check_overload()
+
 
 class TestRunPoolValidation:
     def _run(self, **kwargs):
@@ -185,4 +230,35 @@ class TestRunLoadgen:
         )
         assert report.errors == 0
         assert report.completed == 30
+        assert report.statuses == {"200": 30}
+        assert all(math.isfinite(v) for v in report.latency_s.values())
+
+    def test_self_serve_overload_smoke(self):
+        """The CI overload smoke in miniature: a guarded server at a rate
+        far above capacity degrades gracefully — refusals and honest
+        sheds, never 5xx — and still gets real answers through."""
+        report = run_loadgen(
+            self_serve=True,
+            queries=60,
+            mode="open",
+            rate=2_000.0,
+            concurrency=64,
+            nodes=BUILD["n_nodes"],
+            docs=BUILD["n_docs"],
+            seed=BUILD["seed"],
+            per_message_delay=0.002,
+            priority="batch",
+            deadline=2.0,
+            guard=True,
+            max_inflight=4,
+            max_backlog=4,
+            check_overload=True,
+            max_shed_fraction=0.95,
+        )
+        assert report.errors == 0
+        assert report.rejected > 0  # the front door really pushed back
+        assert report.statuses.get("200", 0) > 0
+        assert report.statuses.get("429", 0) == report.rejected
+        assert not any(s.startswith("5") for s in report.statuses)
+        assert report.goodput > 0
         assert all(math.isfinite(v) for v in report.latency_s.values())

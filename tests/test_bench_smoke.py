@@ -55,6 +55,16 @@ SERVE_KEYS = {
     "p50_ms", "p95_ms", "p99_ms", "nodes", "per_message_delay_s",
     "identity", "concurrency_speedup",
 }
+OVERLOAD_SHED_KEYS = {
+    "leg", "queries", "shed_branches", "matches", "exact_matches",
+    "unresolved_span", "complete", "identity",
+}
+OVERLOAD_LEG_KEYS = {
+    "leg", "requests", "rate", "overload_factor", "deadline_ms",
+    "completed", "rejected", "shed_answers", "late_answers", "errors",
+    "qps", "goodput", "shed_fraction", "p50_ms", "p95_ms", "p99_ms",
+    "nodes", "capacity_qps",
+}
 
 
 @pytest.fixture(scope="module")
@@ -71,7 +81,7 @@ def test_document_envelope(quick_result):
     assert quick_result["quick"] is True
     assert set(quick_result["suites"]) == {
         "encode", "refine", "e2e", "parallel", "resilience", "store", "trace",
-        "serve",
+        "serve", "overload",
     }
     env = quick_result["environment"]
     assert {"python", "numpy", "platform", "cpus"} <= set(env)
@@ -180,6 +190,39 @@ def test_serve_rows(quick_result):
         assert row["concurrency_speedup"] > 1.0
 
 
+def test_overload_rows(quick_result):
+    rows = quick_result["suites"]["overload"]
+    # Reaching these rows means every hard gate inside the suite passed:
+    # zero-overload bit-identity, honest shedding, a clean calm leg, no
+    # 5xx anywhere, and the guarded leg beating the unguarded one on both
+    # p99 and goodput.
+    assert [row["leg"] for row in rows] == [
+        "shed-honesty", "calm-guarded", "overload-unguarded",
+        "overload-guarded", "overload-chaos",
+    ]
+    by_leg = {row["leg"]: row for row in rows}
+    shed = by_leg["shed-honesty"]
+    assert set(shed) == OVERLOAD_SHED_KEYS
+    assert shed["shed_branches"] > 0
+    assert shed["complete"] is False
+    assert shed["matches"] <= shed["exact_matches"]
+    assert shed["unresolved_span"] > 0
+    for leg in ("calm-guarded", "overload-unguarded", "overload-guarded",
+                "overload-chaos"):
+        row = by_leg[leg]
+        assert set(row) == OVERLOAD_LEG_KEYS
+        assert row["errors"] == 0
+        assert row["goodput"] > 0
+    calm = by_leg["calm-guarded"]
+    assert calm["rejected"] == 0 and calm["shed_answers"] == 0
+    assert by_leg["overload-unguarded"]["rejected"] == 0
+    guarded = by_leg["overload-guarded"]
+    unguarded = by_leg["overload-unguarded"]
+    assert guarded["goodput"] > unguarded["goodput"]
+    assert guarded["p99_ms"] < unguarded["p99_ms"]
+    assert guarded["overload_factor"] == pytest.approx(4.0)
+
+
 def test_summary_shape(quick_result):
     summary = quick_result["summary"]
     assert summary["refine_min_speedup"] <= summary["refine_max_speedup"]
@@ -202,6 +245,10 @@ def test_summary_shape(quick_result):
     assert summary["serve_clients"] == 16
     assert summary["serve_concurrency_speedup"] > 1.0
     assert summary["serve_p95_ms_concurrent"] > 0
+    assert summary["overload_factor"] == pytest.approx(4.0)
+    assert summary["overload_goodput_guarded"] > summary["overload_goodput_unguarded"]
+    assert summary["overload_p99_ms_guarded"] < summary["overload_p99_ms_unguarded"]
+    assert 0.0 < summary["overload_shed_fraction_guarded"] < 1.0
 
 
 def test_run_bench_is_reproducible_in_shape():

@@ -67,7 +67,7 @@ class TestRepoDocuments:
         "filename",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md", "CHANGELOG.md",
          "docs/protocol.md", "docs/api.md", "docs/internals.md",
-         "docs/resilience.md"],
+         "docs/resilience.md", "docs/serving.md", "docs/overload.md"],
     )
     def test_document_exists(self, filename):
         path = REPO_ROOT / filename
