@@ -139,7 +139,7 @@ def bench_encode(seed: int, quick: bool = False) -> list[dict[str, Any]]:
     geometries = [(2, 10), (3, 8)] if not quick else [(2, 8)]
     rng = np.random.default_rng(seed)
     rows: list[dict[str, Any]] = []
-    for curve_name in ("hilbert", "zorder"):
+    for curve_name in ("hilbert", "zorder", "onion"):
         for dims, order in geometries:
             curve = make_curve(curve_name, dims, order)
             points = rng.integers(0, curve.side, size=(n_points, dims), dtype=np.int64)

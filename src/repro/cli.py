@@ -53,7 +53,11 @@ batches across N worker processes (results are identical for any N; only
 wall-clock time changes).  ``run``, ``bench``, and ``chaos`` accept
 ``--store {local,columnar,sqlite}`` to select the node-store backend the
 systems are built on (results are identical for any backend; only
-throughput and memory footprint change — see ``docs/storage.md``), and
+throughput and memory footprint change — see ``docs/storage.md``),
+``--curve {hilbert,zorder,gray,onion,auto}`` to select the space-filling
+curve family (answers are identical for any curve; message costs differ —
+``auto`` picks the cheapest for a sampled workload, see
+``docs/performance.md``), and
 ``--result-cache N`` to attach an initiator-side result cache of capacity
 N to every system built during the command (match sets are identical with
 or without it; see ``docs/performance.md`` §7).
@@ -86,6 +90,7 @@ def main(argv: list[str] | None = None) -> int:
         "--profile", action="store_true", help="time hot phases and print the table"
     )
     _add_workers_flag(run_p)
+    _add_curve_flag(run_p)
     _add_store_flag(run_p)
     _add_result_cache_flag(run_p)
 
@@ -137,6 +142,7 @@ def main(argv: list[str] | None = None) -> int:
         help="path of the JSON result document",
     )
     _add_workers_flag(bench_p)
+    _add_curve_flag(bench_p)
     _add_store_flag(bench_p)
     _add_result_cache_flag(bench_p)
 
@@ -164,6 +170,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 unless recall is 1.0 and every result is complete",
     )
+    _add_curve_flag(chaos_p)
     _add_store_flag(chaos_p)
     _add_result_cache_flag(chaos_p)
 
@@ -210,6 +217,7 @@ def main(argv: list[str] | None = None) -> int:
         metavar="S",
         help="simulated per-message wire latency in seconds",
     )
+    _add_curve_flag(serve_p)
     _add_store_flag(serve_p)
     _add_result_cache_flag(serve_p)
 
@@ -290,6 +298,7 @@ def main(argv: list[str] | None = None) -> int:
         help="--check-overload bound on (429s + shed answers) / sent",
     )
     lg_p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    _add_curve_flag(lg_p)
     _add_store_flag(lg_p)
 
     args = parser.parse_args(argv)
@@ -303,6 +312,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.store import set_default_store
 
         set_default_store(args.store)
+
+    if getattr(args, "curve", None) is not None:
+        from repro.sfc import set_default_curve
+
+        set_default_curve(args.curve)
 
     if getattr(args, "result_cache", None) is not None:
         from repro.core.resultcache import set_default_result_cache
@@ -339,6 +353,17 @@ def _add_workers_flag(subparser) -> None:
         default=None,
         metavar="N",
         help="worker processes for query batches (results identical for any N)",
+    )
+
+
+def _add_curve_flag(subparser) -> None:
+    subparser.add_argument(
+        "--curve",
+        default=None,
+        choices=["hilbert", "zorder", "gray", "onion", "auto"],
+        help="space-filling-curve family for system construction "
+        "(answers identical for any curve; costs differ — 'auto' picks "
+        "the cheapest for a sampled workload)",
     )
 
 

@@ -55,7 +55,6 @@ from repro.obs.trace import (
     Pruned,
     QueryTrace,
 )
-from repro.overlay.base import ring_contains_open_closed
 from repro.sfc.clusters import Cluster, refine_cluster, resolve_clusters, root_cluster
 from repro.util.rng import RandomLike, as_generator
 
@@ -690,8 +689,15 @@ class OptimizedEngine(QueryEngine):
         if (
             cluster_max <= covered
             or pred == covered  # single node: owns everything
-            or (pred > covered and arrival_key > pred)
+            or arrival_key > covered  # wrapped: scanned to the end of space
         ):
+            # The wrap test must come from the scan window itself, not the
+            # node's predecessor pointer: after a crash the stale pointer
+            # can name a dead peer with a larger identifier, the prune
+            # misses, and the tail segment is re-dispatched and re-scanned
+            # (duplicated matches).  A wrapped arrival already scanned
+            # [arrival_key, 2^m), which contains every remaining linear
+            # index of the cluster.
             stats.record_pruned()
             if trace is not None:
                 trace.emit(span, Pruned(node_id, cluster.level, "owned"))
@@ -1466,12 +1472,16 @@ class NaiveEngine(QueryEngine):
                 advance = False  # stop the chain; "open" re-checks the limit
         node = overlay.nodes[node_id]
         # Done when this node owns the rest of the (linear) range: either
-        # the range ends at/before the node's identifier, or the node's
-        # range wraps and the walk entered it past the predecessor.
+        # the range ends at/before the node's identifier, or the visit
+        # wrapped past the ring's top — a wrapped arrival scanned
+        # [position, high] in full, so the walk must stop.  (Deciding the
+        # wrap from ``node.predecessor`` is wrong after a crash: the stale
+        # pointer can name a dead peer with a larger identifier, and the
+        # missed prune re-walks and re-scans the tail — duplicate matches.)
         if advance and not (
             high <= node_id
             or node.predecessor == node_id  # single node owns all
-            or (node.predecessor > node_id and position > node.predecessor)
+            or position > node_id  # wrapped visit: window was [position, high]
         ):
             position = node_id + 1
             next_id = overlay.owner(position)

@@ -42,8 +42,9 @@ from repro.obs import profile as obs_profile
 from repro.obs.trace import KeyMoved, NodeJoined, NodeLeft, Tracer
 from repro.overlay.base import ring_contains_open_closed
 from repro.overlay.chord import ChordRing
-from repro.sfc import make_curve
+from repro.sfc import get_default_curve, make_curve, sample_box_regions, select_curve
 from repro.sfc.base import SpaceFillingCurve
+from repro.sfc.regions import Region
 from repro.store import NodeStore, StoredElement, StoreSpec, as_spec
 from repro.util.rng import RandomLike, as_generator
 
@@ -51,6 +52,50 @@ __all__ = ["SquidSystem"]
 
 #: Sentinel distinguishing "no payload filter" from ``payload=None``.
 _UNSET = object()
+
+
+def _sample_regions(
+    space: KeywordSpace, curve_sample: Iterable[Any] | None, rng: RandomLike
+) -> list[Region]:
+    """Coerce a workload sample into query regions for curve selection.
+
+    Entries may be :class:`~repro.sfc.regions.Region` objects or anything
+    ``KeywordSpace.region`` accepts (query strings, :class:`Query`, term
+    sequences).  ``None`` falls back to a seeded mix of random cube queries.
+    """
+    if curve_sample is None:
+        return sample_box_regions(space.dims, space.bits, rng=rng)
+    regions: list[Region] = []
+    for entry in curve_sample:
+        if isinstance(entry, Region):
+            regions.append(entry)
+        else:
+            regions.append(space.region(entry))
+    return regions
+
+
+def _resolve_curve(
+    curve: "SpaceFillingCurve | str | None",
+    space: KeywordSpace,
+    rng: RandomLike = None,
+    curve_sample: Iterable[Any] | None = None,
+) -> SpaceFillingCurve:
+    """Resolve a ``curve=`` argument into a curve instance.
+
+    ``None`` uses the process default (CLI ``--curve`` flag or the
+    ``REPRO_CURVE`` environment variable; ``"hilbert"`` otherwise); the name
+    ``"auto"`` selects the cheapest family for a sampled workload via
+    :func:`repro.sfc.select_curve`.  The order is fixed to the space's bit
+    depth — the overlay identifier width depends on it.
+    """
+    if isinstance(curve, SpaceFillingCurve):
+        return curve
+    name = curve if curve is not None else get_default_curve()
+    if name == "auto":
+        regions = _sample_regions(space, curve_sample, rng)
+        choice = select_curve(regions, space.dims, space.bits)
+        return choice.make(space.dims)
+    return make_curve(name, space.dims, space.bits)
 
 
 def _coerce_result_cache(
@@ -74,16 +119,15 @@ class SquidSystem:
         self,
         space: KeywordSpace,
         overlay: ChordRing,
-        curve: SpaceFillingCurve | None = None,
+        curve: SpaceFillingCurve | str | None = None,
         default_engine: QueryEngine | str | None = None,
         rng: RandomLike = None,
         store: str | StoreSpec | None = None,
         result_cache: "ResultCache | int | bool | None" = None,
     ) -> None:
         self.space = space
-        self.curve = curve if curve is not None else make_curve(
-            "hilbert", space.dims, space.bits
-        )
+        gen = as_generator(rng)
+        self.curve = _resolve_curve(curve, space, rng=gen)
         if self.curve.dims != space.dims or self.curve.order != space.bits:
             raise OverlayError(
                 "curve geometry must match the keyword space "
@@ -106,7 +150,7 @@ class SquidSystem:
         if isinstance(default_engine, str):
             default_engine = make_engine(default_engine)
         self.default_engine = default_engine or OptimizedEngine()
-        self._rng = as_generator(rng)
+        self._rng = gen
         #: Attached :class:`~repro.obs.trace.Tracer`, or None (no tracing).
         self.tracer: Tracer | None = None
         #: Initiator-side query-plan cache (see :mod:`repro.core.plancache`).
@@ -128,11 +172,12 @@ class SquidSystem:
         cls,
         space: KeywordSpace,
         n_nodes: int,
-        curve: str = "hilbert",
+        curve: "str | SpaceFillingCurve | None" = None,
         seed: RandomLike = None,
         engine: QueryEngine | str | None = None,
         store: str | StoreSpec | None = None,
         result_cache: "ResultCache | int | bool | None" = None,
+        curve_sample: Iterable[Any] | None = None,
     ) -> "SquidSystem":
         """Build a system of ``n_nodes`` peers with random identifiers.
 
@@ -141,11 +186,16 @@ class SquidSystem:
         ``store="local"``/``"columnar"``/``"sqlite"``) — ``curve`` and
         ``engine`` also take ready instances, ``store`` a
         :class:`~repro.store.base.StoreSpec` carrying backend options.
-        ``store=None`` uses the process default (CLI ``--store`` flag or the
-        ``REPRO_STORE`` environment variable; ``"local"`` otherwise).
+        ``store=None`` and ``curve=None`` use the process defaults (CLI
+        ``--store`` / ``--curve`` flags or the ``REPRO_STORE`` /
+        ``REPRO_CURVE`` environment variables; ``"local"`` / ``"hilbert"``
+        otherwise).  ``curve="auto"`` picks the cheapest registered family
+        for a workload sample (``curve_sample``: query strings or
+        :class:`~repro.sfc.regions.Region` objects; a seeded mix of random
+        cube queries when omitted) via :func:`repro.sfc.select_curve`.
         """
         gen = as_generator(seed)
-        sfc = make_curve(curve, space.dims, space.bits)
+        sfc = _resolve_curve(curve, space, rng=gen, curve_sample=curve_sample)
         ring = ChordRing.with_random_ids(sfc.index_bits, n_nodes, rng=gen)
         return cls(
             space,

@@ -21,6 +21,11 @@ is runnable via ``python -m repro run extA|extB|extC``.
   the initiator-side :class:`~repro.core.resultcache.ResultCache` across
   query skew x publish mix x TTL (every cached answer is checked against
   a brute-force scan — the stale column must stay 0).
+* ``extH`` — curve-family ablation: cluster count and end-to-end message
+  cost per query class (Q1/Q2/Q3) for every registered curve family
+  (hilbert, gray, zorder, onion), with the workload-adaptive selector's
+  choice marked per workload.  Match counts must be identical across
+  curves — the mapping is a cost knob, never a correctness knob.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ __all__ = [
     "run_hotspots",
     "run_response_time",
     "run_result_cache",
+    "run_curve_ablation",
     "EXTENSIONS",
 ]
 
@@ -482,6 +488,101 @@ def run_result_cache(scale: str = "small", seed: int = 36) -> FigureResult:
     return result
 
 
+def run_curve_ablation(scale: str = "small", seed: int = 37) -> FigureResult:
+    """Cluster count and message cost per query class, per curve family.
+
+    The paper fixes the Hilbert curve; this ablation measures what that
+    choice buys.  Two workloads cover the paper's three query classes:
+    a document workload (Q1 single partial keyword, Q2 two keywords) and a
+    grid-resource workload (Q3 all-range queries).  For every registered
+    curve family the same seeded system is built, the same queries run, and
+    the row reports the mean cluster count of the query regions (the
+    message-cost driver: one cluster → one routed curve segment) alongside
+    the measured end-to-end messages and processing nodes.  The
+    ``selected`` column marks the family the workload-adaptive selector
+    (:func:`repro.sfc.select_curve`) picks from the class's query regions.
+    """
+    from repro.sfc import CURVES, select_curve
+    from repro.sfc.analysis import cluster_stats
+    from repro.workloads.queries import (
+        q1_queries,
+        q2_queries,
+        q3_full_range_queries,
+    )
+    from repro.workloads.resources import ResourceWorkload
+
+    preset = SCALES[scale]
+    n_nodes = preset.node_counts[0]
+    n_keys = preset.key_counts[0]
+    doc = DocumentWorkload.generate(
+        2, n_keys, vocabulary_size=preset.vocabulary_size, rng=seed
+    )
+    res = ResourceWorkload.generate(n_keys, bits=10, rng=seed + 1)
+    classes = [
+        ("Q1", doc, [str(q) for q in q1_queries(doc, count=6, rng=seed + 2)]),
+        ("Q2", doc, [str(q) for q in q2_queries(doc, count=5, rng=seed + 3)]),
+        ("Q3", res, [str(q) for q in q3_full_range_queries(res, count=5, rng=seed + 4)]),
+    ]
+
+    # Adaptive selection per workload: the sample is exactly the query
+    # regions the classes will run.
+    selections: dict[int, str] = {}
+    for workload in (doc, res):
+        regions = [
+            workload.space.region(q)
+            for label, wl, queries in classes
+            if wl is workload
+            for q in queries
+        ]
+        choice = select_curve(regions, workload.space.dims, workload.space.bits)
+        selections[id(workload)] = choice.name
+
+    result = FigureResult(
+        figure="extH",
+        title="Curve ablation: clusters and message cost per query class",
+        columns=[
+            "curve",
+            "query_class",
+            "mean_clusters",
+            "messages",
+            "processing_nodes",
+            "matches",
+            "selected",
+        ],
+    )
+    for name in sorted(CURVES):
+        systems = {
+            id(doc): SquidSystem.create(doc.space, n_nodes=n_nodes, curve=name, seed=seed + 5),
+            id(res): SquidSystem.create(res.space, n_nodes=n_nodes, curve=name, seed=seed + 6),
+        }
+        systems[id(doc)].publish_many(doc.keys)
+        systems[id(res)].publish_many(res.keys)
+        for label, workload, queries in classes:
+            system = systems[id(workload)]
+            clusters, messages, processing, matches = [], [], [], 0
+            for i, query in enumerate(queries):
+                region = workload.space.region(query)
+                clusters.append(cluster_stats(system.curve, region).cluster_count)
+                r = system.query(query, rng=seed + 7 + i)
+                messages.append(r.stats.messages)
+                processing.append(r.stats.processing_node_count)
+                matches += len(r.matches)
+            result.add_row(
+                curve=name,
+                query_class=label,
+                mean_clusters=round(float(np.mean(clusters)), 2),
+                messages=round(float(np.mean(messages)), 1),
+                processing_nodes=round(float(np.mean(processing)), 1),
+                matches=matches,
+                selected=selections[id(workload)] == name,
+            )
+    result.notes.append(
+        "same seeded workloads and queries for every curve; 'selected' marks "
+        "the family select_curve() picks from that class's query regions"
+    )
+    return result
+
+
 EXTENSIONS = {
     "extA": run_replication,
     "extB": run_hotspots,
@@ -490,4 +591,5 @@ EXTENSIONS = {
     "extE": run_attack,
     "extF": run_faults,
     "extG": run_result_cache,
+    "extH": run_curve_ablation,
 }

@@ -283,6 +283,54 @@ def _check_extG(result: FigureResult) -> list[tuple[str, bool, str]]:
     ]
 
 
+def _check_extH(result: FigureResult) -> list[tuple[str, bool, str]]:
+    curves = sorted({r["curve"] for r in result.rows})
+    classes = sorted({r["query_class"] for r in result.rows})
+    by = {(r["curve"], r["query_class"]): r for r in result.rows}
+    families_ok = curves == ["gray", "hilbert", "onion", "zorder"] and all(
+        (c, q) in by for c in curves for q in classes
+    )
+    matches_identical = all(
+        len({by[(c, q)]["matches"] for c in curves}) == 1 for q in classes
+    )
+    cluster_ladder = all(
+        by[("hilbert", q)]["mean_clusters"]
+        <= by[("onion", q)]["mean_clusters"] + 1e-9
+        <= by[("zorder", q)]["mean_clusters"] + 2e-9
+        for q in classes
+    )
+    one_selected = all(
+        sum(1 for c in curves if by[(c, q)]["selected"]) == 1 for q in classes
+    )
+    def _selected(q: str) -> str:
+        return next(c for c in curves if by[(c, q)]["selected"])
+
+    selected_cheapest = all(
+        by[(_selected(q), q)]["mean_clusters"]
+        <= min(by[(c, q)]["mean_clusters"] for c in curves) * 1.01 + 1e-9
+        for q in classes
+    )
+    return [
+        ("all four curve families reported per query class", families_ok, ""),
+        (
+            "match counts identical across curves (mapping is cost-only)",
+            matches_identical,
+            "",
+        ),
+        (
+            "cluster ladder hilbert <= onion <= zorder in every class",
+            cluster_ladder,
+            "",
+        ),
+        ("exactly one adaptively selected family per class", one_selected, ""),
+        (
+            "selector picks the cluster-cheapest family",
+            selected_cheapest,
+            "",
+        ),
+    ]
+
+
 SHAPE_CHECKS: dict[str, Callable[[FigureResult], list[tuple[str, bool, str]]]] = {
     "fig09": _check_sweep,
     "fig10": _check_snapshot,
@@ -302,6 +350,7 @@ SHAPE_CHECKS: dict[str, Callable[[FigureResult], list[tuple[str, bool, str]]]] =
     "extE": _check_extE,
     "extF": _check_extF,
     "extG": _check_extG,
+    "extH": _check_extH,
 }
 
 _PAPER_CLAIMS = {
@@ -314,6 +363,9 @@ _PAPER_CLAIMS = {
     "under injected message faults; unmitigated faults are reported honestly.",
     "extG": "Perf: an initiator-side result cache absorbs skewed query streams "
     "without ever serving a stale answer (interval invalidation + TTL).",
+    "extH": "§3.2 generalized: the curve mapping determines clustering and "
+    "hence message cost per query class; answers never depend on it, and the "
+    "adaptive selector picks the cheapest family for a sampled workload.",
     "fig09": "Q1 2D: processing/data nodes are a small, sublinearly growing "
     "fraction of the system; data tracks processing; cost not monotone in matches.",
     "fig10": "All metrics 2D: routing >> processing ~= data; messages ~ 2x processing.",

@@ -45,7 +45,7 @@ def build_demo_system(
     n_docs: int = 2_000,
     bits: int = 12,
     engine: str = "optimized",
-    curve: str = "hilbert",
+    curve: str | None = None,
     result_cache: Any = None,
 ) -> SquidSystem:
     """A populated (keyword, size) system — identical for identical args."""

@@ -7,11 +7,26 @@ Public surface:
 * :class:`~repro.sfc.hilbert.HilbertCurve` — the locality-preserving Hilbert
   curve used by Squid.
 * :class:`~repro.sfc.zorder.MortonCurve` — Z-order comparison mapping.
+* :class:`~repro.sfc.graycurve.GrayCurve` — Gray-coded comparison mapping.
+* :class:`~repro.sfc.onioncurve.OnionCurve` — hierarchical onion (peel-loop)
+  curve, the near-optimal-clustering fourth family.
 * :mod:`~repro.sfc.regions` — query regions (boxes / unions of boxes).
 * :mod:`~repro.sfc.clusters` — cluster generation and recursive refinement.
 * :mod:`~repro.sfc.analysis` — clustering/locality analytics.
+* :mod:`~repro.sfc.select` — adaptive curve/order selection from a workload
+  sample (:func:`select_curve`).
+
+Curve families are selected **by name**, mirroring the store backends: the
+process default (what ``SquidSystem.create(...)`` uses when no ``curve=`` is
+given) resolves as explicit :func:`set_default_curve` call > ``REPRO_CURVE``
+environment variable > ``"hilbert"``.
 """
 
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigError
 from repro.sfc.analysis import ClusterStats, cluster_stats, locality_ratio
 from repro.sfc.base import SpaceFillingCurve
 from repro.sfc.clusters import (
@@ -29,7 +44,9 @@ from repro.sfc.clusters import (
 )
 from repro.sfc.graycurve import GrayCurve
 from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.onioncurve import OnionCurve
 from repro.sfc.regions import Box, Containment, Interval, Region, full_region
+from repro.sfc.select import CurveChoice, sample_box_regions, select_curve
 from repro.sfc.zorder import MortonCurve
 
 __all__ = [
@@ -37,6 +54,7 @@ __all__ = [
     "HilbertCurve",
     "MortonCurve",
     "GrayCurve",
+    "OnionCurve",
     "Box",
     "Containment",
     "Interval",
@@ -56,16 +74,59 @@ __all__ = [
     "ClusterStats",
     "cluster_stats",
     "locality_ratio",
+    "CURVES",
+    "make_curve",
+    "get_default_curve",
+    "set_default_curve",
+    "CurveChoice",
+    "select_curve",
+    "sample_box_regions",
 ]
 
-CURVES = {"hilbert": HilbertCurve, "zorder": MortonCurve, "gray": GrayCurve}
-"""Registry of curve families by name (used by config-driven experiments)."""
+#: Registry of curve families by name (used by config-driven experiments).
+#: Third parties may register additional families; anything registered here
+#: is automatically covered by the shared invariant test suites.
+CURVES: dict[str, type[SpaceFillingCurve]] = {
+    "hilbert": HilbertCurve,
+    "zorder": MortonCurve,
+    "gray": GrayCurve,
+    "onion": OnionCurve,
+}
+
+_DEFAULT_CURVE: str | None = None
 
 
 def make_curve(name: str, dims: int, order: int) -> SpaceFillingCurve:
-    """Instantiate a registered curve family by name."""
+    """Instantiate a registered curve family by name.
+
+    Unknown names raise a :class:`~repro.errors.ConfigError` listing the
+    valid families (matching :func:`repro.store.get_store` behaviour).
+    """
     try:
         cls = CURVES[name]
     except KeyError:
-        raise ValueError(f"unknown curve {name!r}; choose from {sorted(CURVES)}") from None
+        raise ConfigError(
+            f"unknown curve {name!r}; choose from {sorted(CURVES)}"
+        ) from None
     return cls(dims, order)
+
+
+def get_default_curve() -> str:
+    """The process-default curve family (see module docstring for resolution)."""
+    if _DEFAULT_CURVE is not None:
+        return _DEFAULT_CURVE
+    env = os.environ.get("REPRO_CURVE", "").strip()
+    return env if env else "hilbert"
+
+
+def set_default_curve(name: str | None) -> None:
+    """Set (or with ``None`` reset) the process-default curve family.
+
+    This is what the CLI ``--curve`` flag calls; it overrides the
+    ``REPRO_CURVE`` environment variable.  ``"auto"`` is accepted and defers
+    to workload-adaptive selection at system construction.
+    """
+    global _DEFAULT_CURVE
+    if name is not None and name != "auto" and name not in CURVES:
+        raise ConfigError(f"unknown curve {name!r}; choose from {sorted(CURVES)}")
+    _DEFAULT_CURVE = name

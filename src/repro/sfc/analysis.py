@@ -10,9 +10,11 @@ Moon, Jagadish, Faloutsos & Saltz's Hilbert clustering analysis, cited as
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.errors import DimensionMismatchError
 from repro.sfc.base import SpaceFillingCurve
 from repro.sfc.clusters import resolve_clusters
 from repro.sfc.regions import Region
@@ -25,6 +27,7 @@ __all__ = [
     "average_cluster_count",
     "locality_ratio",
     "curve_comparison",
+    "region_class_comparison",
 ]
 
 
@@ -45,7 +48,15 @@ class ClusterStats:
 
 
 def cluster_stats(curve: SpaceFillingCurve, region: Region) -> ClusterStats:
-    """Exact cluster statistics of ``region`` on ``curve``."""
+    """Exact cluster statistics of ``region`` on ``curve``.
+
+    A region whose dimensionality disagrees with the curve's raises
+    :class:`~repro.errors.DimensionMismatchError` up front — the cell
+    classifier would otherwise silently truncate the comparison and emit
+    garbage statistics (degenerate rows in the curve-comparison ablation).
+    """
+    if region.dims != curve.dims:
+        raise DimensionMismatchError(curve.dims, region.dims)
     ranges = resolve_clusters(curve, region)
     if not ranges:
         return ClusterStats(0, 0, 0, 0)
@@ -61,8 +72,17 @@ def cluster_stats(curve: SpaceFillingCurve, region: Region) -> ClusterStats:
 def random_box_region(
     curve: SpaceFillingCurve, extent: int, rng: RandomLike = None
 ) -> Region:
-    """A random axis-aligned cube region with side ``extent``."""
+    """A random axis-aligned cube region with side ``extent``.
+
+    ``extent`` must be an integer in ``[1, curve.side]``: 1 yields a point
+    region, ``curve.side`` the full space.  Anything outside (zero-width,
+    overhanging, fractional) raises ``ValueError`` instead of silently
+    producing a degenerate region.
+    """
     gen = as_generator(rng)
+    if isinstance(extent, bool) or not isinstance(extent, (int, np.integer)):
+        raise ValueError(f"extent must be an integer, got {extent!r}")
+    extent = int(extent)
     if not 1 <= extent <= curve.side:
         raise ValueError(f"extent must be in [1, {curve.side}], got {extent}")
     bounds = []
@@ -102,8 +122,11 @@ def curve_comparison(
     """Clustering/locality summary for every registered curve family.
 
     Returns ``{curve_name: {"mean_clusters": ..., "locality": ...}}`` over
-    identical random box queries — the data behind the three-way mapping
-    ablation (Hilbert < Gray < Z-order, per Moon et al.).
+    identical random box queries — the data behind the mapping ablation
+    (Hilbert < Gray < Z-order per Moon et al., with the onion adaptation
+    between Hilbert and Gray).  ``extent`` and the locality window are
+    clamped to the curve geometry so tiny orders cannot raise mid-sweep or
+    emit degenerate rows.
     """
     from repro.sfc import CURVES
 
@@ -112,12 +135,50 @@ def curve_comparison(
     out: dict[str, dict[str, float]] = {}
     for name, cls in sorted(CURVES.items()):
         curve = cls(dims, order)
+        safe_extent = max(1, min(int(extent), curve.side))
+        window = min(4, curve.size - 1)
         out[name] = {
             "mean_clusters": average_cluster_count(
-                curve, extent=extent, samples=samples, rng=seed
+                curve, extent=safe_extent, samples=samples, rng=seed
             ),
-            "locality": locality_ratio(curve, window=4, samples=200, rng=seed),
+            "locality": (
+                locality_ratio(curve, window=window, samples=200, rng=seed)
+                if window >= 1
+                else 0.0
+            ),
         }
+    return out
+
+
+def region_class_comparison(
+    dims: int,
+    order: int,
+    classes: Mapping[str, Sequence[Region]],
+    curves: Sequence[str] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Mean cluster count per query class, for every curve family.
+
+    ``classes`` maps a class label (e.g. ``"Q1-prefix"``, ``"Q3-range"``)
+    to the query regions in that class — typically built from real query
+    strings via ``KeywordSpace.region``.  Returns
+    ``{curve_name: {class_label: mean_clusters}}``; the cluster count is
+    the per-query message-cost driver (one cluster → one routed curve
+    segment), so this is the data behind the per-query-class ablation.
+    """
+    from repro.sfc import CURVES, make_curve
+
+    names = list(curves) if curves is not None else sorted(CURVES)
+    out: dict[str, dict[str, float]] = {}
+    for name in names:
+        curve = make_curve(name, dims, order)
+        per_class: dict[str, float] = {}
+        for label, regions in classes.items():
+            if not regions:
+                per_class[label] = 0.0
+                continue
+            total = sum(cluster_stats(curve, r).cluster_count for r in regions)
+            per_class[label] = total / len(regions)
+        out[name] = per_class
     return out
 
 

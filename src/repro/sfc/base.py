@@ -125,9 +125,16 @@ class SpaceFillingCurve(ABC):
         return out
 
     def decode_many(self, indices: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`decode`; returns an ``(N, dims)`` array."""
+        """Vectorized :meth:`decode`; returns an ``(N, dims)`` array.
+
+        Coordinates fit ``int64`` whenever ``order <= 63`` (``side - 1 <
+        2**63``) even if the *index* does not; a 1-D curve of order ≥ 64 is
+        the one geometry whose coordinates overflow, so it falls back to an
+        object array of Python ints.
+        """
         indices = np.asarray(indices).ravel()
-        out = np.empty((indices.shape[0], self.dims), dtype=np.int64)
+        dtype = np.int64 if self.order <= 63 else object
+        out = np.empty((indices.shape[0], self.dims), dtype=dtype)
         for i, index in enumerate(indices):
             out[i] = self.decode(int(index))
         return out

@@ -1,0 +1,187 @@
+"""Adaptive curve selection: pick curve family + order from a workload sample.
+
+The paper fixes the Hilbert curve; the clustering analysis (Moon et al.,
+reference [12]) shows the best mapping depends on the query mix — range
+queries of different shapes cluster differently under Hilbert, Gray,
+Z-order and onion.  :func:`select_curve` makes the choice empirical: given a
+sample of query regions it scores every candidate ``(curve, order)`` pair by
+the mean cluster count (the per-query message-cost driver in Squid: one
+cluster → one routed curve segment) and returns the cheapest.
+
+Order selection is constrained by *exactness*: a coarser order is only
+admissible when every sampled region is block-aligned at that granularity —
+otherwise the coarse index would alias neighbouring cells into the answer.
+Among exact candidates, coarser orders are never worse (fewer cells, fewer
+clusters, identical answers), so the selector considers all admissible
+orders and lets the score decide.
+
+``SquidSystem.create(curve="auto")`` exposes this: it samples (or accepts)
+a workload and selects the family at the space's bit depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ConfigError
+from repro.sfc.regions import Box, Interval, Region
+from repro.util.rng import RandomLike, as_generator
+
+__all__ = ["CurveChoice", "select_curve", "sample_box_regions"]
+
+#: Tie-break preference when two candidates score identically: the paper's
+#: default first, then the near-optimal-clustering newcomer.
+_PREFERENCE = ("hilbert", "onion", "gray", "zorder")
+
+
+@dataclass(frozen=True)
+class CurveChoice:
+    """Outcome of :func:`select_curve`.
+
+    ``scores`` maps ``(curve_name, order)`` to the mean cluster count over
+    the workload sample, for every candidate evaluated — kept so callers
+    (and the ablation experiment) can report *why* the winner won.
+    """
+
+    name: str
+    order: int
+    score: float
+    scores: Mapping[tuple[str, int], float]
+
+    def make(self, dims: int):
+        """Instantiate the chosen curve for ``dims`` dimensions."""
+        from repro.sfc import make_curve
+
+        return make_curve(self.name, dims, self.order)
+
+
+def _exactness_shift(region: Region, order: int) -> int:
+    """Largest ``s`` such that ``region`` is block-aligned at ``order - s``.
+
+    An interval ``[low, high]`` survives coarsening by ``s`` bits exactly
+    when ``low`` and ``high + 1`` are multiples of ``2**s``; the region's
+    limit is the minimum over its intervals.
+    """
+    shift = order
+    for box in region.boxes:
+        for iv in box.intervals:
+            for edge in (iv.low, iv.high + 1):
+                if edge == 0:
+                    continue
+                shift = min(shift, (edge & -edge).bit_length() - 1)
+                if shift == 0:
+                    return 0
+    return shift
+
+
+def _rescale_region(region: Region, shift: int) -> Region:
+    """Rescale a region by ``shift`` bits (negative = coarsen, exact only)."""
+    if shift == 0:
+        return region
+    boxes = []
+    for box in region.boxes:
+        intervals = []
+        for iv in box.intervals:
+            if shift > 0:
+                intervals.append(
+                    Interval(iv.low << shift, ((iv.high + 1) << shift) - 1)
+                )
+            else:
+                intervals.append(Interval(iv.low >> -shift, ((iv.high + 1) >> -shift) - 1))
+        boxes.append(Box(tuple(intervals)))
+    return Region(tuple(boxes))
+
+
+def sample_box_regions(
+    dims: int,
+    order: int,
+    extents: Sequence[int] | None = None,
+    samples: int = 8,
+    rng: RandomLike = None,
+) -> list[Region]:
+    """A seeded default workload sample: random cube queries at mixed extents.
+
+    Used by ``SquidSystem.create(curve="auto")`` when the caller provides no
+    sample of their own.
+    """
+    gen = as_generator(rng)
+    side = 1 << order
+    if extents is None:
+        extents = sorted({max(1, side // 8), max(1, side // 4), max(1, side // 2)})
+    regions: list[Region] = []
+    for extent in extents:
+        for _ in range(samples):
+            bounds = []
+            for _ in range(dims):
+                low = int(gen.integers(0, side - extent + 1))
+                bounds.append((low, low + extent - 1))
+            regions.append(Region.from_bounds(bounds))
+    return regions
+
+
+def select_curve(
+    workload_sample: Iterable[Region],
+    dims: int,
+    order: int,
+    *,
+    curves: Sequence[str] | None = None,
+    orders: Sequence[int] | None = None,
+    rng: RandomLike = None,
+) -> CurveChoice:
+    """Pick the cheapest ``(curve, order)`` for a sampled workload.
+
+    ``workload_sample`` is a sequence of :class:`~repro.sfc.regions.Region`
+    at resolution ``order`` (e.g. from ``KeywordSpace.region(query)``).
+    Candidate orders other than ``order`` are admitted only when every
+    sampled region is block-aligned at that granularity, so the selected
+    index answers the sampled queries exactly.  The score of a candidate is
+    the mean cluster count over the sample — proportional to per-query
+    message cost in the overlay.
+    """
+    from repro.sfc import CURVES, make_curve
+    from repro.sfc.clusters import resolve_clusters
+
+    regions = list(workload_sample)
+    if not regions:
+        regions = sample_box_regions(dims, order, rng=rng)
+    for region in regions:
+        if region.dims != dims:
+            raise ConfigError(
+                f"workload sample region has {region.dims} dimensions, "
+                f"selector expects {dims}"
+            )
+    names = list(curves) if curves is not None else sorted(CURVES)
+    for name in names:
+        if name not in CURVES:
+            raise ConfigError(
+                f"unknown curve {name!r}; choose from {sorted(CURVES)}"
+            )
+
+    max_coarsen = min((_exactness_shift(r, order) for r in regions), default=0)
+    if orders is None:
+        candidate_orders = [order]
+    else:
+        candidate_orders = sorted(
+            {o for o in orders if order - max_coarsen <= o and o >= 1}
+        )
+        if not candidate_orders:
+            candidate_orders = [order]
+
+    scores: dict[tuple[str, int], float] = {}
+    for o in candidate_orders:
+        rescaled = [_rescale_region(r, o - order) for r in regions]
+        for name in names:
+            curve = make_curve(name, dims, o)
+            total = sum(len(resolve_clusters(curve, r)) for r in rescaled)
+            scores[(name, o)] = total / len(rescaled)
+
+    def sort_key(item: tuple[tuple[str, int], float]):
+        (name, o), score = item
+        pref = _PREFERENCE.index(name) if name in _PREFERENCE else len(_PREFERENCE)
+        return (score, pref, name, o)
+
+    (best_name, best_order), best_score = min(scores.items(), key=sort_key)
+    return CurveChoice(
+        name=best_name, order=best_order, score=best_score, scores=scores
+    )

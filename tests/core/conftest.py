@@ -27,6 +27,25 @@ def storage_system():
 
 
 @pytest.fixture(scope="module")
+def hilbert_storage_system():
+    """:func:`storage_system` pinned to the paper's curve.
+
+    For tests asserting Hilbert-calibrated cost bounds (e.g. "an exact
+    query touches few peers"): those numbers are properties of the curve,
+    so they must not float with the process default (``REPRO_CURVE``).
+    """
+    space = KeywordSpace([WordDimension("kw1"), WordDimension("kw2")], bits=10)
+    system = SquidSystem.create(space, n_nodes=48, curve="hilbert", seed=42)
+    rng = np.random.default_rng(7)
+    keys = [
+        (WORDS[rng.integers(len(WORDS))], WORDS[rng.integers(len(WORDS))])
+        for _ in range(400)
+    ]
+    system.publish_many(keys, payloads=list(range(len(keys))))
+    return system
+
+
+@pytest.fixture(scope="module")
 def grid_system():
     """3-D numeric (grid resource) system."""
     space = KeywordSpace(

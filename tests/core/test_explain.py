@@ -1,9 +1,5 @@
 """Tests for the query EXPLAIN API."""
 
-import pytest
-
-from tests.core.conftest import fresh_storage_system
-
 
 class TestExplain:
     def test_keys_present(self, storage_system):
@@ -29,8 +25,10 @@ class TestExplain:
         assert counts == sorted(counts)
         assert counts[0] == 1
 
-    def test_exact_query_is_one_cluster(self, storage_system):
-        plan = storage_system.explain("(computer, network)")
+    def test_exact_query_is_one_cluster(self, hilbert_storage_system):
+        # Hilbert-calibrated: the exact terms' interval stays one cluster on
+        # one peer; other families may split it, so the fixture pins the curve.
+        plan = hilbert_storage_system.explain("(computer, network)")
         assert plan["clusters_at_node_granularity"] == 1
         assert plan["estimated_peers_lower_bound"] == 1
 

@@ -89,6 +89,47 @@ class TestCrashScenarios:
             got = system.query("(comp*, *)", rng=5).match_count
             assert got == want
 
+    @pytest.mark.parametrize("engine", ["optimized", "naive"])
+    def test_ring_top_crash_no_duplicate_matches(self, engine):
+        """Regression: a wrapped chain visit must prune from its scan
+        window, not the node's predecessor pointer.  All node ids sit in
+        the bottom of the identifier space, so every element indexed above
+        the ring's top wraps to the first node at publish time.  Crashing
+        every node above the two smallest leaves the first node's
+        predecessor pointer naming a dead larger-id peer; the wrap prune
+        used to trust that stale pointer, miss, and re-scan the tail —
+        duplicating every match stored there."""
+        from repro import ChordRing, KeywordSpace, SquidSystem, WordDimension
+
+        space = KeywordSpace([WordDimension("kw1"), WordDimension("kw2")], bits=10)
+        ids = [(i + 1) * 3001 for i in range(8)]  # all far below 2**20
+        ring = ChordRing.build(space.dims * space.bits, ids)
+        system = SquidSystem(space, ring)  # curve: process default
+        rng = np.random.default_rng(17)
+        from tests.core.conftest import WORDS
+
+        keys = [
+            (WORDS[rng.integers(len(WORDS))], WORDS[rng.integers(len(WORDS))])
+            for _ in range(200)
+        ]
+        system.publish_many(keys)
+        first, second = ids[0], ids[1]
+        # Precondition: the first node actually stores wrapped-tail data.
+        tail = [
+            el for el in system.stores[first].all_elements() if el.index > ids[-1]
+        ]
+        assert tail, "scenario must place elements above the ring's top"
+        for victim in ids[2:]:
+            system.overlay.fail(victim)
+            system.stores.pop(victim)
+        # Stale pointer precondition: the first node still believes the dead
+        # largest-id peer precedes it.
+        assert system.overlay.nodes[first].predecessor == ids[-1]
+        for query in ("(comp*, *)", "(*, s*)", "(*, *)"):
+            want = len(system.brute_force_matches(query))
+            got = system.query(query, engine=engine, rng=2).match_count
+            assert got == want
+
     def test_crash_then_rejoin_cycle(self):
         system = fresh_storage_system(n_nodes=20, n_keys=150, seed=6)
         rng = np.random.default_rng(7)

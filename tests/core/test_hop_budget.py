@@ -1,12 +1,14 @@
-"""Routing hop budget: crashed-ring queries degrade instead of hanging.
+"""Routing hop budget: the backstop against ring-walk cycles.
 
-The pre-existing hang (ROADMAP "known issue"): crashing a node and querying
-*before* ``stabilize_node`` repairs the ring leaves stale successor and
-predecessor pointers that can route a cluster in a cycle forever.  The hop
-budget (:func:`repro.core.engine.default_hop_budget`) turns that into an
-honest ``complete=False`` partial result with the abandoned windows in
-``unresolved_ranges`` — for both engines, with no stabilization call
-anywhere in this file.
+Historical context: crashing a node and querying *before* ``stabilize_node``
+repairs the ring used to route the wrapped tail segment in a cycle forever
+(the node's stale predecessor pointer defeated the wrap prune).  The hop
+budget (:func:`repro.core.engine.default_hop_budget`) first turned that hang
+into an honest ``complete=False`` partial; the wrap prune now decides from
+the scan window instead of the stale pointer, so the same scenario completes
+*exactly* over the survivors — asserted here, with no stabilization call
+anywhere in this file.  The budget remains as a backstop for pathological
+state (exercised via explicit tiny budgets below).
 """
 
 from __future__ import annotations
@@ -32,21 +34,23 @@ def _system(engine: str, seed: int = 7, n_nodes: int = 24) -> SquidSystem:
 
 
 @pytest.mark.parametrize("engine", ENGINES)
-def test_crashed_ring_query_returns_partial_not_hang(engine):
+def test_crashed_ring_query_completes_exactly(engine):
     """The regression itself: query a crashed ring WITHOUT stabilizing.
 
-    Crashing the highest-id node leaves the wrap-around successor stale;
-    a full-space query then routes in a cycle.  Before the hop budget this
-    test never returned.
+    Crashing the highest-id node leaves the wrap-around pointers stale; a
+    full-space query used to route the tail segment in a cycle (never
+    returning, later an honest partial).  With the scan-window wrap prune
+    the walk terminates on its own: the answer is complete and exactly the
+    brute-force oracle over the survivors.
     """
     system = _system(engine)
     system.fail_node(max(system.overlay.node_ids()))
     # Deliberately NO overlay.stabilize_node(...) here.
     result = system.query("(*, *)", origin=min(system.overlay.node_ids()))
-    assert result.complete is False
-    assert result.unresolved_ranges
-    assert result.unresolved_span > 0
-    assert result.stats.lost_branches >= 1
+    assert result.complete is True
+    assert not result.unresolved_ranges
+    want = sorted(e.payload for e in system.brute_force_matches("(*, *)"))
+    assert sorted(e.payload for e in result.matches) == want
 
 
 @pytest.mark.parametrize("engine", ENGINES)
@@ -58,12 +62,17 @@ def test_crashed_ring_matches_have_no_duplicates(engine):
     assert len({id(e) for e in result.matches}) == len(result.matches)
 
 
-@pytest.mark.parametrize("engine", ENGINES)
-def test_crashed_ring_query_counts_exhaustion_metric(engine):
-    system = _system(engine)
-    system.fail_node(max(system.overlay.node_ids()))
+@pytest.mark.parametrize(
+    "make_engine",
+    [lambda: OptimizedEngine(hop_budget=2), lambda: NaiveEngine(hop_budget=1)],
+    ids=ENGINES,
+)
+def test_exhausted_budget_counts_metric(make_engine):
+    system = _system("optimized")
     with collecting() as registry:
-        system.query("(*, *)", origin=min(system.overlay.node_ids()))
+        system.query(
+            "(*, *)", engine=make_engine(), origin=min(system.overlay.node_ids())
+        )
     counters = registry.snapshot()["counters"]
     assert counters.get("query.hop_budget_exhausted.total") == 1
 

@@ -4,7 +4,7 @@ The ISSUE's correctness bar: two identically-built systems, one with a
 result cache and one without, are driven through the *same* interleaved
 sequence of publishes, removals, membership churn (joins, graceful leaves,
 crashes), and queries — and every query must return the identical match
-set on both.  Runs across all three curve families and both engines, with
+set on both.  Runs across every registered curve family and both engines, with
 a deliberately tiny cache and a coarse invalidation cover so eviction,
 collateral invalidation, and segment math are all exercised.
 """
@@ -19,6 +19,7 @@ from repro.core.resultcache import ResultCache
 from repro.core.system import SquidSystem
 from repro.keywords.dimensions import WordDimension
 from repro.keywords.space import KeywordSpace
+from repro.sfc import CURVES
 
 WORDS = ["computer", "computation", "network", "netbook", "storage", "memory"]
 
@@ -94,7 +95,7 @@ def _apply(system, op, publishes):
     return None
 
 
-@pytest.mark.parametrize("curve", ["hilbert", "zorder", "gray"])
+@pytest.mark.parametrize("curve", sorted(CURVES))
 @pytest.mark.parametrize("engine", ["optimized", "naive"])
 @given(ops=st.lists(_op, min_size=1, max_size=14))
 @settings(max_examples=15, deadline=None)

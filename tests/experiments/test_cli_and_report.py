@@ -68,6 +68,34 @@ class TestReportGenerator:
         assert "FAIL" not in text
 
 
+class TestCurveFlag:
+    @pytest.fixture(autouse=True)
+    def _reset_default_curve(self):
+        from repro.sfc import set_default_curve
+
+        yield
+        set_default_curve(None)
+
+    def test_run_with_curve_flag(self, capsys):
+        assert main(["run", "fig18", "--scale", "small", "--curve", "onion"]) == 0
+        from repro.sfc import get_default_curve
+
+        assert get_default_curve() == "onion"
+
+    def test_rejects_unknown_curve(self):
+        with pytest.raises(SystemExit):  # argparse choices
+            main(["run", "fig18", "--curve", "peano"])
+
+    def test_curve_ablation_runs(self, capsys):
+        assert main(["run", "extH", "--scale", "small", "--csv"]) == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0].split(",")
+        assert "curve" in header and "mean_clusters" in header
+        body = out.splitlines()[1:]
+        families = {line.split(",")[0] for line in body if line}
+        assert families == {"hilbert", "zorder", "gray", "onion"}
+
+
 class TestNewCliCommands:
     def test_run_csv(self, capsys):
         from repro.cli import main

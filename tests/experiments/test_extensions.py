@@ -19,7 +19,7 @@ SCALES.setdefault(
 class TestRegistry:
     def test_extensions_registered(self):
         assert set(EXTENSIONS) == {
-            "extA", "extB", "extC", "extD", "extE", "extF", "extG",
+            "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH",
         }
 
     def test_run_figure_dispatches_extensions(self):

@@ -3,7 +3,7 @@
 The property backing the serving layer: resolving a query over the
 :class:`AsyncioTransport` (the path behind ``python -m repro serve``)
 returns exactly what :meth:`SquidSystem.query` returns in process — across
-all three curve families, both engines, all four query classes, under
+every registered curve family, both engines, all four query classes, under
 fault-plane drops and crashes, and under adversarial query-droppers.
 Serial comparisons check full stats equality; the concurrent comparison
 checks answers (shared-cache hit flags legitimately depend on arrival
@@ -23,8 +23,9 @@ from repro.core.adversary import AdversarialEngine
 from repro.core.engine import OptimizedEngine
 from repro.faults import FaultConfig, FaultPlane, RetryPolicy
 from repro.net import AsyncioTransport, build_demo_system, demo_queries, encode_result
+from repro.sfc import CURVES as CURVE_REGISTRY
 
-CURVES = ("hilbert", "zorder", "gray")
+CURVES = tuple(sorted(CURVE_REGISTRY))
 ENGINES = ("optimized", "naive")
 BUILD = dict(seed=11, n_nodes=8, n_docs=80, bits=8)
 #: 16 queries, four of each class (exact / prefix / wildcard / range).

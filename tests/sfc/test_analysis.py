@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.sfc import HilbertCurve, MortonCurve, Region, make_curve
+from repro.errors import ConfigError, DimensionMismatchError
+from repro.sfc import CURVES, HilbertCurve, MortonCurve, Region, make_curve
 from repro.sfc.analysis import (
     average_cluster_count,
     cluster_stats,
@@ -35,6 +36,30 @@ class TestClusterStats:
 
         assert ClusterStats(0, 0, 0, 0).mean_cluster_length == 0.0
 
+    def test_point_region(self):
+        """Degenerate zero-width box: exactly one single-cell cluster."""
+        curve = HilbertCurve(2, 4)
+        region = Region.from_bounds([(5, 5), (9, 9)])
+        stats = cluster_stats(curve, region)
+        assert stats.cluster_count == 1
+        assert stats.covered_indices == 1
+        assert stats.largest_cluster == 1
+
+    def test_full_space_region(self):
+        """The whole cube is one cluster for every family."""
+        for name in sorted(CURVES):
+            curve = make_curve(name, 2, 4)
+            region = Region.from_bounds([(0, curve.side - 1)] * 2)
+            stats = cluster_stats(curve, region)
+            assert stats.cluster_count == 1
+            assert stats.covered_indices == curve.size
+
+    def test_dims_mismatch_raises(self):
+        curve = HilbertCurve(2, 3)
+        region = Region.from_bounds([(0, 1), (0, 1), (0, 1)])
+        with pytest.raises(DimensionMismatchError):
+            cluster_stats(curve, region)
+
 
 class TestRandomBoxRegion:
     def test_extent_respected(self):
@@ -53,6 +78,23 @@ class TestRandomBoxRegion:
             random_box_region(curve, 0)
         with pytest.raises(ValueError):
             random_box_region(curve, curve.side + 1)
+
+    def test_rejects_non_integer_extent(self):
+        curve = HilbertCurve(2, 4)
+        with pytest.raises(ValueError):
+            random_box_region(curve, 2.5)
+        with pytest.raises(ValueError):
+            random_box_region(curve, True)
+
+    def test_degenerate_extents(self):
+        """extent=1 (point boxes) and extent=side (full space) both work."""
+        curve = HilbertCurve(2, 3)
+        rng = np.random.default_rng(3)
+        point = random_box_region(curve, 1, rng)
+        assert all(iv.width == 1 for iv in point.boxes[0].intervals)
+        assert cluster_stats(curve, point).covered_indices == 1
+        full = random_box_region(curve, curve.side, rng)
+        assert cluster_stats(curve, full).covered_indices == curve.size
 
 
 class TestHilbertVsMorton:
@@ -81,7 +123,7 @@ class TestCurveComparison:
         from repro.sfc.analysis import curve_comparison
 
         table = curve_comparison(dims=2, order=5, extent=6, samples=20, rng=0)
-        assert set(table) == {"hilbert", "gray", "zorder"}
+        assert set(table) == set(CURVES)
         for row in table.values():
             assert row["mean_clusters"] >= 1
             assert row["locality"] > 0
@@ -96,6 +138,34 @@ class TestCurveComparison:
             <= table["zorder"]["mean_clusters"]
         )
 
+    def test_tiny_order_does_not_raise(self):
+        """Order-1 curves (4 cells in 2-D) used to hit out-of-range extents
+        and windows; the comparison must clamp and still report."""
+        from repro.sfc.analysis import curve_comparison
+
+        table = curve_comparison(dims=2, order=1, extent=8, samples=5, rng=2)
+        assert set(table) == set(CURVES)
+        for row in table.values():
+            assert row["mean_clusters"] >= 1
+            assert row["locality"] >= 0
+
+    def test_region_class_comparison(self):
+        from repro.sfc.analysis import region_class_comparison
+
+        classes = {
+            "point": [Region.from_bounds([(3, 3), (5, 5)])],
+            "box": [
+                Region.from_bounds([(0, 7), (0, 7)]),
+                Region.from_bounds([(2, 9), (4, 11)]),
+            ],
+        }
+        table = region_class_comparison(2, 4, classes)
+        assert set(table) == set(CURVES)
+        for rows in table.values():
+            assert set(rows) == {"point", "box"}
+            assert rows["point"] == 1.0
+            assert rows["box"] >= 1.0
+
 
 class TestMakeCurve:
     def test_registry(self):
@@ -103,5 +173,8 @@ class TestMakeCurve:
         assert isinstance(make_curve("zorder", 2, 3), MortonCurve)
 
     def test_unknown(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError) as exc:
             make_curve("peano", 2, 3)
+        # The message must name the valid families, like the store registry.
+        for name in sorted(CURVES):
+            assert name in str(exc.value)

@@ -1,0 +1,164 @@
+"""Shared invariant suite: every registered curve family, one set of tests.
+
+Any curve added to ``repro.sfc.CURVES`` is automatically covered here —
+bijectivity, digital causality, the children-in-curve-order state protocol,
+and scalar↔vectorized bulk equivalence.  Family-specific properties (e.g.
+Hilbert adjacency) stay in the per-family test modules; this file holds
+exactly the invariants the cluster machinery and both engines rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc import CURVES
+from repro.sfc.onioncurve import OnionCurve, OnionState, _transition_table
+
+CURVE_ITEMS = sorted(CURVES.items())
+CURVE_IDS = [name for name, _ in CURVE_ITEMS]
+CURVE_CLASSES = [cls for _, cls in CURVE_ITEMS]
+
+
+def curve_params():
+    return st.sampled_from([(1, 4), (2, 2), (2, 4), (3, 2), (3, 3), (4, 2), (5, 1)])
+
+
+@pytest.mark.parametrize("cls", CURVE_CLASSES, ids=CURVE_IDS)
+class TestRoundTrip:
+    @pytest.mark.parametrize("dims,order", [(1, 3), (2, 3), (3, 2), (4, 2)])
+    def test_exhaustive_bijection(self, cls, dims, order):
+        c = cls(dims, order)
+        points = [c.decode(i) for i in range(c.size)]
+        assert len(set(points)) == c.size
+        for i, p in enumerate(points):
+            assert c.encode(p) == i
+
+    @given(params=curve_params(), data=st.data())
+    @settings(max_examples=40)
+    def test_random_roundtrip(self, cls, params, data):
+        dims, order = params
+        c = cls(dims, order)
+        point = tuple(
+            data.draw(st.integers(min_value=0, max_value=c.side - 1))
+            for _ in range(dims)
+        )
+        assert c.decode(c.encode(point)) == point
+
+    def test_large_order_roundtrip(self, cls):
+        c = cls(2, 40)  # 80-bit index: exceeds the int64 fast paths.
+        point = (2**39 + 12345, 2**38 + 999)
+        assert c.decode(c.encode(point)) == point
+
+
+@pytest.mark.parametrize("cls", CURVE_CLASSES, ids=CURVE_IDS)
+class TestDigitalCausality:
+    @pytest.mark.parametrize("dims,order", [(2, 3), (3, 2)])
+    def test_subcube_shares_prefix(self, cls, dims, order):
+        """All indices in a level-l subcube agree on their first l*d bits."""
+        c = cls(dims, order)
+        for level in range(1, order + 1):
+            span_bits = (order - level) * dims
+            seen: dict[int, tuple] = {}
+            for i in range(c.size):
+                prefix = i >> span_bits
+                coords_prefix = tuple(x >> (order - level) for x in c.decode(i))
+                if prefix in seen:
+                    assert seen[prefix] == coords_prefix
+                else:
+                    seen[prefix] = coords_prefix
+
+
+@pytest.mark.parametrize("cls", CURVE_CLASSES, ids=CURVE_IDS)
+class TestChildren:
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    def test_labels_are_permutation_in_every_state(self, cls, dims):
+        """Every reachable state enumerates each child label exactly once."""
+        c = cls(dims, 2)
+        pending = [c.root_state()]
+        seen = set()
+        while pending:
+            state = pending.pop()
+            if state in seen:
+                continue
+            seen.add(state)
+            kids = c.children(state)
+            assert sorted(label for label, _ in kids) == list(range(1 << dims))
+            pending.extend(child for _, child in kids)
+
+    @pytest.mark.parametrize("dims,order", [(2, 3), (3, 2)])
+    def test_tree_walk_reproduces_decode(self, cls, dims, order):
+        """Recursively expanding children must reproduce the full mapping."""
+        c = cls(dims, order)
+
+        def walk(level, prefix, coords, state, out):
+            if level == c.order:
+                out.append((prefix, tuple(coords)))
+                return
+            for rank, (label, child_state) in enumerate(c.children(state)):
+                nc = [(coords[j] << 1) | ((label >> j) & 1) for j in range(c.dims)]
+                walk(level + 1, (prefix << c.dims) | rank, nc, child_state, out)
+
+        out: list = []
+        walk(0, 0, [0] * c.dims, c.root_state(), out)
+        assert len(out) == c.size
+        for h, p in out:
+            assert c.decode(h) == p
+
+
+@pytest.mark.parametrize("cls", CURVE_CLASSES, ids=CURVE_IDS)
+class TestBulkEquivalence:
+    @pytest.mark.parametrize("dims,order", [(1, 6), (2, 5), (3, 3)])
+    def test_encode_many_matches_scalar(self, cls, dims, order):
+        c = cls(dims, order)
+        rng = np.random.default_rng(7)
+        points = rng.integers(0, c.side, size=(128, dims), dtype=np.int64)
+        got = c.encode_many(points)
+        want = [c.encode(tuple(int(x) for x in row)) for row in points]
+        assert [int(i) for i in got] == want
+
+    @pytest.mark.parametrize("dims,order", [(1, 6), (2, 5), (3, 3)])
+    def test_decode_many_matches_scalar(self, cls, dims, order):
+        c = cls(dims, order)
+        rng = np.random.default_rng(8)
+        indices = rng.integers(0, c.size, size=128, dtype=np.int64)
+        got = c.decode_many(indices)
+        for row, index in zip(got, indices):
+            assert tuple(int(x) for x in row) == c.decode(int(index))
+
+
+class TestOnionSpecific:
+    """Properties of the hierarchical onion adaptation itself."""
+
+    def test_state_accessors(self):
+        s = OnionState(0b10, 1)
+        assert s.anchor == 0b10
+        assert s.axis == 1
+
+    def test_state_space_is_small(self):
+        """At most 2**dims * dims reachable states (the CurveTable bound)."""
+        for dims in (1, 2, 3, 4):
+            table = _transition_table(dims)
+            assert len(table) <= (1 << dims) * max(1, dims)
+
+    def test_children_form_closed_loop(self):
+        """The peel visits the subcube corners along a Hamiltonian cycle:
+        consecutive children share a face, and so do the last and first."""
+        c = OnionCurve(3, 2)
+        for state in _transition_table(3):
+            labels = [label for label, _ in c.children(OnionState(*state))]
+            cycle = labels + [labels[0]]
+            for a, b in zip(cycle, cycle[1:]):
+                assert bin(a ^ b).count("1") == 1
+
+    def test_clustering_between_hilbert_and_zorder(self):
+        """The ablation ordering the experiment reports: onion clusters at
+        least as well as Z-order and no better than Hilbert on box queries."""
+        from repro.sfc import HilbertCurve, MortonCurve
+        from repro.sfc.analysis import average_cluster_count
+
+        kw = dict(extent=8, samples=40, rng=123)
+        hilbert = average_cluster_count(HilbertCurve(2, 6), **kw)
+        onion = average_cluster_count(OnionCurve(2, 6), **kw)
+        zorder = average_cluster_count(MortonCurve(2, 6), **kw)
+        assert hilbert <= onion <= zorder

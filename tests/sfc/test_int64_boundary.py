@@ -1,0 +1,124 @@
+"""Regression tests pinning the ``fits_int64`` gate at the 63-bit boundary.
+
+Every vectorized fast path (bulk encode/decode, the refinement kernel) is
+gated on ``index_bits <= 63``: the largest index of such a curve is
+``2**63 - 1`` — exactly ``numpy.int64``'s maximum — so 63 bits is the widest
+geometry the NumPy kernels can carry without silent overflow, and 64 bits
+must fall back to the exact scalar path on Python ints.  These tests pin the
+gate and exercise both sides of it for all registered curve families.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexRangeError
+from repro.sfc import CURVES
+from repro.sfc.refine_vec import supports_vectorized
+
+CURVE_ITEMS = sorted(CURVES.items())
+CURVE_IDS = [name for name, _ in CURVE_ITEMS]
+CURVE_CLASSES = [cls for _, cls in CURVE_ITEMS]
+
+# dims * order straddling the boundary: 62 and 63 take the fast path,
+# 64 and 65 must fall back.
+BOUNDARY_GEOMETRIES = [
+    (2, 31),  # 62 bits
+    (1, 63),  # 63 bits, max 1-D fast-path order
+    (3, 21),  # 63 bits
+    (7, 9),   # 63 bits
+    (2, 32),  # 64 bits: one past the gate
+    (5, 13),  # 65 bits
+]
+
+
+@pytest.mark.parametrize("cls", CURVE_CLASSES, ids=CURVE_IDS)
+@pytest.mark.parametrize("dims,order", BOUNDARY_GEOMETRIES)
+class TestGate:
+    def test_gate_matches_bit_width(self, cls, dims, order):
+        c = cls(dims, order)
+        assert c.fits_int64 == (dims * order <= 63)
+        assert supports_vectorized(c) == (dims * order <= 63)
+
+
+def _corner_points(curve, n_random=16, seed=5):
+    """Extreme + random points: origin, max corner, and near-corner draws."""
+    rng = np.random.default_rng(seed)
+    top = curve.side - 1
+    points = [
+        tuple([0] * curve.dims),
+        tuple([top] * curve.dims),
+        tuple([top] + [0] * (curve.dims - 1)),
+    ]
+    for _ in range(n_random):
+        points.append(
+            tuple(
+                int(rng.integers(0, curve.side, dtype=np.uint64) % curve.side)
+                for _ in range(curve.dims)
+            )
+        )
+    return points
+
+
+@pytest.mark.parametrize("cls", CURVE_CLASSES, ids=CURVE_IDS)
+@pytest.mark.parametrize("dims,order", BOUNDARY_GEOMETRIES)
+class TestBoundaryRoundTrip:
+    def test_scalar_roundtrip_at_extremes(self, cls, dims, order):
+        c = cls(dims, order)
+        for point in _corner_points(c):
+            index = c.encode(point)
+            assert 0 <= index < c.size
+            assert c.decode(index) == point
+
+    def test_max_index_is_reachable(self, cls, dims, order):
+        """The index space is exactly [0, 2**(d*k)): its top value decodes."""
+        c = cls(dims, order)
+        point = c.decode(c.size - 1)
+        assert c.encode(point) == c.size - 1
+
+    def test_bulk_matches_scalar_at_boundary(self, cls, dims, order):
+        """encode_many/decode_many agree with the scalar maps bit-for-bit,
+        whichever side of the gate the geometry falls on."""
+        c = cls(dims, order)
+        points = _corner_points(c, n_random=8)
+        arr = np.array(points, dtype=np.int64) if c.fits_int64 else np.array(
+            points, dtype=object
+        )
+        indices = c.encode_many(arr)
+        want = [c.encode(p) for p in points]
+        assert [int(i) for i in indices] == want
+        back = c.decode_many(np.asarray(indices))
+        for row, point in zip(back, points):
+            assert tuple(int(x) for x in row) == point
+
+
+class TestFallbackCorrectness:
+    """The 64-bit side must not merely not-crash: it must stay exact."""
+
+    @pytest.mark.parametrize("cls", CURVE_CLASSES, ids=CURVE_IDS)
+    def test_indices_above_int64_survive(self, cls):
+        c = cls(2, 32)  # 64-bit indices: top half exceeds int64.
+        top = c.side - 1
+        index = c.encode((top, top))
+        assert index >= 2**63 or index < 2**63  # a Python int either way
+        assert c.decode(index) == (top, top)
+        out = c.encode_many(np.array([[top, top]], dtype=np.int64))
+        assert out.dtype == object and int(out[0]) == index
+
+    @pytest.mark.parametrize("cls", CURVE_CLASSES, ids=CURVE_IDS)
+    def test_one_dim_wide_coordinates(self, cls):
+        """Order 64 in 1-D: even *coordinates* exceed int64 — the scalar
+        fallback must return an object array, not overflow (regression)."""
+        c = cls(1, 64)
+        top = c.side - 1  # 2**64 - 1
+        index = c.encode((top,))
+        assert c.decode(index) == (top,)
+        back = c.decode_many(np.array([index], dtype=object))
+        assert back.dtype == object
+        assert int(back[0][0]) == top
+
+    def test_hilbert_vec_refuses_wide_geometry(self):
+        """The raw vectorized kernel guards itself, independent of the gate."""
+        from repro.sfc.hilbert_vec import hilbert_encode_vec
+
+        with pytest.raises(IndexRangeError):
+            hilbert_encode_vec(np.zeros((1, 2), dtype=np.int64), 2, 32)

@@ -13,6 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SFCError
+from repro.sfc import CURVES as CURVE_REGISTRY
 from repro.sfc.clusters import (
     clusters_at_level,
     count_clusters_per_level,
@@ -22,7 +23,6 @@ from repro.sfc.clusters import (
     root_cluster,
     vectorized_refinement,
 )
-from repro.sfc.graycurve import GrayCurve
 from repro.sfc.hilbert import HilbertCurve
 from repro.sfc.refine_vec import (
     curve_table,
@@ -31,9 +31,10 @@ from repro.sfc.refine_vec import (
     supports_vectorized,
 )
 from repro.sfc.regions import Box, Region
-from repro.sfc.zorder import MortonCurve
 
-CURVES = [HilbertCurve, MortonCurve, GrayCurve]
+# Every registered family must satisfy scalar ≡ vectorized, so derive the
+# sweep from the registry rather than a hand-maintained list.
+CURVES = [cls for _, cls in sorted(CURVE_REGISTRY.items())]
 GEOMETRIES = [(1, 8), (2, 6), (2, 8), (3, 5), (4, 3)]
 
 
